@@ -1,0 +1,215 @@
+(* Benchmark harness:
+
+   1. regenerates every table and figure of the paper (plus the extension
+      experiments E5-E9 and ablation A1 of DESIGN.md) with moderate sizes,
+      printing the same rows/series the paper reports;
+   2. micro-benchmarks the core algorithms with Bechamel (one Test.make per
+      experiment kernel).
+
+     dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+module Fabric = Gridbw_topology.Fabric
+module Request = Gridbw_request.Request
+module Spec = Gridbw_workload.Spec
+module Gen = Gridbw_workload.Gen
+module Rigid = Gridbw_core.Rigid
+module Flexible = Gridbw_core.Flexible
+module Policy = Gridbw_core.Policy
+module Exact = Gridbw_core.Exact
+module Npc = Gridbw_core.Npc
+module Unit_exact = Gridbw_core.Unit_exact
+module Maxmin = Gridbw_baseline.Maxmin
+module Fluid = Gridbw_baseline.Fluid
+module Profile = Gridbw_alloc.Profile
+module Rng = Gridbw_prng.Rng
+module Runner = Gridbw_experiments.Runner
+module Figure = Gridbw_report.Figure
+module Table = Gridbw_report.Table
+
+(* --- part 1: regenerate every figure and table --- *)
+
+let params = Runner.with_params ~count:300 ~reps:2 Runner.quick
+
+let regenerate () =
+  print_endline "=== part 1: paper figures and tables ===\n";
+  let accept, util = Gridbw_experiments.Figure4.run params in
+  Figure.print accept;
+  Figure.print util;
+  Figure.print (Gridbw_experiments.Figure5.run params);
+  let h6, u6 = Gridbw_experiments.Figure6.figure6 params in
+  Figure.print h6;
+  Figure.print u6;
+  let h7, u7 = Gridbw_experiments.Figure6.figure7 params in
+  Figure.print h7;
+  Figure.print u7;
+  print_endline "== E5: tuning factor ==";
+  Table.print (Gridbw_experiments.Tuning.to_table (Gridbw_experiments.Tuning.run params));
+  print_endline "== E6: optimality gap (rigid) ==";
+  Table.print (Gridbw_experiments.Optgap.to_table (Gridbw_experiments.Optgap.run params));
+  print_endline "== E14: optimality gap (flexible) ==";
+  Table.print (Gridbw_experiments.Optgap.to_table (Gridbw_experiments.Optgap.run_flexible params));
+  print_endline "== E7: TCP-surrogate comparison ==";
+  Table.print
+    (Gridbw_experiments.Baseline_cmp.to_table (Gridbw_experiments.Baseline_cmp.run params));
+  print_endline "== E8: co-allocation ==";
+  Table.print
+    (Gridbw_experiments.Coalloc_exp.to_table (Gridbw_experiments.Coalloc_exp.run params));
+  print_endline "== E9: Theorem 1 reduction ==";
+  Table.print (Gridbw_experiments.Npc_demo.to_table (Gridbw_experiments.Npc_demo.run params));
+  print_endline "== E10: long-lived uniform optimum ==";
+  Table.print
+    (Gridbw_experiments.Long_lived_exp.to_table (Gridbw_experiments.Long_lived_exp.run params));
+  print_endline "== E11: distributed allocation ==";
+  Table.print
+    (Gridbw_experiments.Distributed_exp.to_table
+       (Gridbw_experiments.Distributed_exp.run params));
+  print_endline "== E12: book-ahead reservations ==";
+  Table.print
+    (Gridbw_experiments.Bookahead_exp.to_table (Gridbw_experiments.Bookahead_exp.run params));
+  print_endline "== E13: raw TCP vs shaped reservations ==";
+  Table.print
+    (Gridbw_experiments.Transport_exp.to_table (Gridbw_experiments.Transport_exp.run params));
+  print_endline "== E15: ample-core assumption stress ==";
+  Table.print
+    (Gridbw_experiments.Core_stress.to_table (Gridbw_experiments.Core_stress.run params));
+  Figure.print (Gridbw_experiments.Ablation.run params)
+
+(* --- part 2: micro-benchmarks --- *)
+
+(* Fixed inputs, built once: the benchmarks measure the algorithms, not the
+   generators. *)
+let fabric = Fabric.paper_default ()
+
+let rigid_workload =
+  Gen.generate (Rng.create ~seed:1L ())
+    (Runner.rigid_spec (Runner.with_params ~count:200 params) ~load:2.0)
+
+let flexible_workload =
+  Gen.generate (Rng.create ~seed:2L ())
+    (Runner.flexible_spec (Runner.with_params ~count:400 params) ~mean_interarrival:0.4)
+
+let small_rigid =
+  let rng = Rng.create ~seed:3L () in
+  List.init 13 (fun id ->
+      let ts = Rng.float_in rng 0. 30. in
+      Request.make_rigid ~id ~ingress:(Rng.int rng 2) ~egress:(Rng.int rng 2)
+        ~bw:(Rng.float_in rng 20. 90.) ~ts ~tf:(ts +. Rng.float_in rng 2. 20.))
+
+let small_fabric = Fabric.uniform ~ingress_count:2 ~egress_count:2 ~capacity:100.0
+let npc_instance = fst (Npc.reduce (Npc.random (Rng.create ~seed:4L ()) ~n:3 ~extra_triples:2))
+
+let maxmin_flows =
+  let rng = Rng.create ~seed:5L () in
+  Array.init 200 (fun _ ->
+      { Maxmin.ingress = Rng.int rng 10; egress = Rng.int rng 10;
+        max_rate = Rng.float_in rng 10. 1000. })
+
+let caps = Array.make 10 1000.0
+
+let fluid_workload =
+  Gen.generate (Rng.create ~seed:6L ())
+    (Runner.flexible_spec (Runner.with_params ~count:200 params) ~mean_interarrival:0.5)
+
+let tests =
+  Test.make_grouped ~name:"gridbw" ~fmt:"%s %s"
+    [
+      (* one kernel per paper table/figure *)
+      Test.make ~name:"fig4:fcfs" (Staged.stage (fun () -> Rigid.fcfs fabric rigid_workload));
+      Test.make ~name:"fig4:cumulated-slots"
+        (Staged.stage (fun () -> Rigid.slots ~cost:Rigid.Cumulated fabric rigid_workload));
+      Test.make ~name:"fig4:minbw-slots"
+        (Staged.stage (fun () -> Rigid.slots ~cost:Rigid.Min_bw fabric rigid_workload));
+      Test.make ~name:"fig4:minvol-slots"
+        (Staged.stage (fun () -> Rigid.slots ~cost:Rigid.Min_vol fabric rigid_workload));
+      Test.make ~name:"fig5:greedy"
+        (Staged.stage (fun () ->
+             Flexible.greedy fabric (Policy.Fraction_of_max 1.0) flexible_workload));
+      Test.make ~name:"fig5:window-400"
+        (Staged.stage (fun () ->
+             Flexible.window fabric (Policy.Fraction_of_max 1.0) ~step:400. flexible_workload));
+      Test.make ~name:"fig6:greedy-minrate"
+        (Staged.stage (fun () -> Flexible.greedy fabric Policy.Min_rate flexible_workload));
+      Test.make ~name:"fig7:window-400-f08"
+        (Staged.stage (fun () ->
+             Flexible.window fabric (Policy.Fraction_of_max 0.8) ~step:400. flexible_workload));
+      Test.make ~name:"ablation:window-deferred"
+        (Staged.stage (fun () ->
+             Flexible.window_deferred fabric (Policy.Fraction_of_max 1.0) ~step:40.
+               flexible_workload));
+      Test.make ~name:"e6:exact-branch-and-bound"
+        (Staged.stage (fun () -> Exact.max_requests small_fabric small_rigid));
+      Test.make ~name:"e7:fluid-maxmin-simulation"
+        (Staged.stage (fun () -> Fluid.simulate fabric fluid_workload));
+      Test.make ~name:"e9:unit-exact-npc-n3"
+        (Staged.stage (fun () -> Unit_exact.solve npc_instance));
+      (* substrate kernels *)
+      Test.make ~name:"maxmin:rates-200-flows"
+        (Staged.stage (fun () -> Maxmin.rates ~caps_in:caps ~caps_out:caps maxmin_flows));
+      Test.make ~name:"alloc:profile-100-reservations"
+        (Staged.stage (fun () ->
+             let p = ref Profile.empty in
+             for i = 0 to 99 do
+               let t = float_of_int (i mod 17) in
+               p := Profile.add !p ~from_:t ~until:(t +. 5.) 10.
+             done;
+             Profile.peak !p));
+      Test.make ~name:"sim:event-queue-1k"
+        (Staged.stage (fun () ->
+             let q = Gridbw_sim.Event_queue.create () in
+             for i = 0 to 999 do
+               Gridbw_sim.Event_queue.push q ~time:(float_of_int ((i * 7919) mod 1000)) i
+             done;
+             Gridbw_sim.Event_queue.drain q));
+      Test.make ~name:"e10:longlived-maxflow-200"
+        (Staged.stage
+           (let rng0 = Rng.create ~seed:10L () in
+            let lreqs =
+              List.init 200 (fun id ->
+                  Gridbw_core.Long_lived.request ~id ~ingress:(Rng.int rng0 10)
+                    ~egress:(Rng.int rng0 10) ~bw:300.)
+            in
+            fun () -> Gridbw_core.Long_lived.optimal_uniform fabric ~bw:300. lreqs));
+      Test.make ~name:"prng:10k-draws"
+        (Staged.stage
+           (let rng = Rng.create ~seed:9L () in
+            fun () ->
+              let acc = ref 0. in
+              for _ = 1 to 10_000 do
+                acc := !acc +. Rng.float rng 1.0
+              done;
+              !acc));
+    ]
+
+let run_benchmarks () =
+  print_endline "\n=== part 2: micro-benchmarks (Bechamel) ===\n";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols (List.hd instances) raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let ns_per_run =
+          match Analyze.OLS.estimates ols_result with Some (e :: _) -> e | _ -> Float.nan
+        in
+        (name, ns_per_run) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (name, ns) ->
+           let time =
+             if Float.is_nan ns then "n/a"
+             else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+             else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+             else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+             else Printf.sprintf "%.0f ns" ns
+           in
+           [ name; time ])
+  in
+  Table.print (Table.make ~headers:[ "benchmark"; "time/run" ] rows)
+
+let () =
+  regenerate ();
+  run_benchmarks ()

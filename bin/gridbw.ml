@@ -1,0 +1,320 @@
+(* gridbw — command-line driver for the HPDC'06 bandwidth-sharing
+   reproduction.  Subcommands regenerate each paper figure/table, generate
+   and replay workload traces, and demonstrate the Theorem 1 reduction.
+   See DESIGN.md for the experiment index. *)
+
+open Cmdliner
+module Figure = Gridbw_report.Figure
+module Table = Gridbw_report.Table
+module Spec = Gridbw_workload.Spec
+module Gen = Gridbw_workload.Gen
+module Trace = Gridbw_workload.Trace
+module Summary = Gridbw_metrics.Summary
+module Rigid = Gridbw_core.Rigid
+module Flexible = Gridbw_core.Flexible
+module Policy = Gridbw_core.Policy
+module Types = Gridbw_core.Types
+module Runner = Gridbw_experiments.Runner
+module Rng = Gridbw_prng.Rng
+
+(* --- shared options --- *)
+
+let count_t =
+  Arg.(value & opt (some int) None & info [ "count" ] ~docv:"N" ~doc:"Requests per replication.")
+
+let reps_t =
+  Arg.(value & opt (some int) None & info [ "reps" ] ~docv:"R" ~doc:"Replications per point.")
+
+let seed_t =
+  Arg.(value & opt (some int64) None & info [ "seed" ] ~docv:"SEED" ~doc:"Base RNG seed.")
+
+let quick_t =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Small sizes (fast smoke run).")
+
+let csv_dir_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv-dir" ] ~docv:"DIR" ~doc:"Also write each figure/table as CSV into $(docv).")
+
+let params_of quick count reps seed =
+  let base = if quick then Runner.quick else Runner.defaults in
+  Runner.with_params ?count ?reps ?seed base
+
+let write_csv dir name contents =
+  match dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir (name ^ ".csv") in
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents);
+      Printf.printf "wrote %s\n" path
+
+let emit_figure csv_dir fig =
+  Figure.print fig;
+  write_csv csv_dir fig.Figure.id (Figure.to_csv fig);
+  match csv_dir with
+  | None -> ()
+  | Some dir -> Printf.printf "wrote %s\n" (Gridbw_report.Gnuplot.write ~dir fig)
+
+let emit_table csv_dir name table =
+  Printf.printf "== %s ==\n" name;
+  Table.print table;
+  write_csv csv_dir name (Table.to_csv table)
+
+(* --- figure command --- *)
+
+let run_figure params csv_dir = function
+  | 4 ->
+      let accept, util = Gridbw_experiments.Figure4.run params in
+      emit_figure csv_dir accept;
+      emit_figure csv_dir util
+  | 5 -> emit_figure csv_dir (Gridbw_experiments.Figure5.run params)
+  | 6 ->
+      let heavy, under = Gridbw_experiments.Figure6.figure6 params in
+      emit_figure csv_dir heavy;
+      emit_figure csv_dir under
+  | 7 ->
+      let heavy, under = Gridbw_experiments.Figure6.figure7 params in
+      emit_figure csv_dir heavy;
+      emit_figure csv_dir under
+  | n -> Printf.eprintf "unknown figure %d (paper evaluation figures: 4-7)\n" n
+
+let figure_cmd =
+  let num_t = Arg.(required & pos 0 (some int) None & info [] ~docv:"NUM" ~doc:"Figure number (4-7).") in
+  let run num quick count reps seed csv_dir =
+    run_figure (params_of quick count reps seed) csv_dir num
+  in
+  Cmd.v
+    (Cmd.info "figure" ~doc:"Regenerate a paper figure (4, 5, 6 or 7).")
+    Term.(const run $ num_t $ quick_t $ count_t $ reps_t $ seed_t $ csv_dir_t)
+
+(* --- table command --- *)
+
+let run_table params csv_dir = function
+  | "tuning" ->
+      emit_table csv_dir "tuning"
+        (Gridbw_experiments.Tuning.to_table (Gridbw_experiments.Tuning.run params))
+  | "optgap" ->
+      emit_table csv_dir "optgap"
+        (Gridbw_experiments.Optgap.to_table (Gridbw_experiments.Optgap.run params));
+      emit_table csv_dir "optgap-flexible"
+        (Gridbw_experiments.Optgap.to_table (Gridbw_experiments.Optgap.run_flexible params))
+  | "baseline" ->
+      emit_table csv_dir "baseline"
+        (Gridbw_experiments.Baseline_cmp.to_table (Gridbw_experiments.Baseline_cmp.run params))
+  | "coalloc" ->
+      emit_table csv_dir "coalloc"
+        (Gridbw_experiments.Coalloc_exp.to_table (Gridbw_experiments.Coalloc_exp.run params))
+  | "npc" ->
+      emit_table csv_dir "npc"
+        (Gridbw_experiments.Npc_demo.to_table (Gridbw_experiments.Npc_demo.run params))
+  | "ablation" -> emit_figure csv_dir (Gridbw_experiments.Ablation.run params)
+  | "longlived" ->
+      emit_table csv_dir "longlived"
+        (Gridbw_experiments.Long_lived_exp.to_table (Gridbw_experiments.Long_lived_exp.run params))
+  | "distributed" ->
+      emit_table csv_dir "distributed"
+        (Gridbw_experiments.Distributed_exp.to_table
+           (Gridbw_experiments.Distributed_exp.run params))
+  | "bookahead" ->
+      emit_table csv_dir "bookahead"
+        (Gridbw_experiments.Bookahead_exp.to_table (Gridbw_experiments.Bookahead_exp.run params))
+  | "transport" ->
+      emit_table csv_dir "transport"
+        (Gridbw_experiments.Transport_exp.to_table (Gridbw_experiments.Transport_exp.run params))
+  | "corestress" ->
+      emit_table csv_dir "corestress"
+        (Gridbw_experiments.Core_stress.to_table (Gridbw_experiments.Core_stress.run params))
+  | other -> Printf.eprintf "unknown table %s (tuning|optgap|baseline|coalloc|npc|ablation|longlived|distributed|bookahead|transport|corestress)\n" other
+
+let table_cmd =
+  let name_t =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"NAME" ~doc:"tuning, optgap, baseline, coalloc, npc, ablation, longlived, distributed, bookahead, transport or corestress.")
+  in
+  let run name quick count reps seed csv_dir =
+    run_table (params_of quick count reps seed) csv_dir name
+  in
+  Cmd.v
+    (Cmd.info "table" ~doc:"Regenerate an extension experiment table (E5-E9).")
+    Term.(const run $ name_t $ quick_t $ count_t $ reps_t $ seed_t $ csv_dir_t)
+
+(* --- all command --- *)
+
+let all_cmd =
+  let run quick count reps seed csv_dir =
+    let params = params_of quick count reps seed in
+    List.iter (run_figure params csv_dir) [ 4; 5; 6; 7 ];
+    List.iter (run_table params csv_dir) [ "tuning"; "optgap"; "baseline"; "coalloc"; "npc"; "ablation"; "longlived"; "distributed"; "bookahead"; "transport"; "corestress" ]
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Regenerate every figure and table.")
+    Term.(const run $ quick_t $ count_t $ reps_t $ seed_t $ csv_dir_t)
+
+(* --- workload command --- *)
+
+let workload_cmd =
+  let out_t =
+    Arg.(required & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output CSV.")
+  in
+  let load_t =
+    Arg.(value & opt (some float) None & info [ "load" ] ~docv:"L" ~doc:"Rigid workload at offered load $(docv).")
+  in
+  let inter_t =
+    Arg.(value & opt (some float) None
+         & info [ "interarrival" ] ~docv:"T" ~doc:"Flexible workload with mean inter-arrival $(docv) s.")
+  in
+  let run out load inter count seed =
+    let count = Option.value ~default:1000 count in
+    let seed = Option.value ~default:42L seed in
+    let spec =
+      match (load, inter) with
+      | Some load, None -> Spec.paper_rigid ~count ~load ()
+      | None, Some mean_interarrival -> Spec.paper_flexible ~count ~mean_interarrival ()
+      | None, None -> Spec.paper_flexible ~count ~mean_interarrival:1.0 ()
+      | Some _, Some _ -> failwith "pass either --load (rigid) or --interarrival (flexible)"
+    in
+    let requests = Gen.generate (Rng.create ~seed ()) spec in
+    Trace.to_file out requests;
+    Format.printf "%a@.wrote %d requests to %s (measured load %.2f)@." Spec.pp spec
+      (List.length requests) out
+      (Gen.measured_load spec.Spec.fabric requests)
+  in
+  Cmd.v
+    (Cmd.info "workload" ~doc:"Generate a workload trace (section 4.3 / 5.3 settings).")
+    Term.(const run $ out_t $ load_t $ inter_t $ count_t $ seed_t)
+
+(* --- run command --- *)
+
+let heuristic_conv =
+  let parse = function
+    | "fcfs" -> Ok `Fcfs
+    | "fifo" -> Ok `Fifo_blocking
+    | "cumulated" -> Ok (`Slots Rigid.Cumulated)
+    | "minbw" -> Ok (`Slots Rigid.Min_bw)
+    | "minvol" -> Ok (`Slots Rigid.Min_vol)
+    | "greedy" -> Ok `Greedy
+    | "window" -> Ok `Window
+    | "window-deferred" -> Ok `Window_deferred
+    | s -> Error (`Msg ("unknown heuristic " ^ s))
+  in
+  let print ppf = function
+    | `Fcfs -> Format.pp_print_string ppf "fcfs"
+    | `Fifo_blocking -> Format.pp_print_string ppf "fifo"
+    | `Slots c -> Format.pp_print_string ppf (Rigid.cost_name c)
+    | `Greedy -> Format.pp_print_string ppf "greedy"
+    | `Window -> Format.pp_print_string ppf "window"
+    | `Window_deferred -> Format.pp_print_string ppf "window-deferred"
+  in
+  Arg.conv (parse, print)
+
+let policy_conv =
+  let parse s =
+    if s = "minrate" then Ok Policy.Min_rate
+    else
+      match float_of_string_opt s with
+      | Some f when f >= 0. && f <= 1. -> Ok (Policy.Fraction_of_max f)
+      | _ -> Error (`Msg "policy is 'minrate' or a fraction in [0,1]")
+  in
+  Arg.conv (parse, Policy.pp)
+
+let run_cmd =
+  let trace_t =
+    Arg.(required & opt (some file) None & info [ "trace" ] ~docv:"FILE" ~doc:"Workload CSV.")
+  in
+  let heuristic_t =
+    Arg.(value & opt heuristic_conv `Greedy
+         & info [ "heuristic" ] ~docv:"H" ~doc:"fifo|fcfs|cumulated|minbw|minvol|greedy|window|window-deferred.")
+  in
+  let policy_t =
+    Arg.(value & opt policy_conv Policy.Min_rate
+         & info [ "policy" ] ~docv:"P" ~doc:"minrate or a MaxRate fraction f in [0,1].")
+  in
+  let step_t =
+    Arg.(value & opt float 400. & info [ "step" ] ~docv:"S" ~doc:"WINDOW interval length (s).")
+  in
+  let run trace heuristic policy step =
+    let requests = Trace.of_file trace in
+    let fabric = Gridbw_topology.Fabric.paper_default () in
+    let result =
+      match heuristic with
+      | (`Fcfs | `Fifo_blocking | `Slots _) as kind -> Rigid.run kind fabric requests
+      | `Greedy -> Flexible.greedy fabric policy requests
+      | `Window -> Flexible.window fabric policy ~step requests
+      | `Window_deferred -> Flexible.window_deferred fabric policy ~step requests
+    in
+    let summary = Summary.compute fabric ~all:requests ~accepted:result.Types.accepted in
+    Format.printf "%a@." Summary.pp summary;
+    (match Gridbw_metrics.Validate.check fabric result.Types.accepted with
+    | [] -> ()
+    | violations ->
+        prerr_endline "internal error: infeasible schedule";
+        prerr_endline (Gridbw_metrics.Validate.report fabric result.Types.accepted);
+        ignore violations;
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one heuristic on a workload trace and print its summary.")
+    Term.(const run $ trace_t $ heuristic_t $ policy_t $ step_t)
+
+let hotspot_cmd =
+  let trace_t =
+    Arg.(required & opt (some file) None & info [ "trace" ] ~docv:"FILE" ~doc:"Workload CSV.")
+  in
+  let heuristic_t =
+    Arg.(value & opt heuristic_conv `Greedy
+         & info [ "heuristic" ] ~docv:"H" ~doc:"Admission heuristic (see run).")
+  in
+  let policy_t =
+    Arg.(value & opt policy_conv (Policy.Fraction_of_max 0.8)
+         & info [ "policy" ] ~docv:"P" ~doc:"minrate or a MaxRate fraction f in [0,1].")
+  in
+  let step_t =
+    Arg.(value & opt float 400. & info [ "step" ] ~docv:"S" ~doc:"WINDOW interval length (s).")
+  in
+  let run trace heuristic policy step =
+    let requests = Trace.of_file trace in
+    let fabric = Gridbw_topology.Fabric.paper_default () in
+    let result =
+      match heuristic with
+      | (`Fcfs | `Fifo_blocking | `Slots _) as kind -> Rigid.run kind fabric requests
+      | `Greedy -> Flexible.greedy fabric policy requests
+      | `Window -> Flexible.window fabric policy ~step requests
+      | `Window_deferred -> Flexible.window_deferred fabric policy ~step requests
+    in
+    let reports =
+      Gridbw_metrics.Hotspot.analyze fabric ~all:requests ~accepted:result.Types.accepted
+    in
+    Table.print
+      (Table.make
+         ~headers:[ "side"; "port"; "pressure"; "demand MB/s"; "granted MB/s"; "accepted" ]
+         (List.map
+            (fun r ->
+              let open Gridbw_metrics.Hotspot in
+              [
+                (match r.side with Ingress -> "ingress" | Egress -> "egress");
+                string_of_int r.port;
+                Printf.sprintf "%.2f" r.pressure;
+                Printf.sprintf "%.0f" r.demanded_rate;
+                Printf.sprintf "%.0f" r.granted_rate;
+                Printf.sprintf "%d/%d" r.accepted r.requests;
+              ])
+            reports));
+    match Gridbw_metrics.Hotspot.hot_spots reports with
+    | [] -> print_endline "no hot spots (all ports below pressure 1)"
+    | hot -> Format.printf "%d hot spot(s); worst: %a@." (List.length hot)
+               Gridbw_metrics.Hotspot.pp (List.hd hot)
+  in
+  Cmd.v
+    (Cmd.info "hotspot" ~doc:"Per-port pressure analysis of a workload trace (section 7).")
+    Term.(const run $ trace_t $ heuristic_t $ policy_t $ step_t)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "gridbw" ~version:"1.0.0"
+       ~doc:"Optimal bandwidth sharing in grid environments (HPDC'06) — reproduction toolkit.")
+    [ figure_cmd; table_cmd; all_cmd; workload_cmd; run_cmd; hotspot_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,50 @@
+(* Co-allocation (paper section 2.3): grid jobs stage a dataset and then
+   compute on the destination site.  Sweeping the tuning factor f shows the
+   trade-off the paper describes — faster staging starts (and releases)
+   CPUs earlier, but guaranteeing more bandwidth rejects more transfers.
+
+     dune exec examples/coallocation.exe *)
+
+module Rng = Gridbw_prng.Rng
+module Spec = Gridbw_workload.Spec
+module Coalloc = Gridbw_coalloc.Coalloc
+module Policy = Gridbw_core.Policy
+module Table = Gridbw_report.Table
+
+let () =
+  let spec =
+    Spec.make
+      ~volumes:(Spec.Uniform_volume { lo = 1_000.; hi = 50_000. })
+      ~rate_lo:10. ~rate_hi:1000. ~count:400 ~mean_interarrival:1.5 ()
+  in
+  let policies =
+    [
+      ("MIN BW", Policy.Min_rate);
+      ("f=0.25", Policy.Fraction_of_max 0.25);
+      ("f=0.50", Policy.Fraction_of_max 0.5);
+      ("f=0.75", Policy.Fraction_of_max 0.75);
+      ("f=1.00", Policy.Fraction_of_max 1.0);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, policy) ->
+        (* Same jobs for every policy: the seed fixes the workload. *)
+        let jobs = Coalloc.random_jobs (Rng.create ~seed:7L ()) spec ~mean_cpu_seconds:120. in
+        let r = Coalloc.simulate spec.Spec.fabric ~policy ~cpus_per_site:8 jobs in
+        [
+          name;
+          string_of_int r.Coalloc.completed;
+          string_of_int r.Coalloc.rejected;
+          Printf.sprintf "%.0f s" r.Coalloc.mean_staging_time;
+          Printf.sprintf "%.0f s" r.Coalloc.mean_cpu_wait;
+          Printf.sprintf "%.0f s" r.Coalloc.mean_completion_time;
+        ])
+      policies
+  in
+  print_endline "co-allocation: 400 transfer+compute jobs, 8 CPUs per site";
+  Table.print
+    (Table.make
+       ~headers:[ "policy"; "completed"; "rejected"; "staging"; "cpu wait"; "completion" ]
+       rows);
+  print_endline "\nhigher f stages faster (earlier CPU release) but rejects more transfers."

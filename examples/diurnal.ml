@@ -1,0 +1,68 @@
+(* Diurnal workload: a data grid that bursts at night (experiment output
+   shipped to archives) and idles by day.  Shows non-homogeneous arrivals,
+   per-hour accept rates, and the utilization timeline of the admitted
+   schedule.
+
+     dune exec examples/diurnal.exe *)
+
+module Rng = Gridbw_prng.Rng
+module Spec = Gridbw_workload.Spec
+module Diurnal = Gridbw_workload.Diurnal
+module Request = Gridbw_request.Request
+module Flexible = Gridbw_core.Flexible
+module Policy = Gridbw_core.Policy
+module Types = Gridbw_core.Types
+module Timeline = Gridbw_metrics.Timeline
+module Table = Gridbw_report.Table
+
+let hour = 3600.0
+let day = 24. *. hour
+
+let () =
+  let spec =
+    Spec.make
+      ~volumes:(Spec.Uniform_volume { lo = 10_000.; hi = 200_000. })
+      ~rate_lo:20. ~rate_hi:400.
+      ~flexibility:(Spec.Flexible { max_slack = 3.0 })
+      ~mean_interarrival:1. (* unused by the diurnal sampler *) ()
+  in
+  (* Trough 1 request / 200 s by day, crest 1 / 10 s at night. *)
+  let intensity = Diurnal.day_night ~base:0.005 ~peak:0.1 ~period:day in
+  let rng = Rng.create ~seed:20060619L () in
+  let requests = Diurnal.generate rng spec intensity ~peak:0.1 ~horizon:day in
+  Printf.printf "one day of diurnal traffic: %d requests\n\n" (List.length requests);
+
+  let result = Flexible.window spec.Spec.fabric (Policy.Fraction_of_max 0.8) ~step:600. requests in
+
+  (* Accept rate per 3-hour bucket. *)
+  let buckets = 8 in
+  let submitted = Array.make buckets 0 and taken = Array.make buckets 0 in
+  List.iter
+    (fun (r : Request.t) ->
+      let b = min (buckets - 1) (int_of_float (r.ts /. day *. float_of_int buckets)) in
+      submitted.(b) <- submitted.(b) + 1;
+      match Types.decision_of result r.id with
+      | Some (Types.Accepted _) -> taken.(b) <- taken.(b) + 1
+      | _ -> ())
+    requests;
+  let rows =
+    List.init buckets (fun b ->
+        [
+          Printf.sprintf "%02d:00-%02d:00" (b * 3) ((b + 1) * 3);
+          string_of_int submitted.(b);
+          string_of_int taken.(b);
+          (if submitted.(b) = 0 then "-"
+           else Printf.sprintf "%.0f%%" (100. *. float_of_int taken.(b) /. float_of_int submitted.(b)));
+        ])
+  in
+  Table.print (Table.make ~headers:[ "hours"; "submitted"; "accepted"; "accept rate" ] rows);
+
+  (* Utilization timeline of the admitted schedule. *)
+  let timeline = Timeline.build spec.Spec.fabric result.Types.accepted in
+  print_endline "\nfabric utilization over the day (20 samples):";
+  List.iter
+    (fun (at, util) ->
+      let bars = int_of_float (util *. 50.) in
+      Printf.printf "  %5.1f h |%s %.1f%%\n" (at /. hour) (String.make (min 50 bars) '#')
+        (100. *. util))
+    (Timeline.sample timeline ~points:20)

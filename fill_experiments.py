@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Splice measured tables from results_default.txt into EXPERIMENTS.md.
+
+Run after `dune exec bin/gridbw.exe -- all --csv-dir results
+> results_default.txt` (plus the extra tables appended by the final-run
+recipe). Idempotent: placeholders of the form <!--NAME--> are replaced by
+fenced blocks; notes placeholders are left for hand-written analysis.
+"""
+
+import re
+import sys
+
+RESULTS = "results_default.txt"
+TARGET = "EXPERIMENTS.md"
+
+
+def extract_blocks(text):
+    """Return {header: table_text} for '== name ==' sections and figures."""
+    blocks = {}
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        m = re.match(r"^== (.+?)(?: ==|:)", line)
+        if m:
+            name = m.group(1).strip()
+            # Collect the aligned table that follows (skip '(y: ...)').
+            j = i + 1
+            table = []
+            started = False
+            while j < len(lines):
+                l = lines[j]
+                if l.startswith("+") or l.startswith("|"):
+                    started = True
+                    table.append(l)
+                elif started:
+                    break
+                elif l.startswith("(y:") or l.strip() == "":
+                    pass
+                else:
+                    break
+                j += 1
+            if table:
+                blocks[name] = "\n".join(table)
+            i = j
+        else:
+            i += 1
+    return blocks
+
+
+def main():
+    text = open(RESULTS).read()
+    blocks = extract_blocks(text)
+
+    mapping = {
+        "FIG4-ACCEPT": "fig4-accept",
+        "FIG4-UTIL": "fig4-util",
+        "FIG5": "fig5",
+        "FIG67": ["fig6-heavy", "fig6-under", "fig7-heavy", "fig7-under"],
+        "TUNING": "tuning",
+        "OPTGAP": "optgap",
+        "BASELINE": "baseline",
+        "COALLOC": "coalloc",
+        "NPC": "npc",
+        "LONGLIVED": "longlived",
+        "DISTRIBUTED": "distributed",
+        "ABLATION": "ablation-window",
+        "BOOKAHEAD": "bookahead",
+        "TRANSPORT": "transport",
+    }
+
+    md = open(TARGET).read()
+    missing = []
+    for placeholder, keys in mapping.items():
+        keys = keys if isinstance(keys, list) else [keys]
+        parts = []
+        for k in keys:
+            hit = next((v for name, v in blocks.items() if name.startswith(k)), None)
+            if hit is None:
+                missing.append(k)
+            else:
+                parts.append(f"`{k}`:\n\n```\n{hit}\n```")
+        if parts:
+            md = md.replace(f"<!--{placeholder}-->", "\n\n".join(parts))
+    open(TARGET, "w").write(md)
+    if missing:
+        print("missing blocks:", ", ".join(missing), file=sys.stderr)
+    print("spliced", len(mapping) - len(missing), "sections")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+module Request = Gridbw_request.Request
+
+type t = { request : Request.t; bw : float; sigma : float; tau : float }
+
+let make ~request ~bw ~sigma =
+  if bw <= 0. || not (Float.is_finite bw) then
+    invalid_arg "Allocation.make: bandwidth must be positive and finite";
+  if sigma < request.Request.ts then invalid_arg "Allocation.make: start before requested ts";
+  { request; bw; sigma; tau = sigma +. (request.Request.volume /. bw) }
+
+let meets_deadline t = t.tau <= t.request.Request.tf *. (1. +. 1e-9) +. 1e-9
+let within_rate_bounds t = t.bw <= t.request.Request.max_rate *. (1. +. 1e-9)
+let duration t = t.tau -. t.sigma
+let compare a b = Request.compare a.request b.request
+
+let pp ppf t =
+  Format.fprintf ppf "%a @@ %.2fMB/s on [%.2f,%.2f]" Request.pp t.request t.bw t.sigma t.tau

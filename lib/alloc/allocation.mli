@@ -1,0 +1,29 @@
+(** An accepted request together with its assigned bandwidth and window.
+
+    Acceptance fixes the assigned start [sigma], the constant transmission
+    rate [bw], and hence the finish [tau = sigma + volume / bw]
+    (section 2.1 of the paper). *)
+
+type t = private {
+  request : Gridbw_request.Request.t;
+  bw : float;  (** assigned bandwidth, MB/s *)
+  sigma : float;  (** assigned start time *)
+  tau : float;  (** assigned finish time, [sigma + volume / bw] *)
+}
+
+val make : request:Gridbw_request.Request.t -> bw:float -> sigma:float -> t
+(** Validates [bw > 0] and [sigma >= ts(request)].
+    Raises [Invalid_argument] otherwise.  [tau] is derived. *)
+
+val meets_deadline : t -> bool
+(** [tau <= tf] up to a relative [1e-9] slack — the paper's hard
+    requirement for accepted requests. *)
+
+val within_rate_bounds : t -> bool
+(** [bw <= max_rate] up to a relative [1e-9] slack.  (No lower-bound check:
+    [meets_deadline] already subsumes the [bw >= MinRate] constraint when
+    [sigma = ts].) *)
+
+val duration : t -> float
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

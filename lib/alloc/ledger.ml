@@ -1,0 +1,79 @@
+module Fabric = Gridbw_topology.Fabric
+module Request = Gridbw_request.Request
+
+type t = {
+  fabric : Fabric.t;
+  ingress : Profile.t array;
+  egress : Profile.t array;
+}
+
+let create fabric =
+  {
+    fabric;
+    ingress = Array.make (Fabric.ingress_count fabric) Profile.empty;
+    egress = Array.make (Fabric.egress_count fabric) Profile.empty;
+  }
+
+let fabric t = t.fabric
+
+(* Relative slack absorbing float accumulation in capacity comparisons. *)
+let le_cap used cap = used <= cap *. (1. +. 1e-9)
+
+let fits_interval t ~ingress ~egress ~bw ~from_ ~until =
+  if not (Fabric.valid_ingress t.fabric ingress) then
+    invalid_arg "Ledger.fits_interval: bad ingress port";
+  if not (Fabric.valid_egress t.fabric egress) then
+    invalid_arg "Ledger.fits_interval: bad egress port";
+  if from_ >= until then invalid_arg "Ledger.fits_interval: empty interval";
+  le_cap
+    (Profile.max_over t.ingress.(ingress) ~from_ ~until +. bw)
+    (Fabric.ingress_capacity t.fabric ingress)
+  && le_cap
+       (Profile.max_over t.egress.(egress) ~from_ ~until +. bw)
+       (Fabric.egress_capacity t.fabric egress)
+
+let ports (a : Allocation.t) =
+  (a.Allocation.request.Request.ingress, a.Allocation.request.Request.egress)
+
+let fits t a =
+  let i, e = ports a in
+  fits_interval t ~ingress:i ~egress:e ~bw:a.Allocation.bw ~from_:a.Allocation.sigma
+    ~until:a.Allocation.tau
+
+let reserve_interval t ~ingress ~egress ~bw ~from_ ~until =
+  t.ingress.(ingress) <- Profile.add t.ingress.(ingress) ~from_ ~until bw;
+  t.egress.(egress) <- Profile.add t.egress.(egress) ~from_ ~until bw
+
+let release_interval t ~ingress ~egress ~bw ~from_ ~until =
+  t.ingress.(ingress) <- Profile.remove t.ingress.(ingress) ~from_ ~until bw;
+  t.egress.(egress) <- Profile.remove t.egress.(egress) ~from_ ~until bw
+
+let reserve t a =
+  if not (fits t a) then invalid_arg "Ledger.reserve: allocation exceeds port capacity";
+  let i, e = ports a in
+  reserve_interval t ~ingress:i ~egress:e ~bw:a.Allocation.bw ~from_:a.Allocation.sigma
+    ~until:a.Allocation.tau
+
+let release t a =
+  let i, e = ports a in
+  release_interval t ~ingress:i ~egress:e ~bw:a.Allocation.bw ~from_:a.Allocation.sigma
+    ~until:a.Allocation.tau
+
+let ingress_usage_at t i time = Profile.usage_at t.ingress.(i) time
+let egress_usage_at t e time = Profile.usage_at t.egress.(e) time
+let ingress_max_over t i ~from_ ~until = Profile.max_over t.ingress.(i) ~from_ ~until
+let egress_max_over t e ~from_ ~until = Profile.max_over t.egress.(e) ~from_ ~until
+let ingress_breakpoints t i = Profile.breakpoints t.ingress.(i)
+let egress_breakpoints t e = Profile.breakpoints t.egress.(e)
+
+let within_capacity t =
+  let ok = ref true in
+  Array.iteri
+    (fun i p -> if not (le_cap (Profile.peak p) (Fabric.ingress_capacity t.fabric i)) then ok := false)
+    t.ingress;
+  Array.iteri
+    (fun e p -> if not (le_cap (Profile.peak p) (Fabric.egress_capacity t.fabric e)) then ok := false)
+    t.egress;
+  !ok
+
+let reserved_volume t = Array.fold_left (fun acc p -> acc +. Profile.integral p) 0.0 t.ingress

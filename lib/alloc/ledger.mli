@@ -1,0 +1,51 @@
+(** Time-indexed bandwidth accounting for a whole fabric.
+
+    One {!Profile.t} per ingress and egress port.  The ledger enforces the
+    paper's constraint set (1): at any instant, the bandwidth reserved
+    through a port never exceeds its capacity.  Capacity checks allow a
+    relative [1e-9] slack to absorb float accumulation. *)
+
+type t
+
+val create : Gridbw_topology.Fabric.t -> t
+val fabric : t -> Gridbw_topology.Fabric.t
+
+val fits : t -> Allocation.t -> bool
+(** Would reserving this allocation keep both its ports within capacity
+    over [\[sigma, tau)]? *)
+
+val fits_interval : t -> ingress:int -> egress:int -> bw:float -> from_:float -> until:float -> bool
+(** Same check for an explicit port pair / rate / interval. *)
+
+val reserve : t -> Allocation.t -> unit
+(** Record the allocation.  Raises [Invalid_argument] if it does not fit —
+    callers are expected to check {!fits} first. *)
+
+val release : t -> Allocation.t -> unit
+(** Remove a previously reserved allocation (exact inverse). *)
+
+val reserve_interval : t -> ingress:int -> egress:int -> bw:float -> from_:float -> until:float -> unit
+(** Unchecked low-level reservation on an explicit interval (used by the
+    slot heuristics that reserve window slices rather than whole
+    allocations). *)
+
+val release_interval : t -> ingress:int -> egress:int -> bw:float -> from_:float -> until:float -> unit
+
+val ingress_usage_at : t -> int -> float -> float
+val egress_usage_at : t -> int -> float -> float
+
+val ingress_max_over : t -> int -> from_:float -> until:float -> float
+val egress_max_over : t -> int -> from_:float -> until:float -> float
+
+val ingress_breakpoints : t -> int -> float list
+(** Sorted times where the ingress port's reserved bandwidth changes. *)
+
+val egress_breakpoints : t -> int -> float list
+
+val within_capacity : t -> bool
+(** Global invariant check: every port's peak usage is within its
+    capacity (with the [1e-9] slack).  Intended for tests. *)
+
+val reserved_volume : t -> float
+(** Σ over ingress ports of ∫ usage dt — total MB of reserved ingress
+    capacity (each request counted once). *)

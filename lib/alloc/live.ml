@@ -1,0 +1,44 @@
+module Fabric = Gridbw_topology.Fabric
+
+type t = { fabric : Fabric.t; ali : float array; ale : float array }
+
+let create fabric =
+  {
+    fabric;
+    ali = Array.make (Fabric.ingress_count fabric) 0.0;
+    ale = Array.make (Fabric.egress_count fabric) 0.0;
+  }
+
+let fabric t = t.fabric
+let ingress_used t i = t.ali.(i)
+let egress_used t e = t.ale.(e)
+
+let le_cap used cap = used <= cap *. (1. +. 1e-9)
+
+let fits t ~ingress ~egress ~bw =
+  le_cap (t.ali.(ingress) +. bw) (Fabric.ingress_capacity t.fabric ingress)
+  && le_cap (t.ale.(egress) +. bw) (Fabric.egress_capacity t.fabric egress)
+
+let grab t ~ingress ~egress ~bw =
+  t.ali.(ingress) <- t.ali.(ingress) +. bw;
+  t.ale.(egress) <- t.ale.(egress) +. bw
+
+let clamp x = if x < 0. then 0. else x
+
+let release t ~ingress ~egress ~bw =
+  t.ali.(ingress) <- clamp (t.ali.(ingress) -. bw);
+  t.ale.(egress) <- clamp (t.ale.(egress) -. bw)
+
+let try_grab t ~ingress ~egress ~bw =
+  let ok = fits t ~ingress ~egress ~bw in
+  if ok then grab t ~ingress ~egress ~bw;
+  ok
+
+let saturation t ~ingress ~egress ~bw =
+  Float.max
+    ((t.ali.(ingress) +. bw) /. Fabric.ingress_capacity t.fabric ingress)
+    ((t.ale.(egress) +. bw) /. Fabric.egress_capacity t.fabric egress)
+
+let reset t =
+  Array.fill t.ali 0 (Array.length t.ali) 0.0;
+  Array.fill t.ale 0 (Array.length t.ale) 0.0

@@ -1,0 +1,38 @@
+(** Instantaneous port-usage counters for on-line heuristics.
+
+    The paper's Algorithms 2 and 3 track [ali(i)] / [ale(e)] — the
+    bandwidth currently allocated on each ingress / egress port — and
+    compare against the port capacities.  [Live.t] is exactly that state;
+    time is managed by the caller (grab on admission, release when the
+    transfer finishes). *)
+
+type t
+
+val create : Gridbw_topology.Fabric.t -> t
+val fabric : t -> Gridbw_topology.Fabric.t
+
+val ingress_used : t -> int -> float
+(** [ali(i)]. *)
+
+val egress_used : t -> int -> float
+(** [ale(e)]. *)
+
+val fits : t -> ingress:int -> egress:int -> bw:float -> bool
+(** [ali(i) + bw <= B_in(i)] and [ale(e) + bw <= B_out(e)] (with the usual
+    [1e-9] relative slack). *)
+
+val grab : t -> ingress:int -> egress:int -> bw:float -> unit
+(** Add [bw] to both counters.  Does not check capacity. *)
+
+val release : t -> ingress:int -> egress:int -> bw:float -> unit
+(** Subtract [bw] from both counters, clamping tiny negative residue
+    from float cancellation back to 0. *)
+
+val try_grab : t -> ingress:int -> egress:int -> bw:float -> bool
+(** {!fits} then {!grab}; returns whether it grabbed. *)
+
+val saturation : t -> ingress:int -> egress:int -> bw:float -> float
+(** The WINDOW heuristic's cost (section 5.2):
+    [max((ali+bw)/B_in, (ale+bw)/B_out)]. *)
+
+val reset : t -> unit

@@ -1,0 +1,43 @@
+(** Piecewise-constant bandwidth usage of a single port over time.
+
+    The profile stores, for each breakpoint time, the change (delta) of the
+    allocated bandwidth at that instant; the usage on an interval is the
+    prefix sum of deltas.  Breakpoint times come verbatim from request
+    fields, so float keys compare exactly and reservations cancel out
+    precisely on release. *)
+
+type t
+
+val empty : t
+
+val add : t -> from_:float -> until:float -> float -> t
+(** [add p ~from_ ~until bw] reserves [bw] on the half-open interval
+    [\[from_, until)].  Requires [from_ < until] and finite bounds.
+    Negative [bw] releases (used by {!remove}). *)
+
+val remove : t -> from_:float -> until:float -> float -> t
+(** Inverse of {!add} with the same arguments. *)
+
+val usage_at : t -> float -> float
+(** Allocated bandwidth at time [t] (intervals are closed on the left). *)
+
+val max_over : t -> from_:float -> until:float -> float
+(** Maximum allocated bandwidth over [\[from_, until)].  0 on an empty
+    profile.  Requires [from_ < until]. *)
+
+val peak : t -> float
+(** Maximum usage over the whole time axis. *)
+
+val breakpoints : t -> float list
+(** Sorted times where the usage changes (deltas that cancelled out
+    exactly are dropped). *)
+
+val fold_segments : t -> init:'a -> f:('a -> from_:float -> until:float -> float -> 'a) -> 'a
+(** Fold over the maximal constant segments with non-zero span between the
+    first and last breakpoint.  The level before the first breakpoint and
+    after the last is 0 and is not visited. *)
+
+val integral : t -> float
+(** Total reserved volume: ∫ usage dt (MB when usage is MB/s). *)
+
+val is_empty : t -> bool

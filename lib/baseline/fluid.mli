@@ -1,0 +1,32 @@
+(** Fluid simulation of bulk transfers {e without} admission control — the
+    paper's picture of what raw (well-behaved, max-min fair) TCP does to
+    bulk grid transfers (sections 1 and 5.3).
+
+    Every request starts transmitting at its arrival time; all concurrent
+    flows share the ports max-min fairly (capped at their [MaxRate]).
+    Rates are recomputed at every arrival and completion, so the trajectory
+    is piecewise constant.  Nothing is ever rejected — instead transfers
+    run late, and a transfer that misses its requested finish time [tf] is
+    a {e deadline miss} (the paper's "bulk transfers often fail before
+    ending" in overload). *)
+
+type flow_report = {
+  request : Gridbw_request.Request.t;
+  finish : float;  (** completion time of the transfer *)
+  deadline_met : bool;  (** [finish <= tf] (with 1e-9 relative slack) *)
+  stretch : float;
+      (** [(finish - ts) / (tf - ts)] — 1.0 means exactly the requested
+          window; > 1 means late *)
+  mean_rate : float;  (** [volume / (finish - ts)] *)
+}
+
+type result = {
+  flows : flow_report list;  (** in request-id order *)
+  deadline_miss_rate : float;
+  mean_stretch : float;
+  max_concurrency : int;  (** peak number of simultaneous flows *)
+  events : int;  (** rate recomputation points *)
+}
+
+val simulate : Gridbw_topology.Fabric.t -> Gridbw_request.Request.t list -> result
+(** Raises [Invalid_argument] on requests routed off the fabric. *)

@@ -1,0 +1,148 @@
+type flow = { ingress : int; egress : int; max_rate : float }
+
+let check ~caps_in ~caps_out flows =
+  Array.iter (fun c -> if c <= 0. then invalid_arg "Maxmin: capacities must be positive") caps_in;
+  Array.iter (fun c -> if c <= 0. then invalid_arg "Maxmin: capacities must be positive") caps_out;
+  Array.iter
+    (fun f ->
+      if f.ingress < 0 || f.ingress >= Array.length caps_in then invalid_arg "Maxmin: bad ingress";
+      if f.egress < 0 || f.egress >= Array.length caps_out then invalid_arg "Maxmin: bad egress";
+      if f.max_rate <= 0. then invalid_arg "Maxmin: max_rate must be positive")
+    flows
+
+(* Level-based progressive filling.  All unfrozen flows always share one
+   common rate level L (they start at 0 and rise in lockstep), so instead of
+   iterating per-flow we jump L to the next event: either the smallest
+   unfrozen per-flow cap (flows processed through a pointer into the
+   cap-sorted order) or the first port saturation
+   (L_p = (cap_p - frozen_p) / n_p).  Each round saturates a port or
+   advances the cap pointer, so the loop runs O(ports + flows) rounds of
+   O(ports) work — far below the naive O(flows²). *)
+let rates ~caps_in ~caps_out flows =
+  check ~caps_in ~caps_out flows;
+  let nf = Array.length flows in
+  let rate = Array.make nf 0.0 in
+  if nf = 0 then rate
+  else begin
+    let m = Array.length caps_in and n = Array.length caps_out in
+    let frozen = Array.make nf false in
+    (* Per-port: number of unfrozen flows and total rate of frozen flows. *)
+    let live_in = Array.make m 0 and live_out = Array.make n 0 in
+    let frozen_in = Array.make m 0.0 and frozen_out = Array.make n 0.0 in
+    let flows_in = Array.make m [] and flows_out = Array.make n [] in
+    Array.iteri
+      (fun i f ->
+        live_in.(f.ingress) <- live_in.(f.ingress) + 1;
+        live_out.(f.egress) <- live_out.(f.egress) + 1;
+        flows_in.(f.ingress) <- i :: flows_in.(f.ingress);
+        flows_out.(f.egress) <- i :: flows_out.(f.egress))
+      flows;
+    let by_cap = Array.init nf Fun.id in
+    Array.sort (fun a b -> Float.compare flows.(a).max_rate flows.(b).max_rate) by_cap;
+    let cap_ptr = ref 0 in
+    let live = ref nf in
+    let level = ref 0.0 in
+    (* Freeze flow i at rate r: move its contribution from live to frozen on
+       both its ports. *)
+    let freeze i r =
+      if not frozen.(i) then begin
+        frozen.(i) <- true;
+        rate.(i) <- r;
+        let f = flows.(i) in
+        live_in.(f.ingress) <- live_in.(f.ingress) - 1;
+        live_out.(f.egress) <- live_out.(f.egress) - 1;
+        frozen_in.(f.ingress) <- frozen_in.(f.ingress) +. r;
+        frozen_out.(f.egress) <- frozen_out.(f.egress) +. r;
+        decr live
+      end
+    in
+    while !live > 0 do
+      (* Next port-saturation level. *)
+      let next_port = ref infinity in
+      for p = 0 to m - 1 do
+        if live_in.(p) > 0 then
+          next_port :=
+            Float.min !next_port ((caps_in.(p) -. frozen_in.(p)) /. float_of_int live_in.(p))
+      done;
+      for p = 0 to n - 1 do
+        if live_out.(p) > 0 then
+          next_port :=
+            Float.min !next_port ((caps_out.(p) -. frozen_out.(p)) /. float_of_int live_out.(p))
+      done;
+      (* Next per-flow-cap level (skip flows frozen by port saturation). *)
+      while !cap_ptr < nf && frozen.(by_cap.(!cap_ptr)) do
+        incr cap_ptr
+      done;
+      let next_cap = if !cap_ptr < nf then flows.(by_cap.(!cap_ptr)).max_rate else infinity in
+      if next_cap <= !next_port then begin
+        (* Freeze every unfrozen flow whose cap is reached at this level. *)
+        level := Float.max !level next_cap;
+        while
+          !cap_ptr < nf
+          && (frozen.(by_cap.(!cap_ptr)) || flows.(by_cap.(!cap_ptr)).max_rate <= !level +. 1e-15)
+        do
+          let i = by_cap.(!cap_ptr) in
+          if not frozen.(i) then freeze i flows.(i).max_rate;
+          incr cap_ptr
+        done
+      end
+      else begin
+        (* A port saturates first: freeze all its unfrozen flows at that
+           level.  Guard against float stagnation with max. *)
+        level := Float.max !level !next_port;
+        let saturated_at_level p caps frozen_p live_p =
+          live_p.(p) > 0
+          && (caps.(p) -. frozen_p.(p)) /. float_of_int live_p.(p) <= !level +. 1e-12
+        in
+        for p = 0 to m - 1 do
+          if saturated_at_level p caps_in frozen_in live_in then
+            List.iter (fun i -> if not frozen.(i) then freeze i !level) flows_in.(p)
+        done;
+        for p = 0 to n - 1 do
+          if saturated_at_level p caps_out frozen_out live_out then
+            List.iter (fun i -> if not frozen.(i) then freeze i !level) flows_out.(p)
+        done
+      end
+    done;
+    rate
+  end
+
+let is_maxmin ?(eps = 1e-6) ~caps_in ~caps_out flows rate =
+  let n = Array.length flows in
+  if Array.length rate <> n then false
+  else begin
+    let used_in = Array.make (Array.length caps_in) 0.0 in
+    let used_out = Array.make (Array.length caps_out) 0.0 in
+    Array.iteri
+      (fun i f ->
+        used_in.(f.ingress) <- used_in.(f.ingress) +. rate.(i);
+        used_out.(f.egress) <- used_out.(f.egress) +. rate.(i))
+      flows;
+    let within_caps =
+      Array.for_all2 (fun used cap -> used <= cap *. (1. +. eps)) used_in caps_in
+      && Array.for_all2 (fun used cap -> used <= cap *. (1. +. eps)) used_out caps_out
+    in
+    let saturated_in p = used_in.(p) >= caps_in.(p) *. (1. -. eps) in
+    let saturated_out p = used_out.(p) >= caps_out.(p) *. (1. -. eps) in
+    (* Bertsekas-Gallager: every flow either sits at its own cap or has a
+       bottleneck — a saturated port it crosses on which it is a maximal
+       flow.  This characterises the (unique) max-min fair allocation. *)
+    let max_rate_through ~side p =
+      let best = ref 0.0 in
+      Array.iteri
+        (fun j fj ->
+          let crosses = match side with `In -> fj.ingress = p | `Out -> fj.egress = p in
+          if crosses && rate.(j) > !best then best := rate.(j))
+        flows;
+      !best
+    in
+    let has_bottleneck i =
+      let f = flows.(i) in
+      rate.(i) >= f.max_rate *. (1. -. eps)
+      || (saturated_in f.ingress
+         && rate.(i) >= max_rate_through ~side:`In f.ingress -. (eps *. Float.max 1.0 rate.(i)))
+      || (saturated_out f.egress
+         && rate.(i) >= max_rate_through ~side:`Out f.egress -. (eps *. Float.max 1.0 rate.(i)))
+    in
+    within_caps && Array.for_all has_bottleneck (Array.init n Fun.id)
+  end

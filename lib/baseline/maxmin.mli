@@ -1,0 +1,22 @@
+(** Max-min fair rate allocation by progressive filling.
+
+    This is the bandwidth-sharing objective the paper ascribes to
+    TCP-governed networks (section 1): every flow's rate rises uniformly
+    until its bottleneck port saturates or its own [max_rate] cap is hit.
+    Used by {!Fluid} as the "what TCP would do" surrogate that the
+    admission-controlled schedulers are compared against. *)
+
+type flow = { ingress : int; egress : int; max_rate : float }
+
+val rates :
+  caps_in:float array -> caps_out:float array -> flow array -> float array
+(** Max-min fair rates, one per flow, in input order.  Requires positive
+    capacities and positive [max_rate]s; raises [Invalid_argument] on bad
+    ports.  Properties (tested): no port exceeds its capacity; every flow
+    is bottlenecked (it sits at its [max_rate] cap or crosses a saturated
+    port); the allocation is max-min fair (no flow can be raised without
+    lowering a flow of smaller or equal rate). *)
+
+val is_maxmin :
+  ?eps:float -> caps_in:float array -> caps_out:float array -> flow array -> float array -> bool
+(** Check the three properties above, within tolerance.  For tests. *)

@@ -1,0 +1,104 @@
+module Fabric = Gridbw_topology.Fabric
+module Request = Gridbw_request.Request
+module Allocation = Gridbw_alloc.Allocation
+module Engine = Gridbw_sim.Engine
+module Online = Gridbw_core.Online
+module Policy = Gridbw_core.Policy
+module Types = Gridbw_core.Types
+module Rng = Gridbw_prng.Rng
+module Dist = Gridbw_prng.Dist
+
+type job = { id : int; transfer : Request.t; cpu_seconds : float }
+
+let job ~id ~transfer ~cpu_seconds =
+  if cpu_seconds <= 0. || not (Float.is_finite cpu_seconds) then
+    invalid_arg "Coalloc.job: cpu_seconds must be positive and finite";
+  { id; transfer; cpu_seconds }
+
+type completion = { staged_at : float; cpu_start : float; finished_at : float }
+type job_outcome = Completed of completion | Transfer_rejected of Types.reason
+
+type result = {
+  outcomes : (job * job_outcome) list;
+  completed : int;
+  rejected : int;
+  mean_completion_time : float;
+  mean_staging_time : float;
+  mean_cpu_wait : float;
+  makespan : float;
+}
+
+(* Per-site FIFO CPU pool. *)
+type site = { mutable free : int; queue : (job * float) Queue.t }
+
+let simulate fabric ~policy ~cpus_per_site jobs =
+  if cpus_per_site <= 0 then invalid_arg "Coalloc.simulate: cpus_per_site must be positive";
+  Policy.validate policy;
+  List.iter
+    (fun j ->
+      if not (Request.routed_on j.transfer fabric) then
+        invalid_arg (Printf.sprintf "Coalloc: job %d routed on unknown port" j.id))
+    jobs;
+  let engine = Engine.create () in
+  let ctl = Online.create fabric in
+  let sites =
+    Array.init (Fabric.egress_count fabric) (fun _ ->
+        { free = cpus_per_site; queue = Queue.create () })
+  in
+  let outcomes = ref [] in
+  let record j outcome = outcomes := (j, outcome) :: !outcomes in
+  let rec start_cpu engine site_idx =
+    let site = sites.(site_idx) in
+    if site.free > 0 && not (Queue.is_empty site.queue) then begin
+      let j, staged_at = Queue.pop site.queue in
+      site.free <- site.free - 1;
+      let cpu_start = Engine.now engine in
+      Engine.after engine ~delay:j.cpu_seconds (fun engine ->
+          site.free <- site.free + 1;
+          record j (Completed { staged_at; cpu_start; finished_at = Engine.now engine });
+          start_cpu engine site_idx);
+      start_cpu engine site_idx
+    end
+  in
+  let submit j =
+    Engine.schedule engine ~time:j.transfer.Request.ts (fun engine ->
+        match Online.try_admit ctl policy j.transfer ~at:(Engine.now engine) with
+        | Types.Rejected reason -> record j (Transfer_rejected reason)
+        | Types.Accepted a ->
+            let site_idx = j.transfer.Request.egress in
+            Engine.schedule engine ~time:a.Allocation.tau (fun engine ->
+                Queue.push (j, Engine.now engine) sites.(site_idx).queue;
+                start_cpu engine site_idx))
+  in
+  List.iter submit
+    (List.sort (fun a b -> Float.compare a.transfer.Request.ts b.transfer.Request.ts) jobs);
+  Engine.run engine;
+  let outcomes = List.sort (fun (a, _) (b, _) -> Int.compare a.id b.id) !outcomes in
+  let completed_list =
+    List.filter_map
+      (fun (j, o) -> match o with Completed c -> Some (j, c) | Transfer_rejected _ -> None)
+      outcomes
+  in
+  let n = List.length completed_list in
+  let mean f =
+    if n = 0 then 0.0
+    else List.fold_left (fun acc jc -> acc +. f jc) 0.0 completed_list /. float_of_int n
+  in
+  {
+    outcomes;
+    completed = n;
+    rejected = List.length outcomes - n;
+    mean_completion_time = mean (fun (j, c) -> c.finished_at -. j.transfer.Request.ts);
+    mean_staging_time = mean (fun (j, c) -> c.staged_at -. j.transfer.Request.ts);
+    mean_cpu_wait = mean (fun (_, c) -> c.cpu_start -. c.staged_at);
+    makespan =
+      List.fold_left (fun acc (_, c) -> Float.max acc c.finished_at) 0.0 completed_list;
+  }
+
+let random_jobs rng spec ~mean_cpu_seconds =
+  if mean_cpu_seconds <= 0. then invalid_arg "Coalloc.random_jobs: mean_cpu_seconds must be positive";
+  let requests = Gridbw_workload.Gen.generate rng spec in
+  List.map
+    (fun (r : Request.t) ->
+      job ~id:r.id ~transfer:r ~cpu_seconds:(Dist.exponential rng ~mean:mean_cpu_seconds))
+    requests

@@ -1,0 +1,34 @@
+(** Fully distributed allocation — the paper's scalability future-work
+    direction (section 7: "we will consider fully distributed allocation
+    algorithms to study the scalability of the approach").
+
+    Each ingress access router admits requests on its own: it knows its
+    local ingress port exactly (it grants every reservation through it),
+    but sees the egress ports only through periodic gossip — a snapshot of
+    every egress counter taken each [gossip_interval] seconds.  Between
+    snapshots a router adds its {e own} grants to the stale view, but is
+    blind to what the other routers granted; concurrent admissions can
+    therefore overbook an egress port.  The experiment measures that
+    safety/efficiency trade-off against the centralised GREEDY controller
+    (gossip interval 0 is exactly Algorithm 2). *)
+
+type result = {
+  total : int;
+  accepted : int;
+  accept_rate : float;
+  egress_violations : int;
+      (** admissions that pushed the true egress usage past capacity *)
+  peak_overbooking : float;
+      (** max over time and egress ports of usage / capacity; <= 1 means
+          the distributed run stayed safe *)
+  gossip_rounds : int;
+}
+
+val run :
+  Gridbw_topology.Fabric.t ->
+  Gridbw_core.Policy.t ->
+  gossip_interval:float ->
+  Gridbw_request.Request.t list ->
+  result
+(** [gossip_interval = 0] refreshes the egress view before every decision
+    (equivalent to the centralised controller); it must be non-negative. *)

@@ -1,0 +1,49 @@
+module Allocation = Gridbw_alloc.Allocation
+module Rng = Gridbw_prng.Rng
+
+type chunk = { at : float; bytes : float }
+type report = { offered : float; conformant : float; dropped : float }
+
+let police (a : Allocation.t) ?burst chunks =
+  let burst = match burst with Some b -> b | None -> a.Allocation.bw in
+  let bucket = Token_bucket.create ~rate:a.Allocation.bw ~burst in
+  let last = ref neg_infinity in
+  let offered = ref 0.0 and conformant = ref 0.0 in
+  List.iter
+    (fun c ->
+      if c.at < !last then invalid_arg "Enforcer.police: chunks not time-sorted";
+      last := c.at;
+      offered := !offered +. c.bytes;
+      if Token_bucket.try_consume bucket ~at:c.at ~amount:c.bytes then
+        conformant := !conformant +. c.bytes)
+    chunks;
+  { offered = !offered; conformant = !conformant; dropped = !offered -. !conformant }
+
+let well_behaved_sender (a : Allocation.t) ~chunk_seconds =
+  if chunk_seconds <= 0. then invalid_arg "Enforcer: chunk_seconds must be positive";
+  let volume = a.Allocation.request.Gridbw_request.Request.volume in
+  let per_chunk = a.Allocation.bw *. chunk_seconds in
+  let rec emit t sent acc =
+    if sent >= volume then List.rev acc
+    else
+      let bytes = Float.min per_chunk (volume -. sent) in
+      emit (t +. chunk_seconds) (sent +. bytes) ({ at = t; bytes } :: acc)
+  in
+  (* First chunk one interval after sigma: tokens accumulate at rate bw, so
+     each chunk of bw*dt arrives exactly funded. *)
+  emit (a.Allocation.sigma +. chunk_seconds) 0.0 []
+
+let bursty_sender rng (a : Allocation.t) ~chunk_seconds ~overdrive =
+  if chunk_seconds <= 0. then invalid_arg "Enforcer: chunk_seconds must be positive";
+  if overdrive <= 0. then invalid_arg "Enforcer: overdrive must be positive";
+  let volume = a.Allocation.request.Gridbw_request.Request.volume in
+  let base = a.Allocation.bw *. chunk_seconds in
+  let rec emit t sent acc =
+    if sent >= volume then List.rev acc
+    else
+      let jitter = Rng.float_in rng 0.0 (2.0 *. overdrive) in
+      let bytes = Float.min (base *. jitter) (volume -. sent) in
+      let acc = if bytes > 0. then { at = t; bytes } :: acc else acc in
+      emit (t +. chunk_seconds) (sent +. bytes) acc
+  in
+  emit (a.Allocation.sigma +. chunk_seconds) 0.0 []

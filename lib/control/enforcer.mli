@@ -1,0 +1,38 @@
+(** Ingress enforcement of granted allocations (section 5.4).
+
+    A granted transfer is policed by a token bucket at [bw(r)] MB/s; a
+    sender that respects its grant passes untouched while a misbehaving
+    (bursty or over-rate) sender sees its excess dropped, protecting the
+    other reserved flows.  Senders are modelled as chunk sequences. *)
+
+type chunk = { at : float; bytes : float }
+(** [bytes] in MB, emitted at time [at]. *)
+
+type report = {
+  offered : float;  (** MB the sender emitted *)
+  conformant : float;  (** MB that passed the policer *)
+  dropped : float;  (** MB dropped as non-conforming *)
+}
+
+val police :
+  Gridbw_alloc.Allocation.t -> ?burst:float -> chunk list -> report
+(** Run the chunks (must be time-sorted; raises [Invalid_argument]
+    otherwise) through a token bucket at the allocation's rate.  [burst]
+    defaults to one second worth of the granted rate.  Chunks are dropped
+    whole, as in the paper's hardware-assist policer. *)
+
+val well_behaved_sender :
+  Gridbw_alloc.Allocation.t -> chunk_seconds:float -> chunk list
+(** A sender that emits exactly [bw × chunk_seconds] MB every
+    [chunk_seconds] from [sigma] until the volume is exhausted — conforms
+    by construction. *)
+
+val bursty_sender :
+  Gridbw_prng.Rng.t ->
+  Gridbw_alloc.Allocation.t ->
+  chunk_seconds:float ->
+  overdrive:float ->
+  chunk list
+(** A sender that tries to push [overdrive × bw] on average with random
+    per-chunk jitter in [\[0, 2 × overdrive\]] — exceeds its grant whenever
+    [overdrive > 1]. *)

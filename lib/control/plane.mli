@@ -1,0 +1,39 @@
+(** Overlay control plane (section 5.4).
+
+    Clients talk RSVP-style to their local {e ingress access router}; the
+    router holds the admission state for its ports, takes the decision
+    locally, broadcasts the grant to the egress access router involved, and
+    answers the client directly with the scheduled window and rate.  This
+    module simulates that message exchange on top of {!Gridbw_core.Online}
+    and measures its cost: decisions happen [hop_latency + decision_latency]
+    after the client sends, so tightly-windowed requests can expire in
+    flight — the price of a distributed control plane compared to the
+    idealised instantaneous GREEDY of Algorithm 2. *)
+
+type config = {
+  policy : Gridbw_core.Policy.t;
+  hop_latency : float;  (** one-way client↔router and router↔router, s *)
+  decision_latency : float;  (** processing time at the ingress router, s *)
+}
+
+val default_config : Gridbw_core.Policy.t -> config
+(** 5 ms hops, 1 ms decisions. *)
+
+type transcript = {
+  request : Gridbw_request.Request.t;
+  decision : Gridbw_core.Types.decision;
+  decided_at : float;  (** when the ingress router decided *)
+  client_informed_at : float;  (** when the reply reached the client *)
+  messages : int;  (** request + broadcast + reply (+ teardown) *)
+}
+
+type stats = {
+  transcripts : transcript list;  (** in request-id order *)
+  accepted : int;
+  rejected : int;
+  total_messages : int;
+  mean_response_time : float;  (** client send → client informed *)
+}
+
+val run : Gridbw_topology.Fabric.t -> config -> Gridbw_request.Request.t list -> stats
+(** Simulate the whole exchange with a discrete-event engine. *)

@@ -1,0 +1,128 @@
+module Fabric = Gridbw_topology.Fabric
+module Request = Gridbw_request.Request
+module Allocation = Gridbw_alloc.Allocation
+module Ledger = Gridbw_alloc.Ledger
+
+type solution = { count : int; accepted_ids : int list; optimal : bool; nodes : int }
+
+let max_requests ?(node_budget = 5_000_000) fabric requests =
+  List.iter
+    (fun (r : Request.t) ->
+      if not (Request.routed_on r fabric) then
+        invalid_arg (Printf.sprintf "Exact: request %d routed on unknown port" r.id))
+    requests;
+  let arr =
+    Array.of_list
+      (List.sort
+         (fun (a : Request.t) (b : Request.t) ->
+           match Float.compare a.ts b.ts with 0 -> Int.compare a.id b.id | c -> c)
+         requests)
+  in
+  let n = Array.length arr in
+  let ledger = Ledger.create fabric in
+  let best = ref 0 and best_set = ref [] and nodes = ref 0 and exhausted = ref false in
+  let chosen = ref [] in
+  let rec explore i accepted =
+    incr nodes;
+    if !nodes > node_budget then exhausted := true
+    else if i = n then begin
+      if accepted > !best then begin
+        best := accepted;
+        best_set := !chosen
+      end
+    end
+    else if accepted + (n - i) <= !best then () (* bound: cannot beat incumbent *)
+    else begin
+      let r = arr.(i) in
+      let a = Allocation.make ~request:r ~bw:(Request.min_rate r) ~sigma:r.Request.ts in
+      (* Accept branch first: depth-first dives to a good incumbent early. *)
+      if Ledger.fits ledger a then begin
+        Ledger.reserve ledger a;
+        chosen := r.Request.id :: !chosen;
+        explore (i + 1) (accepted + 1);
+        chosen := List.tl !chosen;
+        Ledger.release ledger a
+      end;
+      if not !exhausted then explore (i + 1) accepted
+    end
+  in
+  explore 0 0;
+  { count = !best; accepted_ids = List.sort Int.compare !best_set; optimal = not !exhausted;
+    nodes = !nodes }
+
+let max_requests_flexible ?(node_budget = 5_000_000) ?(levels = [ 0.0; 0.5; 1.0 ]) fabric
+    requests =
+  List.iter
+    (fun (r : Request.t) ->
+      if not (Request.routed_on r fabric) then
+        invalid_arg (Printf.sprintf "Exact: request %d routed on unknown port" r.id))
+    requests;
+  List.iter
+    (fun l ->
+      if l < 0. || l > 1. then invalid_arg "Exact.max_requests_flexible: levels must be in [0,1]")
+    levels;
+  let arr =
+    Array.of_list
+      (List.sort
+         (fun (a : Request.t) (b : Request.t) ->
+           match Float.compare a.ts b.ts with 0 -> Int.compare a.id b.id | c -> c)
+         requests)
+  in
+  let n = Array.length arr in
+  (* Distinct admissible rates per request, cheapest first: dominated
+     duplicates (levels clamped to MinRate) are merged. *)
+  let options =
+    Array.map
+      (fun (r : Request.t) ->
+        List.map (fun l -> Float.max (Request.min_rate r) (l *. r.Request.max_rate)) levels
+        |> List.sort_uniq Float.compare)
+      arr
+  in
+  let ledger = Ledger.create fabric in
+  let best = ref 0 and best_set = ref [] and nodes = ref 0 and exhausted = ref false in
+  let chosen = ref [] in
+  let rec explore i accepted =
+    incr nodes;
+    if !nodes > node_budget then exhausted := true
+    else if i = n then begin
+      if accepted > !best then begin
+        best := accepted;
+        best_set := !chosen
+      end
+    end
+    else if accepted + (n - i) <= !best then ()
+    else begin
+      let r = arr.(i) in
+      List.iter
+        (fun bw ->
+          if not !exhausted then begin
+            let a = Allocation.make ~request:r ~bw ~sigma:r.Request.ts in
+            if Allocation.meets_deadline a && Ledger.fits ledger a then begin
+              Ledger.reserve ledger a;
+              chosen := r.Request.id :: !chosen;
+              explore (i + 1) (accepted + 1);
+              chosen := List.tl !chosen;
+              Ledger.release ledger a
+            end
+          end)
+        options.(i);
+      if not !exhausted then explore (i + 1) accepted
+    end
+  in
+  explore 0 0;
+  { count = !best; accepted_ids = List.sort Int.compare !best_set; optimal = not !exhausted;
+    nodes = !nodes }
+
+let result_of fabric requests solution =
+  let module Iset = Set.Make (Int) in
+  let chosen = Iset.of_list solution.accepted_ids in
+  let accepted, rejected =
+    List.partition_map
+      (fun (r : Request.t) ->
+        if Iset.mem r.id chosen then
+          Left (Allocation.make ~request:r ~bw:(Request.min_rate r) ~sigma:r.ts)
+        else Right (r, Types.Port_saturated))
+      requests
+  in
+  ignore fabric;
+  { Types.all = requests; accepted; rejected }

@@ -1,0 +1,44 @@
+(** Exact branch-and-bound solver for MAX-REQUESTS on rigid requests.
+
+    MAX-REQUESTS is NP-complete (Theorem 1), so this solver is exponential
+    and only intended for small instances — it gives the optimum the
+    polynomial heuristics of section 4 are measured against (experiment E6
+    of DESIGN.md). *)
+
+type solution = {
+  count : int;  (** number of accepted requests *)
+  accepted_ids : int list;  (** sorted ids of an optimal accepted set *)
+  optimal : bool;  (** false when the node budget was exhausted *)
+  nodes : int;  (** search nodes explored *)
+}
+
+val max_requests :
+  ?node_budget:int ->
+  Gridbw_topology.Fabric.t ->
+  Gridbw_request.Request.t list ->
+  solution
+(** Depth-first branch and bound over accept/reject decisions in arrival
+    order, feasibility-checked against a bandwidth ledger, pruned with the
+    [accepted + remaining <= best] bound.  [node_budget] (default
+    [5_000_000]) caps the explored nodes; when exhausted the incumbent is
+    returned with [optimal = false]. *)
+
+val result_of :
+  Gridbw_topology.Fabric.t -> Gridbw_request.Request.t list -> solution -> Types.result
+(** Re-expresses a solution as a {!Types.result} (accepted requests get
+    [bw = MinRate], [sigma = ts]). *)
+
+val max_requests_flexible :
+  ?node_budget:int ->
+  ?levels:float list ->
+  Gridbw_topology.Fabric.t ->
+  Gridbw_request.Request.t list ->
+  solution
+(** Offline optimum for {e flexible} requests starting at their arrival
+    time: each request is rejected or accepted at one of a discrete grid
+    of rates — [max (MinRate, level × MaxRate)] for [level ∈ levels]
+    (default [{0, 0.5, 1}]; 0 means exactly MinRate) — checked against
+    the time-indexed ledger.  Upper-bounds every on-line heuristic that
+    keeps [sigma = ts] and assigns rates from the same grid (GREEDY and
+    WINDOW under the corresponding policies).  Exponential with branching
+    factor [1 + |levels|]; small instances only. *)

@@ -1,0 +1,263 @@
+module Fabric = Gridbw_topology.Fabric
+module Request = Gridbw_request.Request
+module Allocation = Gridbw_alloc.Allocation
+module Ledger = Gridbw_alloc.Ledger
+
+let check_routing fabric requests =
+  List.iter
+    (fun (r : Request.t) ->
+      if not (Request.routed_on r fabric) then
+        invalid_arg (Printf.sprintf "Flexible: request %d routed on unknown port" r.id))
+    requests
+
+let arrival_order =
+  List.sort (fun (a : Request.t) (b : Request.t) ->
+      match Float.compare a.ts b.ts with
+      | 0 -> (
+          match Float.compare (Request.min_rate a) (Request.min_rate b) with
+          | 0 -> Int.compare a.id b.id
+          | c -> c)
+      | c -> c)
+
+let collect all decisions =
+  let accepted = ref [] and rejected = ref [] in
+  List.iter
+    (fun (r, d) ->
+      match d with
+      | Types.Accepted a -> accepted := a :: !accepted
+      | Types.Rejected reason -> rejected := (r, reason) :: !rejected)
+    decisions;
+  { Types.all; accepted = List.rev !accepted; rejected = List.rev !rejected }
+
+let greedy fabric policy requests =
+  check_routing fabric requests;
+  Policy.validate policy;
+  let ctl = Online.create fabric in
+  let decisions =
+    List.map
+      (fun (r : Request.t) -> (r, Online.try_admit ctl policy r ~at:r.ts))
+      (arrival_order requests)
+  in
+  collect requests decisions
+
+(* Group requests by the [step]-interval their arrival falls into, in
+   interval order, each batch in arrival order. *)
+let batches ~step requests =
+  let by_interval = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Request.t) ->
+      let k = int_of_float (Float.floor (r.ts /. step)) in
+      Hashtbl.replace by_interval k
+        (r :: Option.value ~default:[] (Hashtbl.find_opt by_interval k)))
+    (arrival_order requests);
+  Hashtbl.fold (fun k _ acc -> k :: acc) by_interval []
+  |> List.sort Int.compare
+  |> List.map (fun k -> (k, List.rev (Hashtbl.find by_interval k)))
+
+(* Candidate state while packing one WINDOW batch: the port usage at the
+   candidate's own start instant is cached and updated incrementally as
+   batch mates are accepted, so the O(batch) min-cost scan does no ledger
+   folds. *)
+type candidate = {
+  creq : Request.t;
+  cbw : float;
+  mutable use_in : float;  (* reserved bandwidth at creq.ts on its ingress *)
+  mutable use_out : float;
+  mutable alive : bool;
+}
+
+let window fabric policy ~step requests =
+  if step <= 0. || not (Float.is_finite step) then
+    invalid_arg "Flexible.window: step must be positive and finite";
+  check_routing fabric requests;
+  Policy.validate policy;
+  let ledger = Ledger.create fabric in
+  let decisions = ref [] in
+  let decide r d = decisions := (r, d) :: !decisions in
+  let cost c =
+    Float.max
+      ((c.use_in +. c.cbw) /. Fabric.ingress_capacity fabric c.creq.Request.ingress)
+      ((c.use_out +. c.cbw) /. Fabric.egress_capacity fabric c.creq.Request.egress)
+  in
+  let pack_batch batch =
+    (* Every candidate keeps its arrival start, so the policy rate is the
+       one of section 5.1 (MinRate or f x MaxRate at ts) and is always
+       defined. *)
+    let candidates =
+      List.filter_map
+        (fun (r : Request.t) ->
+          match Policy.assign policy r ~now:r.ts with
+          | Some bw ->
+              Some
+                {
+                  creq = r;
+                  cbw = bw;
+                  use_in = Ledger.ingress_usage_at ledger r.ingress r.ts;
+                  use_out = Ledger.egress_usage_at ledger r.egress r.ts;
+                  alive = true;
+                }
+          | None ->
+              decide r (Types.Rejected Types.Deadline_unreachable);
+              None)
+        batch
+      |> Array.of_list
+    in
+    let remaining = ref (Array.length candidates) in
+    while !remaining > 0 do
+      (* Cheapest alive candidate (ties: smaller id). *)
+      let best = ref None in
+      Array.iter
+        (fun c ->
+          if c.alive then
+            match !best with
+            | None -> best := Some (c, cost c)
+            | Some (b, bc) ->
+                let cc = cost c in
+                if cc < bc || (cc = bc && c.creq.Request.id < b.creq.Request.id) then
+                  best := Some (c, cc))
+        candidates;
+      match !best with
+      | None -> remaining := 0
+      | Some (c, best_cost) ->
+          if best_cost > 1. +. 1e-9 then begin
+            (* Algorithm 3's cut: the cheapest candidate saturates a port,
+               so every remaining candidate does too. *)
+            Array.iter
+              (fun c ->
+                if c.alive then begin
+                  c.alive <- false;
+                  decide c.creq (Types.Rejected Types.Port_saturated)
+                end)
+              candidates;
+            remaining := 0
+          end
+          else begin
+            let r = c.creq in
+            let a = Allocation.make ~request:r ~bw:c.cbw ~sigma:r.Request.ts in
+            if Ledger.fits ledger a then begin
+              Ledger.reserve ledger a;
+              decide r (Types.Accepted a);
+              (* Refresh the cached usage of batch mates whose start falls
+                 inside the accepted transmission interval. *)
+              Array.iter
+                (fun m ->
+                  if m.alive && m != c then begin
+                    let ts = m.creq.Request.ts in
+                    if ts >= a.Allocation.sigma && ts < a.Allocation.tau then begin
+                      if m.creq.Request.ingress = r.Request.ingress then
+                        m.use_in <- m.use_in +. c.cbw;
+                      if m.creq.Request.egress = r.Request.egress then
+                        m.use_out <- m.use_out +. c.cbw
+                    end
+                  end)
+                candidates
+            end
+            else
+              (* Instantaneously cheap but blocked by a reservation spike
+                 later in its transmission interval. *)
+              decide r (Types.Rejected Types.Port_saturated);
+            c.alive <- false;
+            decr remaining
+          end
+    done
+  in
+  List.iter (fun (_, batch) -> pack_batch batch) (batches ~step requests);
+  collect requests (List.rev !decisions)
+
+let book_ahead fabric policy ~announce requests =
+  check_routing fabric requests;
+  Policy.validate policy;
+  let ledger = Ledger.create fabric in
+  let order =
+    List.map
+      (fun (r : Request.t) ->
+        let lead = announce r in
+        if lead < 0. || not (Float.is_finite lead) then
+          invalid_arg "Flexible.book_ahead: announce lead must be non-negative and finite";
+        (r.ts -. lead, r))
+      requests
+    |> List.sort (fun (ta, (a : Request.t)) (tb, (b : Request.t)) ->
+           match Float.compare ta tb with 0 -> Int.compare a.id b.id | c -> c)
+  in
+  let decisions =
+    List.map
+      (fun (_, (r : Request.t)) ->
+        match Policy.assign policy r ~now:r.ts with
+        | None -> (r, Types.Rejected Types.Deadline_unreachable)
+        | Some bw ->
+            let a = Allocation.make ~request:r ~bw ~sigma:r.ts in
+            if Ledger.fits ledger a then begin
+              Ledger.reserve ledger a;
+              (r, Types.Accepted a)
+            end
+            else (r, Types.Rejected Types.Port_saturated))
+      order
+  in
+  collect requests decisions
+
+let window_deferred fabric policy ~step requests =
+  if step <= 0. || not (Float.is_finite step) then
+    invalid_arg "Flexible.window_deferred: step must be positive and finite";
+  check_routing fabric requests;
+  Policy.validate policy;
+  let ctl = Online.create fabric in
+  let decisions = ref [] in
+  let decide r d = decisions := (r, d) :: !decisions in
+  List.iter
+    (fun (k, batch) ->
+      let decision_time = float_of_int (k + 1) *. step in
+      Online.advance_to ctl decision_time;
+      (* Candidates that can still meet their deadline after the delay. *)
+      let candidates =
+        List.filter
+          (fun (r : Request.t) ->
+            match Online.peek_cost ctl policy r ~at:decision_time with
+            | None ->
+                decide r (Types.Rejected Types.Deadline_unreachable);
+                false
+            | Some _ -> true)
+          batch
+      in
+      (* Admit in increasing saturation cost; stop as soon as the cheapest
+         candidate no longer fits (Algorithm 3's cut). *)
+      let rec pack = function
+        | [] -> ()
+        | remaining -> (
+            let scored =
+              List.filter_map
+                (fun r ->
+                  match Online.peek_cost ctl policy r ~at:decision_time with
+                  | Some (_, c) -> Some (r, c)
+                  | None -> None)
+                remaining
+            in
+            match scored with
+            | [] -> ()
+            | (first, first_cost) :: rest ->
+                let best, best_cost =
+                  List.fold_left
+                    (fun ((b, bc) as acc) ((r, c) as cur) ->
+                      if c < bc || (c = bc && r.Request.id < b.Request.id) then cur else acc)
+                    (first, first_cost) rest
+                in
+                if best_cost > 1. +. 1e-9 then
+                  List.iter (fun (r, _) -> decide r (Types.Rejected Types.Port_saturated)) scored
+                else begin
+                  decide best (Online.try_admit ctl policy best ~at:decision_time);
+                  pack (List.filter (fun r -> not (Request.equal r best)) remaining)
+                end)
+      in
+      pack candidates)
+    (batches ~step requests);
+  collect requests (List.rev !decisions)
+
+let heuristic_name = function
+  | `Greedy -> "greedy"
+  | `Window step -> Printf.sprintf "window(%g)" step
+  | `Window_deferred step -> Printf.sprintf "window-deferred(%g)" step
+
+let run kind fabric policy requests =
+  match kind with
+  | `Greedy -> greedy fabric policy requests
+  | `Window step -> window fabric policy ~step requests
+  | `Window_deferred step -> window_deferred fabric policy ~step requests

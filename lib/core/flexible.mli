@@ -1,0 +1,76 @@
+(** On-line heuristics for short-lived {e flexible} requests (paper,
+    section 5).
+
+    GREEDY (Algorithm 2) decides the instant a request arrives.  WINDOW
+    (Algorithm 3) batches the requests arriving within each [t_step]-long
+    interval and packs the whole batch in increasing order of
+    port-saturation cost; every accepted request still starts at its own
+    arrival time ([sigma = ts]), so a longer interval buys better
+    {e knowledge} (more candidates compared against each other) at the
+    price of a longer response time to the user — exactly the trade-off of
+    section 5.2.  {!window_deferred} is a stricter variant where a request
+    cannot start before its batch is decided; see DESIGN.md (ablation A1). *)
+
+val greedy :
+  Gridbw_topology.Fabric.t -> Policy.t -> Gridbw_request.Request.t list -> Types.result
+(** Algorithm 2.  Requests are processed in arrival order ([ts], ties by
+    smaller [MinRate] then id, as in section 5.1); each is granted the
+    policy rate at [sigma = ts] iff both its ports currently have room. *)
+
+val window :
+  Gridbw_topology.Fabric.t ->
+  Policy.t ->
+  step:float ->
+  Gridbw_request.Request.t list ->
+  Types.result
+(** Algorithm 3 with interval length [step > 0].  The batch of interval
+    [[k·step, (k+1)·step)) is packed against a time-indexed ledger:
+    repeatedly take the candidate with the smallest saturation cost
+    [max((used_in(ts)+bw)/B_in, (used_out(ts)+bw)/B_out)]; once the
+    cheapest candidate's cost exceeds 1 the rest of the batch is rejected
+    (the paper's cut).  A min-cost candidate whose whole transmission
+    interval does not fit (a later reservation spike) is rejected alone —
+    a refinement the instantaneous-counter formulation cannot express.
+    Accepted requests transmit on [\[ts, ts + vol/bw)). *)
+
+val window_deferred :
+  Gridbw_topology.Fabric.t ->
+  Policy.t ->
+  step:float ->
+  Gridbw_request.Request.t list ->
+  Types.result
+(** Ablation variant: decisions {e and starts} are delayed to the end of
+    the arrival interval ([sigma = (k+1)·step]).  Because the start is
+    delayed, rates are recomputed against the residual window and
+    candidates whose deadline became unreachable are rejected with
+    [Deadline_unreachable]; bandwidth of finished transfers is reclaimed
+    at boundaries only.  This is what Algorithm 3 becomes without arrival
+    lookahead; comparing it against {!window} quantifies how much of the
+    WINDOW gain is knowledge versus batching. *)
+
+val book_ahead :
+  Gridbw_topology.Fabric.t ->
+  Policy.t ->
+  announce:(Gridbw_request.Request.t -> float) ->
+  Gridbw_request.Request.t list ->
+  Types.result
+(** Advance reservations (the book-ahead model the paper contrasts with in
+    section 6, Burchard et al. [6]): each request is {e announced}
+    [announce r] seconds of lead before its start and decided in announce
+    order against the time-indexed ledger — first-come-first-booked on
+    future capacity.  An accepted request transmits at the policy rate on
+    [\[ts, ts + vol/bw))] exactly as under GREEDY; what changes is only
+    {e when} it claimed the capacity.  [announce] must be non-negative
+    (raises [Invalid_argument] otherwise).  With a constant lead this is
+    equivalent to {!greedy} up to the ledger's exact future accounting;
+    heterogeneous leads let early bookers displace late ones. *)
+
+val heuristic_name : [ `Greedy | `Window of float | `Window_deferred of float ] -> string
+(** "greedy", "window(400)" or "window-deferred(400)". *)
+
+val run :
+  [ `Greedy | `Window of float | `Window_deferred of float ] ->
+  Gridbw_topology.Fabric.t ->
+  Policy.t ->
+  Gridbw_request.Request.t list ->
+  Types.result

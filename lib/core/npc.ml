@@ -1,0 +1,150 @@
+module Rng = Gridbw_prng.Rng
+
+type tdm = { n : int; triples : (int * int * int) list }
+
+let validate t =
+  if t.n < 1 then invalid_arg "Npc: n must be >= 1";
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (x, y, z) ->
+      if x < 1 || x > t.n || y < 1 || y > t.n || z < 1 || z > t.n then
+        invalid_arg "Npc: triple coordinate out of range";
+      if Hashtbl.mem seen (x, y, z) then invalid_arg "Npc: duplicate triple";
+      Hashtbl.replace seen (x, y, z) ())
+    t.triples
+
+let has_matching t =
+  validate t;
+  let by_z = Array.make (t.n + 1) [] in
+  List.iter (fun ((_, _, z) as triple) -> by_z.(z) <- triple :: by_z.(z)) t.triples;
+  let used_x = Array.make (t.n + 1) false and used_y = Array.make (t.n + 1) false in
+  (* One triple per z-slice; x and y must realise permutations. *)
+  let rec place z acc =
+    if z > t.n then Some (List.rev acc)
+    else
+      let rec try_triples = function
+        | [] -> None
+        | ((x, y, _) as triple) :: rest ->
+            if used_x.(x) || used_y.(y) then try_triples rest
+            else begin
+              used_x.(x) <- true;
+              used_y.(y) <- true;
+              match place (z + 1) (triple :: acc) with
+              | Some m -> Some m
+              | None ->
+                  used_x.(x) <- false;
+                  used_y.(y) <- false;
+                  try_triples rest
+            end
+      in
+      try_triples by_z.(z)
+  in
+  place 1 []
+
+let reduce t =
+  validate t;
+  let n = t.n in
+  let caps side_special = Array.init (n + 1) (fun i -> if i < n then 1 else side_special) in
+  (* With n = 1 the special ports have capacity 0 and there are no special
+     requests; the instance degenerates gracefully. *)
+  let caps_in = caps (n - 1) and caps_out = caps (n - 1) in
+  let regular =
+    List.mapi
+      (fun idx (x, y, z) ->
+        { Unit_exact.id = idx; ingress = x - 1; egress = y - 1; ts = z; tf = z + 1 })
+      t.triples
+  in
+  let base = List.length t.triples in
+  let special =
+    if n < 2 then []
+    else begin
+      let acc = ref [] and next = ref base in
+      for i = 0 to n - 1 do
+        for _copy = 1 to n - 1 do
+          acc := { Unit_exact.id = !next; ingress = i; egress = n; ts = 1; tf = n + 1 } :: !acc;
+          incr next
+        done
+      done;
+      for e = 0 to n - 1 do
+        for _copy = 1 to n - 1 do
+          acc := { Unit_exact.id = !next; ingress = n; egress = e; ts = 1; tf = n + 1 } :: !acc;
+          incr next
+        done
+      done;
+      List.rev !acc
+    end
+  in
+  let reqs = Array.of_list (regular @ special) in
+  let k = n + (2 * n * (n - 1)) in
+  ({ Unit_exact.caps_in; caps_out; reqs }, k)
+
+let schedule_of_matching t matching =
+  validate t;
+  if List.length matching <> t.n then invalid_arg "Npc: matching must have n triples";
+  let index_of =
+    let tbl = Hashtbl.create 16 in
+    List.iteri (fun idx triple -> Hashtbl.replace tbl triple idx) t.triples;
+    fun triple ->
+      match Hashtbl.find_opt tbl triple with
+      | Some idx -> idx
+      | None -> invalid_arg "Npc: matching uses a triple not in the instance"
+  in
+  let n = t.n in
+  let base = List.length t.triples in
+  (* Special-request ids, grouped per regular port, in reduce's order. *)
+  let special_in i copy = base + (i * (n - 1)) + copy in
+  let special_out e copy = base + (n * (n - 1)) + (e * (n - 1)) + copy in
+  let placements = ref [] in
+  (* Regular request of each matched triple runs at step z; alongside it,
+     one special request from every other ingress and to every other egress. *)
+  let next_in = Array.make n 0 and next_out = Array.make n 0 in
+  List.iter
+    (fun ((x, y, z) as triple) ->
+      placements := (index_of triple, z) :: !placements;
+      for i = 0 to n - 1 do
+        if i <> x - 1 then begin
+          placements := (special_in i next_in.(i), z) :: !placements;
+          next_in.(i) <- next_in.(i) + 1
+        end
+      done;
+      for e = 0 to n - 1 do
+        if e <> y - 1 then begin
+          placements := (special_out e next_out.(e), z) :: !placements;
+          next_out.(e) <- next_out.(e) + 1
+        end
+      done)
+    matching;
+  List.sort compare !placements
+
+let random rng ~n ~extra_triples =
+  if n < 1 then invalid_arg "Npc.random: n must be >= 1";
+  let perm_y = Array.init n (fun i -> i + 1) and perm_x = Array.init n (fun i -> i + 1) in
+  Rng.shuffle rng perm_x;
+  Rng.shuffle rng perm_y;
+  let hidden = List.init n (fun z -> (perm_x.(z), perm_y.(z), z + 1)) in
+  let seen = Hashtbl.create 16 in
+  List.iter (fun triple -> Hashtbl.replace seen triple ()) hidden;
+  let extras = ref [] and attempts = ref 0 in
+  while List.length !extras < extra_triples && !attempts < 100 * (extra_triples + 1) do
+    incr attempts;
+    let triple = (Rng.int_in rng 1 n, Rng.int_in rng 1 n, Rng.int_in rng 1 n) in
+    if not (Hashtbl.mem seen triple) then begin
+      Hashtbl.replace seen triple ();
+      extras := triple :: !extras
+    end
+  done;
+  { n; triples = hidden @ List.rev !extras }
+
+let random_no_promise rng ~n ~triples =
+  if n < 1 then invalid_arg "Npc.random_no_promise: n must be >= 1";
+  let seen = Hashtbl.create 16 in
+  let out = ref [] and attempts = ref 0 in
+  while List.length !out < triples && !attempts < 100 * (triples + 1) do
+    incr attempts;
+    let triple = (Rng.int_in rng 1 n, Rng.int_in rng 1 n, Rng.int_in rng 1 n) in
+    if not (Hashtbl.mem seen triple) then begin
+      Hashtbl.replace seen triple ();
+      out := triple :: !out
+    end
+  done;
+  { n; triples = List.rev !out }

@@ -1,0 +1,42 @@
+(** Theorem 1: the reduction from 3-Dimensional Matching to
+    MAX-REQUESTS-DEC, made executable.
+
+    Given a 3-DM instance over X, Y, Z of cardinal [n] with triple set [T],
+    the reduction builds a platform with [n+1] ingress and [n+1] egress
+    points (regular ports of capacity 1, one special port per side of
+    capacity [n-1]) and [|T| + 2n(n-1)] unit requests, such that [K = n +
+    2n(n-1)] requests can be accepted iff [T] contains a perfect matching.
+    Both directions are exercised by the test suite via {!Unit_exact} and
+    {!schedule_of_matching}. *)
+
+type tdm = {
+  n : int;  (** cardinal of X, Y, Z *)
+  triples : (int * int * int) list;  (** (x, y, z), 1-based coordinates *)
+}
+
+val validate : tdm -> unit
+(** Raises [Invalid_argument] when [n < 1], coordinates are out of
+    [\[1, n\]], or triples repeat. *)
+
+val has_matching : tdm -> (int * int * int) list option
+(** Backtracking 3-DM solver: a set of [n] triples covering each
+    coordinate exactly once, or [None]. *)
+
+val reduce : tdm -> Unit_exact.instance * int
+(** The MAX-REQUESTS-DEC instance and the acceptance bound [K].  Requests
+    [0 .. |T|-1] are the regular (triple) requests in the order of
+    [triples]; the rest are special.  Time steps are 1-based as in the
+    paper: triple [(_, _, k)] yields window [\[k, k+1)); special requests
+    get [\[1, n+1)). *)
+
+val schedule_of_matching : tdm -> (int * int * int) list -> (int * int) list
+(** The constructive forward direction of the proof: placements accepting
+    exactly [K] requests given a perfect matching.  Raises
+    [Invalid_argument] if the matching is not one of the instance. *)
+
+val random : Gridbw_prng.Rng.t -> n:int -> extra_triples:int -> tdm
+(** Random instance guaranteed to contain a perfect matching (a hidden
+    random permutation) plus [extra_triples] random distractors. *)
+
+val random_no_promise : Gridbw_prng.Rng.t -> n:int -> triples:int -> tdm
+(** Uniformly random distinct triples, no matching promised. *)

@@ -1,0 +1,56 @@
+module Fabric = Gridbw_topology.Fabric
+module Request = Gridbw_request.Request
+module Allocation = Gridbw_alloc.Allocation
+module Live = Gridbw_alloc.Live
+module Event_queue = Gridbw_sim.Event_queue
+
+type t = {
+  live : Live.t;
+  releases : Allocation.t Event_queue.t;
+  mutable clock : float;
+  mutable active : int;
+}
+
+let create fabric =
+  { live = Live.create fabric; releases = Event_queue.create (); clock = neg_infinity; active = 0 }
+
+let fabric t = Live.fabric t.live
+let now t = t.clock
+
+let advance_to t time =
+  if time < t.clock then invalid_arg "Online.advance_to: time moves backwards";
+  t.clock <- time;
+  let rec drain () =
+    match Event_queue.peek t.releases with
+    | Some (tau, a) when tau <= time ->
+        ignore (Event_queue.pop t.releases);
+        Live.release t.live ~ingress:a.Allocation.request.Request.ingress
+          ~egress:a.Allocation.request.Request.egress ~bw:a.Allocation.bw;
+        t.active <- t.active - 1;
+        drain ()
+    | _ -> ()
+  in
+  drain ()
+
+let try_admit t policy (r : Request.t) ~at =
+  advance_to t at;
+  match Policy.assign policy r ~now:at with
+  | None -> Types.Rejected Types.Deadline_unreachable
+  | Some bw ->
+      if Live.try_grab t.live ~ingress:r.ingress ~egress:r.egress ~bw then begin
+        let a = Allocation.make ~request:r ~bw ~sigma:(Float.max at r.ts) in
+        Event_queue.push t.releases ~time:a.Allocation.tau a;
+        t.active <- t.active + 1;
+        Types.Accepted a
+      end
+      else Types.Rejected Types.Port_saturated
+
+let peek_cost t policy (r : Request.t) ~at =
+  advance_to t at;
+  match Policy.assign policy r ~now:at with
+  | None -> None
+  | Some bw -> Some (bw, Live.saturation t.live ~ingress:r.ingress ~egress:r.egress ~bw)
+
+let active_count t = t.active
+let ingress_used t i = Live.ingress_used t.live i
+let egress_used t e = Live.egress_used t.live e

@@ -1,0 +1,39 @@
+(** Incremental on-line admission controller.
+
+    This is the state shared by the paper's Algorithms 2 and 3 (and by the
+    control-plane model): the instantaneous port counters [ali]/[ale], plus
+    a release queue that returns bandwidth when accepted transfers finish.
+    Drivers advance virtual time with {!advance_to} and submit requests with
+    {!try_admit}; time must be non-decreasing. *)
+
+type t
+
+val create : Gridbw_topology.Fabric.t -> t
+val fabric : t -> Gridbw_topology.Fabric.t
+
+val now : t -> float
+(** Latest time the controller has been advanced to. *)
+
+val advance_to : t -> float -> unit
+(** Move virtual time forward, releasing the bandwidth of every accepted
+    allocation whose finish time [tau] is [<= time].  Raises
+    [Invalid_argument] if [time] is in the past. *)
+
+val try_admit : t -> Policy.t -> Gridbw_request.Request.t -> at:float -> Types.decision
+(** Decide request [r] at time [at] (implicitly {!advance_to} [at] first).
+    The policy fixes the rate; admission succeeds iff both ports have room
+    at that rate.  On success the allocation starts at
+    [sigma = max at ts(r)] and its bandwidth is held until {!advance_to}
+    passes its [tau]. *)
+
+val peek_cost : t -> Policy.t -> Gridbw_request.Request.t -> at:float -> (float * float) option
+(** [(bw, cost)] the request would get if admitted now, where [cost] is the
+    WINDOW heuristic's saturation [max((ali+bw)/B_in, (ale+bw)/B_out)]
+    (section 5.2); [None] when the deadline is no longer reachable.  Does
+    not modify the controller (apart from an implicit {!advance_to}). *)
+
+val active_count : t -> int
+(** Accepted transfers whose bandwidth is still held. *)
+
+val ingress_used : t -> int -> float
+val egress_used : t -> int -> float

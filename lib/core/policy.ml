@@ -1,0 +1,29 @@
+module Request = Gridbw_request.Request
+
+type t = Min_rate | Fraction_of_max of float
+
+let validate = function
+  | Min_rate -> ()
+  | Fraction_of_max f ->
+      if not (Float.is_finite f) || f < 0. || f > 1. then
+        invalid_arg "Policy: fraction must lie in [0, 1]"
+
+let assign t (r : Request.t) ~now =
+  validate t;
+  match Request.min_rate_at r ~now with
+  | None -> None
+  | Some min_rate_now ->
+      if min_rate_now > r.max_rate *. (1. +. 1e-9) then None
+      else
+        let bw =
+          match t with
+          | Min_rate -> min_rate_now
+          | Fraction_of_max f -> Float.max (f *. r.max_rate) min_rate_now
+        in
+        Some (Float.min bw r.max_rate)
+
+let name = function
+  | Min_rate -> "minrate"
+  | Fraction_of_max f -> Printf.sprintf "f=%.2f" f
+
+let pp ppf t = Format.pp_print_string ppf (name t)

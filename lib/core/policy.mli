@@ -1,0 +1,28 @@
+(** Bandwidth assignment policies for flexible requests (sections 2.3 and
+    5.1 of the paper).
+
+    When a flexible request is admitted at time [now], the scheduler picks
+    its constant transmission rate.  [Min_rate] grants the slowest rate that
+    still meets the deadline; [Fraction_of_max f] guarantees
+    [f × MaxRate] (never less than the deadline-driven minimum), trading
+    accept rate for faster transfers and earlier release of the CPU and
+    storage resources co-allocated with the transfer. *)
+
+type t =
+  | Min_rate
+  | Fraction_of_max of float  (** [f ∈ [0, 1]]; [f = 1] grants [MaxRate] *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] when the fraction is outside [\[0, 1\]]. *)
+
+val assign : t -> Gridbw_request.Request.t -> now:float -> float option
+(** Rate granted when transmission starts at [max now ts]:
+    [max (f × MaxRate, MinRate_now)] (or [MinRate_now] for [Min_rate]),
+    where [MinRate_now = volume / (tf - start)] is the deadline-aware
+    minimum.  [None] when the residual window can no longer fit the
+    transfer even at [MaxRate] (relative [1e-9] slack). *)
+
+val name : t -> string
+(** "minrate" or "f=0.80"-style label for tables. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+(** Heuristics for short-lived {e rigid} requests (paper, section 4).
+
+    A rigid request has no scheduling freedom: if accepted it transmits at
+    exactly [bw(r) = MinRate(r) = MaxRate(r)] over its whole window
+    [\[ts, tf\]].  The scheduler only chooses {e which} requests to accept. *)
+
+type cost_kind =
+  | Cumulated
+      (** Algorithm 1's cost
+          [bw(r) / (b_min × priority(r, [t_i, t_i+1]))] with
+          [priority = (t_i+1 - ts) / (tf - ts)] and
+          [b_min = min (B_in(ingress), B_out(egress))]: favours requests
+          that have already been granted more of their window *)
+  | Min_bw  (** MINBW-SLOTS: [cost = bw(r)] *)
+  | Min_vol  (** MINVOL-SLOTS: [cost = vol(r)] *)
+
+val cost_name : cost_kind -> string
+(** "cumulated-slots", "minbw-slots", "minvol-slots". *)
+
+val fcfs : Gridbw_topology.Fabric.t -> Gridbw_request.Request.t list -> Types.result
+(** The §4.1 FCFS baseline: requests are considered in order of their
+    starting time (ties: smaller bandwidth first, then id) and accepted iff
+    their whole window fits on both ports given earlier acceptances.
+    Accepted requests are never revoked, but rejections are instantaneous —
+    a rejected request does not delay the queue. *)
+
+val fifo_blocking : Gridbw_topology.Fabric.t -> Gridbw_request.Request.t list -> Types.result
+(** The catastrophic FIFO of Figure 4 ("FIFO lets requests block each
+    other", §4.4): one scheduler serves the queue strictly in order with
+    head-of-line blocking.  When the head request does not fit at its start
+    time, the scheduler {e waits} for the required bandwidth to free before
+    discovering the window has passed and rejecting; every request queued
+    behind it whose start time elapses meanwhile is lost too.  This is the
+    behaviour selective rejection (fcfs and the slot heuristics) fixes. *)
+
+val slots :
+  cost:cost_kind -> Gridbw_topology.Fabric.t -> Gridbw_request.Request.t list -> Types.result
+(** Algorithm 1 (time-window decomposition).  Time is sliced at every
+    request start and finish; within each slice the still-alive active
+    requests are sorted by non-decreasing cost and packed greedily against
+    the slice's fresh port counters; a request that fails in a slice is
+    discarded permanently (reason [Port_saturated] if it never held an
+    earlier slice, [Revoked] otherwise).  Requests alive through all their
+    slices are accepted at [bw = MinRate], [sigma = ts]. *)
+
+val run : [ `Fcfs | `Fifo_blocking | `Slots of cost_kind ] ->
+  Gridbw_topology.Fabric.t -> Gridbw_request.Request.t list -> Types.result
+
+val heuristic_name : [ `Fcfs | `Fifo_blocking | `Slots of cost_kind ] -> string
+(** "fcfs", "fifo-blocking", "cumulated-slots", ... *)

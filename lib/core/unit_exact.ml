@@ -1,0 +1,149 @@
+type ureq = { id : int; ingress : int; egress : int; ts : int; tf : int }
+type instance = { caps_in : int array; caps_out : int array; reqs : ureq array }
+
+let validate inst =
+  Array.iter
+    (fun c -> if c < 0 then invalid_arg "Unit_exact: negative capacity")
+    inst.caps_in;
+  Array.iter
+    (fun c -> if c < 0 then invalid_arg "Unit_exact: negative capacity")
+    inst.caps_out;
+  Array.iter
+    (fun r ->
+      if r.ts >= r.tf then invalid_arg "Unit_exact: empty window";
+      if r.ingress < 0 || r.ingress >= Array.length inst.caps_in then
+        invalid_arg "Unit_exact: bad ingress";
+      if r.egress < 0 || r.egress >= Array.length inst.caps_out then
+        invalid_arg "Unit_exact: bad egress")
+    inst.reqs
+
+type solution = { count : int; placements : (int * int) list; optimal : bool; nodes : int }
+
+let time_range inst =
+  Array.fold_left
+    (fun (lo, hi) r -> (min lo r.ts, max hi r.tf))
+    (max_int, min_int) inst.reqs
+
+let solve ?(node_budget = 20_000_000) inst =
+  validate inst;
+  let n = Array.length inst.reqs in
+  if n = 0 then { count = 0; placements = []; optimal = true; nodes = 0 }
+  else begin
+    let t_lo, t_hi = time_range inst in
+    let steps = t_hi - t_lo in
+    (* Deterministic order: tight windows first so the search fixes the
+       constrained (reduction: "regular") requests before the flexible ones. *)
+    let order = Array.copy inst.reqs in
+    Array.sort
+      (fun a b ->
+        match Int.compare (a.tf - a.ts) (b.tf - b.ts) with
+        | 0 -> Int.compare a.id b.id
+        | c -> c)
+      order;
+    (* prev_identical.(i): index in [order] of the previous request with the
+       same ports and window, or -1.  Identical requests are interchangeable;
+       forcing their decisions to be monotone removes the symmetry. *)
+    let prev_identical = Array.make n (-1) in
+    for i = 0 to n - 1 do
+      let rec find j =
+        if j < 0 then -1
+        else
+          let a = order.(i) and b = order.(j) in
+          if a.ingress = b.ingress && a.egress = b.egress && a.ts = b.ts && a.tf = b.tf then j
+          else find (j - 1)
+      in
+      prev_identical.(i) <- find (i - 1)
+    done;
+    let used_in = Array.make_matrix (Array.length inst.caps_in) steps 0 in
+    let used_out = Array.make_matrix (Array.length inst.caps_out) steps 0 in
+    (* decision.(i): -2 undecided, -1 rejected, otherwise the chosen step. *)
+    let decision = Array.make n (-2) in
+    let best = ref (-1) and best_placements = ref [] and nodes = ref 0 and exhausted = ref false in
+    let record accepted =
+      if accepted > !best then begin
+        best := accepted;
+        let acc = ref [] in
+        for i = 0 to n - 1 do
+          if decision.(i) >= 0 then acc := (order.(i).id, decision.(i)) :: !acc
+        done;
+        best_placements := !acc
+      end
+    in
+    let rec explore i accepted =
+      incr nodes;
+      if !nodes > node_budget then exhausted := true
+      else if i = n then record accepted
+      else if accepted + (n - i) <= !best then ()
+      else begin
+        let r = order.(i) in
+        let prev = prev_identical.(i) in
+        let prev_decision = if prev >= 0 then decision.(prev) else -2 in
+        (* Placement branches (skipped entirely if the previous identical
+           request was rejected: accepting this one instead is symmetric). *)
+        if prev_decision <> -1 then begin
+          let first_step = if prev_decision >= 0 then max r.ts prev_decision else r.ts in
+          let step = ref first_step in
+          while not !exhausted && !step < r.tf do
+            let s = !step - t_lo in
+            if
+              used_in.(r.ingress).(s) < inst.caps_in.(r.ingress)
+              && used_out.(r.egress).(s) < inst.caps_out.(r.egress)
+            then begin
+              used_in.(r.ingress).(s) <- used_in.(r.ingress).(s) + 1;
+              used_out.(r.egress).(s) <- used_out.(r.egress).(s) + 1;
+              decision.(i) <- !step;
+              explore (i + 1) (accepted + 1);
+              decision.(i) <- -2;
+              used_in.(r.ingress).(s) <- used_in.(r.ingress).(s) - 1;
+              used_out.(r.egress).(s) <- used_out.(r.egress).(s) - 1
+            end;
+            incr step
+          done
+        end;
+        if not !exhausted then begin
+          decision.(i) <- -1;
+          explore (i + 1) accepted;
+          decision.(i) <- -2
+        end
+      end
+    in
+    explore 0 0;
+    {
+      count = max 0 !best;
+      placements = List.sort compare !best_placements;
+      optimal = not !exhausted;
+      nodes = !nodes;
+    }
+  end
+
+let feasible inst placements =
+  validate inst;
+  let by_id = Hashtbl.create (Array.length inst.reqs) in
+  Array.iter (fun r -> Hashtbl.replace by_id r.id r) inst.reqs;
+  match time_range inst with
+  | exception _ -> false
+  | t_lo, t_hi ->
+      let steps = t_hi - t_lo in
+      if steps <= 0 then placements = []
+      else begin
+        let used_in = Array.make_matrix (Array.length inst.caps_in) steps 0 in
+        let used_out = Array.make_matrix (Array.length inst.caps_out) steps 0 in
+        let seen = Hashtbl.create 16 in
+        List.for_all
+          (fun (id, step) ->
+            match Hashtbl.find_opt by_id id with
+            | None -> false
+            | Some r ->
+                if Hashtbl.mem seen id then false
+                else begin
+                  Hashtbl.replace seen id ();
+                  step >= r.ts && step < r.tf
+                  &&
+                  let s = step - t_lo in
+                  used_in.(r.ingress).(s) <- used_in.(r.ingress).(s) + 1;
+                  used_out.(r.egress).(s) <- used_out.(r.egress).(s) + 1;
+                  used_in.(r.ingress).(s) <= inst.caps_in.(r.ingress)
+                  && used_out.(r.egress).(s) <= inst.caps_out.(r.egress)
+                end)
+          placements
+      end

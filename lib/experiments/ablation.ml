@@ -1,0 +1,22 @@
+module Figure = Gridbw_report.Figure
+module Summary = Gridbw_metrics.Summary
+module Policy = Gridbw_core.Policy
+
+let default_steps = [ 10.; 25.; 50.; 100.; 200.; 400. ]
+
+let run ?(steps = default_steps) ?(mean_interarrival = 0.2) params =
+  let policy = Policy.Fraction_of_max 1.0 in
+  let accept kind =
+    Runner.mean_over_reps params (fun ~rep ->
+        (Runner.flexible_summary params ~mean_interarrival kind policy ~rep).Summary.accept_rate)
+  in
+  let curve of_step = List.map (fun step -> (step, accept (of_step step))) steps in
+  let greedy_level = accept `Greedy in
+  Figure.make ~id:"ablation-window" ~title:"Ablation A1: lookahead vs deferred batching"
+    ~x_label:"interval length (s)" ~y_label:"accept rate"
+    [
+      Figure.series ~label:"WINDOW (lookahead, paper)" (curve (fun s -> `Window s));
+      Figure.series ~label:"WINDOW-DEFERRED (no clairvoyance)"
+        (curve (fun s -> `Window_deferred s));
+      Figure.series ~label:"GREEDY reference" (List.map (fun s -> (s, greedy_level)) steps);
+    ]

@@ -1,0 +1,106 @@
+module Table = Gridbw_report.Table
+module Request = Gridbw_request.Request
+module Allocation = Gridbw_alloc.Allocation
+module Fluid = Gridbw_baseline.Fluid
+module Flexible = Gridbw_core.Flexible
+module Policy = Gridbw_core.Policy
+module Types = Gridbw_core.Types
+module Spec = Gridbw_workload.Spec
+module Gen = Gridbw_workload.Gen
+module Rng = Gridbw_prng.Rng
+
+type row = {
+  approach : string;
+  served : float;
+  on_time : float;
+  on_time_volume : float;
+  mean_stretch : float;
+}
+
+type tally = {
+  mutable served_n : int;
+  mutable on_time_n : int;
+  mutable on_time_vol : float;
+  mutable stretch_sum : float;
+  mutable total : int;
+  mutable offered_vol : float;
+}
+
+let fresh () =
+  { served_n = 0; on_time_n = 0; on_time_vol = 0.0; stretch_sum = 0.0; total = 0; offered_vol = 0.0 }
+
+let finish tally name =
+  let n = float_of_int (max 1 tally.total) in
+  {
+    approach = name;
+    served = float_of_int tally.served_n /. n;
+    on_time = float_of_int tally.on_time_n /. n;
+    on_time_volume = (if tally.offered_vol > 0. then tally.on_time_vol /. tally.offered_vol else 0.);
+    mean_stretch =
+      (if tally.served_n = 0 then 0.0 else tally.stretch_sum /. float_of_int tally.served_n);
+  }
+
+let run ?(mean_interarrival = 0.2) (params : Runner.params) =
+  (* The exact max-min fluid baseline costs O(events x concurrency); in
+     overload the concurrency approaches the request count, so the run is
+     quadratic.  Cap the workload: the qualitative outcome (massive
+     deadline misses without control) is insensitive to it. *)
+  let params = Runner.with_params ~count:(min params.Runner.count 200) params in
+  let fluid_t = fresh () and greedy_t = fresh () and window_t = fresh () in
+  for rep = 0 to params.Runner.reps - 1 do
+    let spec = Runner.flexible_spec params ~mean_interarrival in
+    let requests = Gen.generate (Rng.create ~seed:(Runner.seed_for params ~rep) ()) spec in
+    let offered = List.fold_left (fun acc (r : Request.t) -> acc +. r.volume) 0.0 requests in
+    let total = List.length requests in
+    (* (a) no control: every flow transmits, sharing max-min fairly. *)
+    let fluid = Fluid.simulate spec.Spec.fabric requests in
+    fluid_t.total <- fluid_t.total + total;
+    fluid_t.offered_vol <- fluid_t.offered_vol +. offered;
+    List.iter
+      (fun f ->
+        fluid_t.served_n <- fluid_t.served_n + 1;
+        fluid_t.stretch_sum <- fluid_t.stretch_sum +. f.Fluid.stretch;
+        if f.Fluid.deadline_met then begin
+          fluid_t.on_time_n <- fluid_t.on_time_n + 1;
+          fluid_t.on_time_vol <- fluid_t.on_time_vol +. f.Fluid.request.Request.volume
+        end)
+      fluid.Fluid.flows;
+    (* (b)/(c) admission control: accepted requests finish at tau <= tf by
+       construction. *)
+    let controlled tally kind =
+      let result = Flexible.run kind spec.Spec.fabric (Policy.Fraction_of_max 1.0) requests in
+      tally.total <- tally.total + total;
+      tally.offered_vol <- tally.offered_vol +. offered;
+      List.iter
+        (fun (a : Allocation.t) ->
+          let r = a.Allocation.request in
+          tally.served_n <- tally.served_n + 1;
+          tally.on_time_n <- tally.on_time_n + 1;
+          tally.on_time_vol <- tally.on_time_vol +. r.Request.volume;
+          tally.stretch_sum <-
+            tally.stretch_sum
+            +. ((a.Allocation.tau -. r.Request.ts) /. (r.Request.tf -. r.Request.ts)))
+        result.Types.accepted
+    in
+    controlled greedy_t `Greedy;
+    controlled window_t (`Window 400.0)
+  done;
+  [
+    finish fluid_t "max-min fluid (TCP surrogate)";
+    finish greedy_t "GREEDY f=1.0";
+    finish window_t "WINDOW(400) f=1.0";
+  ]
+
+let to_table rows =
+  Table.make
+    ~headers:[ "approach"; "served"; "on-time"; "on-time volume"; "mean stretch" ]
+    (List.map
+       (fun r ->
+         [
+           r.approach;
+           Printf.sprintf "%.3f" r.served;
+           Printf.sprintf "%.3f" r.on_time;
+           Printf.sprintf "%.3f" r.on_time_volume;
+           Printf.sprintf "%.2f" r.mean_stretch;
+         ])
+       rows)

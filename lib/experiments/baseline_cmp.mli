@@ -1,0 +1,28 @@
+(** Experiment E7 — the paper's motivation (§1, §5.3): in an overloaded
+    network, uncontrolled max-min sharing (the TCP surrogate) lets bulk
+    transfers run arbitrarily late, while the admission-controlled
+    schedulers guarantee every accepted transfer its window.
+
+    The same flexible workload flows through (a) the {!Gridbw_baseline.Fluid}
+    max-min simulator, (b) GREEDY, and (c) WINDOW(400).  For each approach
+    the table reports the fraction of transfers finished within their
+    window, the on-time delivered volume, and the completion-time
+    predictability. *)
+
+type row = {
+  approach : string;
+  served : float;  (** fraction of requests allowed to transmit *)
+  on_time : float;  (** fraction of all requests finished by their tf *)
+  on_time_volume : float;  (** MB delivered within window / MB offered *)
+  mean_stretch : float;
+      (** mean (finish - ts)/(tf - ts) over served transfers; <= 1 means
+          within the window *)
+}
+
+val run :
+  ?mean_interarrival:float -> Runner.params -> row list
+(** Default inter-arrival 0.2 s — offered load ~1.6 under the scaled
+    volumes (see {!Runner}).  The request count is capped at 2000: the
+    exact fluid baseline is quadratic in it. *)
+
+val to_table : row list -> Gridbw_report.Table.t

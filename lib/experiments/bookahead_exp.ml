@@ -1,0 +1,93 @@
+module Table = Gridbw_report.Table
+module Spec = Gridbw_workload.Spec
+module Gen = Gridbw_workload.Gen
+module Request = Gridbw_request.Request
+module Flexible = Gridbw_core.Flexible
+module Policy = Gridbw_core.Policy
+module Types = Gridbw_core.Types
+module Rng = Gridbw_prng.Rng
+module Dist = Gridbw_prng.Dist
+
+type row = {
+  booking_fraction : float;
+  overall_accept : float;
+  booker_accept : float;
+  walkin_accept : float;
+  bookers : int;
+}
+
+let run ?(fractions = [ 0.0; 0.25; 0.5; 0.75; 1.0 ]) ?(mean_lead = 300.0)
+    ?(mean_interarrival = 0.15) (params : Runner.params) =
+  List.map
+    (fun booking_fraction ->
+      let booker_total = ref 0 and booker_acc = ref 0 in
+      let walkin_total = ref 0 and walkin_acc = ref 0 in
+      for rep = 0 to params.Runner.reps - 1 do
+        let spec = Runner.flexible_spec params ~mean_interarrival in
+        let rng = Rng.create ~seed:(Runner.seed_for params ~rep) () in
+        let requests = Gen.generate rng spec in
+        (* Deterministic per-request leads drawn after the workload, so the
+           same requests flow through every fraction with fresh coin
+           flips. *)
+        let lead_rng = Rng.create ~seed:(Int64.add (Runner.seed_for params ~rep) 1000L) () in
+        let leads =
+          List.map
+            (fun (r : Request.t) ->
+              let lead =
+                if Rng.float lead_rng 1.0 < booking_fraction then
+                  Dist.exponential lead_rng ~mean:mean_lead
+                else 0.0
+              in
+              (r.id, lead))
+            requests
+        in
+        let lead_of =
+          let tbl = Hashtbl.create 64 in
+          List.iter (fun (id, l) -> Hashtbl.replace tbl id l) leads;
+          fun (r : Request.t) -> Hashtbl.find tbl r.id
+        in
+        let result =
+          Flexible.book_ahead spec.Spec.fabric (Policy.Fraction_of_max 0.8) ~announce:lead_of
+            requests
+        in
+        List.iter
+          (fun (r : Request.t) ->
+            let accepted =
+              match Types.decision_of result r.id with
+              | Some (Types.Accepted _) -> true
+              | _ -> false
+            in
+            if lead_of r > 0. then begin
+              incr booker_total;
+              if accepted then incr booker_acc
+            end
+            else begin
+              incr walkin_total;
+              if accepted then incr walkin_acc
+            end)
+          requests
+      done;
+      let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den in
+      {
+        booking_fraction;
+        overall_accept = ratio (!booker_acc + !walkin_acc) (!booker_total + !walkin_total);
+        booker_accept = ratio !booker_acc !booker_total;
+        walkin_accept = ratio !walkin_acc !walkin_total;
+        bookers = !booker_total;
+      })
+    fractions
+
+let to_table rows =
+  Table.make
+    ~headers:
+      [ "booking fraction"; "overall accept"; "bookers' accept"; "walk-ins' accept"; "bookers" ]
+    (List.map
+       (fun r ->
+         [
+           Printf.sprintf "%.2f" r.booking_fraction;
+           Printf.sprintf "%.3f" r.overall_accept;
+           (if r.bookers = 0 then "-" else Printf.sprintf "%.3f" r.booker_accept);
+           (if r.booking_fraction >= 1.0 then "-" else Printf.sprintf "%.3f" r.walkin_accept);
+           string_of_int r.bookers;
+         ])
+       rows)

@@ -1,0 +1,29 @@
+(** Experiment E12 — book-ahead reservations (section 6's contrast with
+    Burchard et al. [6]): what fraction of users booking their transfer in
+    advance changes whom the network serves.
+
+    Each request books with probability [p]; bookers announce an
+    exponentially distributed lead before their start, non-bookers announce
+    at their start.  Decisions are first-come-first-booked on the
+    time-indexed ledger.  Expected shape: bookers enjoy a markedly higher
+    accept rate at the expense of non-bookers; the overall accept rate
+    moves little (capacity, not order, is the binding constraint). *)
+
+type row = {
+  booking_fraction : float;
+  overall_accept : float;
+  booker_accept : float;  (** accept rate among booking requests *)
+  walkin_accept : float;  (** accept rate among non-booking requests *)
+  bookers : int;  (** total booking requests across replications *)
+}
+
+val run :
+  ?fractions:float list ->
+  ?mean_lead:float ->
+  ?mean_interarrival:float ->
+  Runner.params ->
+  row list
+(** Defaults: fractions {0, 0.25, 0.5, 0.75, 1}, 300 s mean lead,
+    0.15 s inter-arrival (load ~2). *)
+
+val to_table : row list -> Gridbw_report.Table.t

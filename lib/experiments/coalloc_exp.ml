@@ -1,0 +1,70 @@
+module Table = Gridbw_report.Table
+module Coalloc = Gridbw_coalloc.Coalloc
+module Policy = Gridbw_core.Policy
+module Spec = Gridbw_workload.Spec
+module Rng = Gridbw_prng.Rng
+
+type row = {
+  policy : string;
+  completed : int;
+  rejected : int;
+  mean_staging_time : float;
+  mean_cpu_wait : float;
+  mean_completion_time : float;
+  makespan : float;
+}
+
+let run ?(fs = [ 0.25; 0.5; 0.75; 1.0 ]) ?(mean_interarrival = 0.4) ?(mean_cpu_seconds = 120.0)
+    ?(cpus_per_site = 4) (params : Runner.params) =
+  let policies =
+    ("MIN BW", Policy.Min_rate)
+    :: List.map (fun f -> (Policy.name (Policy.Fraction_of_max f), Policy.Fraction_of_max f)) fs
+  in
+  List.map
+    (fun (name, policy) ->
+      let acc = ref { policy = name; completed = 0; rejected = 0; mean_staging_time = 0.;
+                      mean_cpu_wait = 0.; mean_completion_time = 0.; makespan = 0. } in
+      for rep = 0 to params.Runner.reps - 1 do
+        let spec = Runner.flexible_spec params ~mean_interarrival in
+        let jobs =
+          Coalloc.random_jobs (Rng.create ~seed:(Runner.seed_for params ~rep) ()) spec
+            ~mean_cpu_seconds
+        in
+        let r = Coalloc.simulate spec.Spec.fabric ~policy ~cpus_per_site jobs in
+        acc :=
+          {
+            !acc with
+            completed = !acc.completed + r.Coalloc.completed;
+            rejected = !acc.rejected + r.Coalloc.rejected;
+            mean_staging_time = !acc.mean_staging_time +. r.Coalloc.mean_staging_time;
+            mean_cpu_wait = !acc.mean_cpu_wait +. r.Coalloc.mean_cpu_wait;
+            mean_completion_time = !acc.mean_completion_time +. r.Coalloc.mean_completion_time;
+            makespan = Float.max !acc.makespan r.Coalloc.makespan;
+          }
+      done;
+      let reps = float_of_int (max 1 params.Runner.reps) in
+      {
+        !acc with
+        mean_staging_time = !acc.mean_staging_time /. reps;
+        mean_cpu_wait = !acc.mean_cpu_wait /. reps;
+        mean_completion_time = !acc.mean_completion_time /. reps;
+      })
+    policies
+
+let to_table rows =
+  Table.make
+    ~headers:
+      [ "policy"; "completed"; "rejected"; "staging (s)"; "cpu wait (s)"; "completion (s)";
+        "makespan (s)" ]
+    (List.map
+       (fun r ->
+         [
+           r.policy;
+           string_of_int r.completed;
+           string_of_int r.rejected;
+           Printf.sprintf "%.0f" r.mean_staging_time;
+           Printf.sprintf "%.0f" r.mean_cpu_wait;
+           Printf.sprintf "%.0f" r.mean_completion_time;
+           Printf.sprintf "%.0f" r.makespan;
+         ])
+       rows)

@@ -1,0 +1,31 @@
+(** Experiment E8 — the §2.3 co-allocation story: sweeping the tuning
+    factor f on a transfer-then-compute workload shows the trade between
+    transfer accept rate (more jobs run) and staging speed (each job's CPU
+    is claimed and released earlier).
+
+    Expected shape: staging time falls monotonically with f; completed-job
+    count falls once rejections bite; somewhere in between lies the
+    best mean job completion time. *)
+
+type row = {
+  policy : string;
+  completed : int;
+  rejected : int;
+  mean_staging_time : float;
+  mean_cpu_wait : float;
+  mean_completion_time : float;
+  makespan : float;
+}
+
+val run :
+  ?fs:float list ->
+  ?mean_interarrival:float ->
+  ?mean_cpu_seconds:float ->
+  ?cpus_per_site:int ->
+  Runner.params ->
+  row list
+(** One row for MIN BW plus one per f.  Defaults: f ∈ {0.25, 0.5, 0.75, 1},
+    inter-arrival 0.4 s (load ~0.8 under the scaled volumes), 120 s mean
+    compute, 4 CPUs per site. *)
+
+val to_table : row list -> Gridbw_report.Table.t

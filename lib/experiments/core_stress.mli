@@ -1,0 +1,25 @@
+(** Experiment E15 — stress-testing the paper's §2 assumption that "the
+    capacity of the network core is larger than the aggregated capacity of
+    all access points", so admission can ignore the core.
+
+    We admit with edge-only GREEDY, then replay the accepted schedule
+    against a core trunk of capacity ρ × ½(ΣB_in + ΣB_out) and measure how
+    often the aggregate admitted rate would overload it.  A core-aware
+    GREEDY variant (edge checks plus a trunk counter) shows what admission
+    would have to give up if the assumption fails. *)
+
+type row = {
+  rho : float;  (** trunk capacity as a fraction of ½ Σ edge capacity *)
+  edge_accept : float;  (** accept rate of edge-only admission *)
+  violation_time_fraction : float;
+      (** fraction of the schedule span where the admitted aggregate rate
+          exceeds the trunk *)
+  peak_trunk_load : float;  (** peak aggregate rate / trunk capacity *)
+  core_aware_accept : float;  (** accept rate when the trunk is checked too *)
+}
+
+val run :
+  ?rhos:float list -> ?mean_interarrival:float -> Runner.params -> row list
+(** Defaults: ρ ∈ {0.3, 0.5, 0.7, 1.0}, inter-arrival 0.15 s (load ~2). *)
+
+val to_table : row list -> Gridbw_report.Table.t

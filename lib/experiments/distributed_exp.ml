@@ -1,0 +1,50 @@
+module Table = Gridbw_report.Table
+module Spec = Gridbw_workload.Spec
+module Gen = Gridbw_workload.Gen
+module Distributed = Gridbw_control.Distributed
+module Policy = Gridbw_core.Policy
+module Rng = Gridbw_prng.Rng
+
+type row = {
+  gossip_interval : float;
+  accept_rate : float;
+  egress_violations : float;
+  peak_overbooking : float;
+}
+
+let run ?(gossip_intervals = [ 0.0; 1.0; 5.0; 20.0; 60.0 ]) ?(mean_interarrival = 0.15)
+    (params : Runner.params) =
+  List.map
+    (fun gossip_interval ->
+      let accept = ref 0.0 and violations = ref 0.0 and peak = ref 0.0 in
+      for rep = 0 to params.Runner.reps - 1 do
+        let spec = Runner.flexible_spec params ~mean_interarrival in
+        let requests = Gen.generate (Rng.create ~seed:(Runner.seed_for params ~rep) ()) spec in
+        let r =
+          Distributed.run spec.Spec.fabric (Policy.Fraction_of_max 0.8) ~gossip_interval requests
+        in
+        accept := !accept +. r.Distributed.accept_rate;
+        violations := !violations +. float_of_int r.Distributed.egress_violations;
+        peak := Float.max !peak r.Distributed.peak_overbooking
+      done;
+      let reps = float_of_int (max 1 params.Runner.reps) in
+      {
+        gossip_interval;
+        accept_rate = !accept /. reps;
+        egress_violations = !violations /. reps;
+        peak_overbooking = !peak;
+      })
+    gossip_intervals
+
+let to_table rows =
+  Table.make
+    ~headers:[ "gossip interval (s)"; "accept rate"; "egress violations"; "peak overbooking" ]
+    (List.map
+       (fun r ->
+         [
+           Printf.sprintf "%.0f" r.gossip_interval;
+           Printf.sprintf "%.3f" r.accept_rate;
+           Printf.sprintf "%.1f" r.egress_violations;
+           Printf.sprintf "%.2fx" r.peak_overbooking;
+         ])
+       rows)

@@ -1,0 +1,21 @@
+(** Experiment E11 — distributed allocation (section 7 future work):
+    sweep the gossip interval of {!Gridbw_control.Distributed} and compare
+    against the centralised GREEDY controller on the same workload.
+
+    Expected shape: accept rate stays close to centralised, but stale
+    egress views overbook egress ports more and more as the interval grows
+    — the cost of decentralisation is safety, not admissions. *)
+
+type row = {
+  gossip_interval : float;  (** 0 = centralised-equivalent *)
+  accept_rate : float;
+  egress_violations : float;  (** mean per replication *)
+  peak_overbooking : float;  (** worst over replications *)
+}
+
+val run :
+  ?gossip_intervals:float list -> ?mean_interarrival:float -> Runner.params -> row list
+(** Defaults: intervals {0, 1, 5, 20, 60} s, inter-arrival 0.15 s
+    (load ~2). *)
+
+val to_table : row list -> Gridbw_report.Table.t

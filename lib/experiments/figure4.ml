@@ -1,0 +1,33 @@
+module Figure = Gridbw_report.Figure
+module Summary = Gridbw_metrics.Summary
+
+let default_loads = [ 0.5; 1.0; 1.5; 2.0; 3.0; 4.0; 5.0 ]
+
+let run ?(loads = default_loads) params =
+  let series_for metric =
+    List.map
+      (fun (name, kind) ->
+        let points =
+          List.map
+            (fun load ->
+              let y =
+                Runner.mean_over_reps params (fun ~rep ->
+                    metric (Runner.rigid_summary params ~load kind ~rep))
+              in
+              (load, y))
+            loads
+        in
+        Figure.series ~label:name points)
+      Runner.rigid_kinds
+  in
+  let accept =
+    Figure.make ~id:"fig4-accept" ~title:"Rigid heuristics: request accept rate (paper Fig. 4)"
+      ~x_label:"offered load" ~y_label:"accept rate"
+      (series_for (fun s -> s.Summary.accept_rate))
+  in
+  let util =
+    Figure.make ~id:"fig4-util" ~title:"Rigid heuristics: resource utilization (paper Fig. 4)"
+      ~x_label:"offered load" ~y_label:"utilization (B_scaled)"
+      (series_for (fun s -> s.Summary.utilization))
+  in
+  (accept, util)

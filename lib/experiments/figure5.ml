@@ -1,0 +1,33 @@
+module Figure = Gridbw_report.Figure
+module Summary = Gridbw_metrics.Summary
+module Policy = Gridbw_core.Policy
+
+let default_interarrivals = [ 0.1; 0.2; 0.5; 1.0; 2.0; 5.0 ]
+let default_steps = [ 100.0; 200.0; 400.0 ]
+
+let accept_curve params kind policy interarrivals =
+  List.map
+    (fun mean_interarrival ->
+      let y =
+        Runner.mean_over_reps params (fun ~rep ->
+            (Runner.flexible_summary params ~mean_interarrival kind policy ~rep)
+              .Summary.accept_rate)
+      in
+      (mean_interarrival, y))
+    interarrivals
+
+let run ?(interarrivals = default_interarrivals) ?(steps = default_steps) params =
+  let policy = Policy.Fraction_of_max 1.0 in
+  let greedy =
+    Figure.series ~label:"FCFS (greedy)" (accept_curve params `Greedy policy interarrivals)
+  in
+  let windows =
+    List.map
+      (fun step ->
+        Figure.series
+          ~label:(Printf.sprintf "WINDOW %g s" step)
+          (accept_curve params (`Window step) policy interarrivals))
+      steps
+  in
+  Figure.make ~id:"fig5" ~title:"FCFS vs interval-based heuristics, heavy load (paper Fig. 5)"
+    ~x_label:"mean inter-arrival (s)" ~y_label:"accept rate" (greedy :: windows)

@@ -1,0 +1,18 @@
+(** Experiment E2 — paper Figure 5: FCFS (GREEDY) versus the interval-based
+    WINDOW heuristic at several window lengths, on a heavily loaded network
+    (mean inter-arrival 0.1–5 s), bandwidth policy f = 1.
+
+    Expected shape (§5.3): WINDOW well above GREEDY throughout; accept rate
+    grows with the window length; GREEDY under ~20 % while large windows
+    pass 50 %. *)
+
+val default_interarrivals : float list
+(** 0.1, 0.2, 0.5, 1, 2, 5 (seconds). *)
+
+val default_steps : float list
+(** Window lengths 100, 200, 400 s as in the paper (WINDOW keeps each
+    request's own start time, so the interval length is a pure lookahead
+    knob and does not need the time-scale compression). *)
+
+val run :
+  ?interarrivals:float list -> ?steps:float list -> Runner.params -> Gridbw_report.Figure.t

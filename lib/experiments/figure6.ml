@@ -1,0 +1,38 @@
+module Figure = Gridbw_report.Figure
+module Summary = Gridbw_metrics.Summary
+
+let heavy_interarrivals = [ 0.1; 0.5; 1.0; 2.0; 5.0 ]
+let underloaded_interarrivals = [ 3.0; 5.0; 8.0; 12.0; 20.0 ]
+
+let panel params kind interarrivals ~id ~title =
+  let series =
+    List.map
+      (fun (label, policy) ->
+        let points =
+          List.map
+            (fun mean_interarrival ->
+              let y =
+                Runner.mean_over_reps params (fun ~rep ->
+                    (Runner.flexible_summary params ~mean_interarrival kind policy ~rep)
+                      .Summary.accept_rate)
+              in
+              (mean_interarrival, y))
+            interarrivals
+        in
+        Figure.series ~label points)
+      Runner.policy_ladder
+  in
+  Figure.make ~id ~title ~x_label:"mean inter-arrival (s)" ~y_label:"accept rate" series
+
+let run ?(heavy = heavy_interarrivals) ?(underloaded = underloaded_interarrivals) ~kind
+    ~id_prefix ~title params =
+  ( panel params kind heavy ~id:(id_prefix ^ "-heavy") ~title:(title ^ ", heavy load"),
+    panel params kind underloaded ~id:(id_prefix ^ "-under") ~title:(title ^ ", underloaded") )
+
+let figure6 params =
+  run ~kind:`Greedy ~id_prefix:"fig6"
+    ~title:"FCFS heuristic under bandwidth policies (paper Fig. 6)" params
+
+let figure7 params =
+  run ~kind:(`Window 400.0) ~id_prefix:"fig7"
+    ~title:"WINDOW(400) heuristic under bandwidth policies (paper Fig. 7)" params

@@ -1,0 +1,60 @@
+module Table = Gridbw_report.Table
+module Fabric = Gridbw_topology.Fabric
+module Long_lived = Gridbw_core.Long_lived
+module Rng = Gridbw_prng.Rng
+
+type row = {
+  requests : int;
+  uniform_bw : float;
+  greedy_accepted : float;
+  optimal_accepted : float;
+  gap : float;
+}
+
+let random_requests rng fabric ~count ~bw =
+  List.init count (fun id ->
+      Long_lived.request ~id
+        ~ingress:(Rng.int rng (Fabric.ingress_count fabric))
+        ~egress:(Rng.int rng (Fabric.egress_count fabric))
+        ~bw)
+
+let run ?(request_counts = [ 50; 100; 200; 400; 800 ]) ?(uniform_bw = 300.0)
+    (params : Runner.params) =
+  let fabric = Fabric.paper_default () in
+  List.map
+    (fun count ->
+      let greedy_total = ref 0 and optimal_total = ref 0 in
+      for rep = 0 to params.Runner.reps - 1 do
+        let rng = Rng.create ~seed:(Runner.seed_for params ~rep) () in
+        let requests = random_requests rng fabric ~count ~bw:uniform_bw in
+        let greedy = Long_lived.greedy fabric requests in
+        let optimal = Long_lived.optimal_uniform fabric ~bw:uniform_bw requests in
+        greedy_total := !greedy_total + List.length greedy.Long_lived.accepted;
+        optimal_total := !optimal_total + List.length optimal.Long_lived.accepted
+      done;
+      let reps = float_of_int (max 1 params.Runner.reps) in
+      let greedy_accepted = float_of_int !greedy_total /. reps in
+      let optimal_accepted = float_of_int !optimal_total /. reps in
+      {
+        requests = count;
+        uniform_bw;
+        greedy_accepted;
+        optimal_accepted;
+        gap =
+          (if optimal_accepted > 0. then 1.0 -. (greedy_accepted /. optimal_accepted) else 0.0);
+      })
+    request_counts
+
+let to_table rows =
+  Table.make
+    ~headers:[ "requests"; "uniform bw (MB/s)"; "greedy accepted"; "optimal (max-flow)"; "gap" ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.requests;
+           Printf.sprintf "%.0f" r.uniform_bw;
+           Printf.sprintf "%.1f" r.greedy_accepted;
+           Printf.sprintf "%.1f" r.optimal_accepted;
+           Printf.sprintf "%.1f%%" (100. *. r.gap);
+         ])
+       rows)

@@ -1,0 +1,17 @@
+(** Experiment E10 — the polynomial special case of section 3: for uniform
+    long-lived requests the max-flow scheduler is optimal, while the greedy
+    packer can be beaten.  Sweeps the number of requests on the paper
+    platform and reports greedy vs optimal accept counts. *)
+
+type row = {
+  requests : int;
+  uniform_bw : float;
+  greedy_accepted : float;  (** mean over replications *)
+  optimal_accepted : float;
+  gap : float;  (** 1 - greedy/optimal *)
+}
+
+val run : ?request_counts:int list -> ?uniform_bw:float -> Runner.params -> row list
+(** Defaults: 50–800 requests, 300 MB/s uniform demand. *)
+
+val to_table : row list -> Gridbw_report.Table.t

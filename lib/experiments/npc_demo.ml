@@ -1,0 +1,57 @@
+module Table = Gridbw_report.Table
+module Npc = Gridbw_core.Npc
+module Unit_exact = Gridbw_core.Unit_exact
+module Rng = Gridbw_prng.Rng
+
+type row = {
+  n : int;
+  triples : int;
+  requests : int;
+  k : int;
+  has_matching : bool;
+  schedulable : bool;
+  agree : bool;
+  nodes : int;
+}
+
+let run ?(sizes = [ (2, 6); (3, 4) ]) (params : Runner.params) =
+  let rng = Rng.create ~seed:params.Runner.seed () in
+  List.concat_map
+    (fun (n, instances) ->
+      List.init instances (fun i ->
+          let t =
+            if i mod 2 = 0 then Npc.random rng ~n ~extra_triples:(Rng.int_in rng 0 n)
+            else Npc.random_no_promise rng ~n ~triples:(Rng.int_in rng n (2 * n))
+          in
+          let inst, k = Npc.reduce t in
+          let sol = Unit_exact.solve inst in
+          let has_matching = Npc.has_matching t <> None in
+          let schedulable = sol.Unit_exact.count >= k in
+          {
+            n;
+            triples = List.length t.Npc.triples;
+            requests = Array.length inst.Unit_exact.reqs;
+            k;
+            has_matching;
+            schedulable;
+            agree = has_matching = schedulable;
+            nodes = sol.Unit_exact.nodes;
+          }))
+    sizes
+
+let to_table rows =
+  Table.make
+    ~headers:[ "n"; "|T|"; "requests"; "K"; "3-DM matching"; ">=K schedulable"; "agree"; "nodes" ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.n;
+           string_of_int r.triples;
+           string_of_int r.requests;
+           string_of_int r.k;
+           string_of_bool r.has_matching;
+           string_of_bool r.schedulable;
+           string_of_bool r.agree;
+           string_of_int r.nodes;
+         ])
+       rows)

@@ -1,0 +1,26 @@
+(** Experiment E6 — optimality gap of the rigid heuristics on small
+    instances where the exact branch-and-bound optimum (MAX-REQUESTS is
+    NP-complete, Theorem 1) is still computable.
+
+    Expected shape: CUMULATED-SLOTS and MINBW-SLOTS land within ~10–20 % of
+    the optimum on average; FIFO falls far behind. *)
+
+type row = {
+  heuristic : string;
+  mean_ratio : float;  (** mean over instances of accepted / optimum *)
+  worst_ratio : float;
+  optimal_instances : int;  (** instances where the heuristic matched the optimum *)
+  instances : int;
+}
+
+val run : ?instances:int -> ?requests_per_instance:int -> Runner.params -> row list
+(** Random rigid workloads on a 2×2 fabric (small so the optimum stays
+    exact); defaults: 12 instances × 14 requests. *)
+
+val run_flexible : ?instances:int -> ?requests_per_instance:int -> Runner.params -> row list
+(** Same study for the on-line flexible heuristics (GREEDY and WINDOW
+    under MIN BW and f=1) against {!Gridbw_core.Exact.max_requests_flexible}
+    on the rate grid {MinRate, 0.5·Max, Max}; defaults: 10 instances × 12
+    requests. *)
+
+val to_table : row list -> Gridbw_report.Table.t

@@ -1,0 +1,78 @@
+module Table = Gridbw_report.Table
+module Tcp = Gridbw_transport.Tcp
+
+type row = {
+  treatment : string;
+  completed : int;
+  mean_completion : float;
+  cov_completion : float;
+  loss_events : int;
+  utilization : float;
+  jain : float;
+}
+
+let row_of treatment (result : Tcp.result) =
+  let completions =
+    List.filter_map
+      (fun (f : Tcp.flow_report) -> Option.map float_of_int f.Tcp.finished_round)
+      result.Tcp.flows
+  in
+  let n = List.length completions in
+  let mean = if n = 0 then 0.0 else List.fold_left ( +. ) 0.0 completions /. float_of_int n in
+  let var =
+    if n < 2 then 0.0
+    else
+      List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0.0 completions
+      /. float_of_int (n - 1)
+  in
+  {
+    treatment;
+    completed = n;
+    mean_completion = mean;
+    cov_completion = (if mean > 0. then sqrt var /. mean else 0.0);
+    loss_events = List.fold_left (fun acc f -> acc + f.Tcp.loss_events) 0 result.Tcp.flows;
+    utilization = result.Tcp.bottleneck_utilization;
+    jain = result.Tcp.jain_fairness;
+  }
+
+let run ?(flows = 20) ?(volume = 50_000.) ?(capacity = 1000.) ?(max_rounds = 20_000)
+    (params : Runner.params) =
+  ignore params;
+  (* Stagger starts a little so slow-start phases interleave (round-robin
+     over the first 32 rounds); deterministic. *)
+  let mk i algorithm rate_cap =
+    Tcp.flow ~algorithm ~start_round:(i mod 32) ?rate_cap ~volume ()
+  in
+  let uncontrolled name algorithm_of =
+    let specs = List.init flows (fun i -> mk i (algorithm_of i) None) in
+    row_of name (Tcp.simulate ~capacity ~max_rounds specs)
+  in
+  let fair_share = capacity /. float_of_int flows in
+  let controlled =
+    let specs = List.init flows (fun i -> mk i (if i mod 2 = 0 then Tcp.Reno else Tcp.Bic) (Some fair_share)) in
+    row_of "shaped reservations (f=1 shares)" (Tcp.simulate ~capacity ~max_rounds specs)
+  in
+  [
+    uncontrolled "uncontrolled Reno" (fun _ -> Tcp.Reno);
+    uncontrolled "uncontrolled BIC" (fun _ -> Tcp.Bic);
+    uncontrolled "uncontrolled mixed" (fun i -> if i mod 2 = 0 then Tcp.Reno else Tcp.Bic);
+    controlled;
+  ]
+
+let to_table rows =
+  Table.make
+    ~headers:
+      [ "treatment"; "completed"; "mean completion (rounds)"; "completion CoV"; "loss events";
+        "utilization"; "Jain" ]
+    (List.map
+       (fun r ->
+         [
+           r.treatment;
+           string_of_int r.completed;
+           Printf.sprintf "%.0f" r.mean_completion;
+           Printf.sprintf "%.3f" r.cov_completion;
+           string_of_int r.loss_events;
+           Printf.sprintf "%.3f" r.utilization;
+           Printf.sprintf "%.3f" r.jain;
+         ])
+       rows)

@@ -1,0 +1,25 @@
+(** Experiment E13 — the data-plane claim of section 5.4: over a shared
+    deep bottleneck, raw TCP bulk flows lose segments, share unfairly and
+    finish unpredictably; the same flows shaped to their reserved rates
+    (Σ reservations = bottleneck capacity) see no losses and finish at
+    deterministic times — "ensuring a stable bandwidth by an independent
+    control plane enables well tuned TCP flows to fully utilize their
+    allocated capacity". *)
+
+type row = {
+  treatment : string;
+  completed : int;
+  mean_completion : float;  (** rounds, over completed flows *)
+  cov_completion : float;  (** coefficient of variation — predictability *)
+  loss_events : int;
+  utilization : float;
+  jain : float;
+}
+
+val run :
+  ?flows:int -> ?volume:float -> ?capacity:float -> ?max_rounds:int -> Runner.params -> row list
+(** Four treatments: uncontrolled Reno, uncontrolled BIC, uncontrolled
+    mixed, and reservation-shaped (equal shares).  Defaults: 20 flows of
+    50k segments over a 1000 segment/round bottleneck. *)
+
+val to_table : row list -> Gridbw_report.Table.t

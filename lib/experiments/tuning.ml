@@ -1,0 +1,80 @@
+module Table = Gridbw_report.Table
+module Summary = Gridbw_metrics.Summary
+module Policy = Gridbw_core.Policy
+module Types = Gridbw_core.Types
+module Flexible = Gridbw_core.Flexible
+module Spec = Gridbw_workload.Spec
+module Gen = Gridbw_workload.Gen
+module Rng = Gridbw_prng.Rng
+
+let default_fs = [ 0.0; 0.2; 0.4; 0.6; 0.8; 1.0 ]
+
+type row = {
+  f : float;
+  heuristic : string;
+  regime : string;
+  accept_rate : float;
+  mean_speedup : float;
+  guaranteed_fraction : float;
+}
+
+(* Mean inter-arrivals chosen for offered loads ~0.5 and ~5 under the
+   scaled volumes (Runner.offered_load_of_interarrival). *)
+let regimes = [ ("underloaded", 0.6); ("overloaded", 0.06) ]
+let kinds = [ ("greedy", `Greedy); ("window(400)", `Window 400.0) ]
+
+let run ?(fs = default_fs) (params : Runner.params) =
+  List.concat_map
+    (fun (regime, mean_interarrival) ->
+      List.concat_map
+        (fun (hname, kind) ->
+          List.map
+            (fun f ->
+              let policy = Policy.Fraction_of_max f in
+              let accept = ref 0.0 and speedup = ref 0.0 and guaranteed = ref 0.0 in
+              for rep = 0 to params.Runner.reps - 1 do
+                let spec = Runner.flexible_spec params ~mean_interarrival in
+                let requests =
+                  Gen.generate (Rng.create ~seed:(Runner.seed_for params ~rep) ()) spec
+                in
+                let result = Flexible.run kind spec.Spec.fabric policy requests in
+                let summary =
+                  Summary.compute spec.Spec.fabric ~all:requests
+                    ~accepted:result.Types.accepted
+                in
+                accept := !accept +. summary.Summary.accept_rate;
+                speedup := !speedup +. summary.Summary.mean_speedup;
+                let n_acc = List.length result.Types.accepted in
+                if n_acc > 0 then
+                  guaranteed :=
+                    !guaranteed
+                    +. float_of_int (Summary.guaranteed_count ~f result.Types.accepted)
+                       /. float_of_int n_acc
+              done;
+              let reps = float_of_int (max 1 params.Runner.reps) in
+              {
+                f;
+                heuristic = hname;
+                regime;
+                accept_rate = !accept /. reps;
+                mean_speedup = !speedup /. reps;
+                guaranteed_fraction = !guaranteed /. reps;
+              })
+            fs)
+        kinds)
+    regimes
+
+let to_table rows =
+  Table.make
+    ~headers:[ "regime"; "heuristic"; "f"; "accept rate"; "mean speedup"; "guaranteed" ]
+    (List.map
+       (fun r ->
+         [
+           r.regime;
+           r.heuristic;
+           Printf.sprintf "%.1f" r.f;
+           Printf.sprintf "%.3f" r.accept_rate;
+           Printf.sprintf "%.2f" r.mean_speedup;
+           Printf.sprintf "%.3f" r.guaranteed_fraction;
+         ])
+       rows)

@@ -1,0 +1,81 @@
+module Fabric = Gridbw_topology.Fabric
+module Request = Gridbw_request.Request
+module Allocation = Gridbw_alloc.Allocation
+
+type side = Ingress | Egress
+
+type report = {
+  side : side;
+  port : int;
+  capacity : float;
+  demanded_rate : float;
+  granted_rate : float;
+  lost_rate : float;
+  pressure : float;
+  requests : int;
+  accepted : int;
+}
+
+let analyze fabric ~all ~accepted =
+  match all with
+  | [] -> []
+  | first :: _ ->
+      let t0, t1 =
+        List.fold_left
+          (fun (t0, t1) (r : Request.t) -> (Float.min t0 r.ts, Float.max t1 r.tf))
+          (first.Request.ts, first.Request.tf)
+          all
+      in
+      let span = Float.max 1e-9 (t1 -. t0) in
+      let m = Fabric.ingress_count fabric and n = Fabric.egress_count fabric in
+      let demand_in = Array.make m 0.0 and demand_out = Array.make n 0.0 in
+      let count_in = Array.make m 0 and count_out = Array.make n 0 in
+      List.iter
+        (fun (r : Request.t) ->
+          demand_in.(r.ingress) <- demand_in.(r.ingress) +. r.volume;
+          demand_out.(r.egress) <- demand_out.(r.egress) +. r.volume;
+          count_in.(r.ingress) <- count_in.(r.ingress) + 1;
+          count_out.(r.egress) <- count_out.(r.egress) + 1)
+        all;
+      let granted_in = Array.make m 0.0 and granted_out = Array.make n 0.0 in
+      let acc_in = Array.make m 0 and acc_out = Array.make n 0 in
+      List.iter
+        (fun (a : Allocation.t) ->
+          let r = a.Allocation.request in
+          granted_in.(r.Request.ingress) <- granted_in.(r.Request.ingress) +. r.Request.volume;
+          granted_out.(r.Request.egress) <- granted_out.(r.Request.egress) +. r.Request.volume;
+          acc_in.(r.Request.ingress) <- acc_in.(r.Request.ingress) + 1;
+          acc_out.(r.Request.egress) <- acc_out.(r.Request.egress) + 1)
+        accepted;
+      let report side port capacity demand granted requests accepted =
+        let demanded_rate = demand /. span and granted_rate = granted /. span in
+        {
+          side;
+          port;
+          capacity;
+          demanded_rate;
+          granted_rate;
+          lost_rate = demanded_rate -. granted_rate;
+          pressure = demanded_rate /. capacity;
+          requests;
+          accepted;
+        }
+      in
+      let ins =
+        List.init m (fun i ->
+            report Ingress i (Fabric.ingress_capacity fabric i) demand_in.(i) granted_in.(i)
+              count_in.(i) acc_in.(i))
+      in
+      let outs =
+        List.init n (fun e ->
+            report Egress e (Fabric.egress_capacity fabric e) demand_out.(e) granted_out.(e)
+              count_out.(e) acc_out.(e))
+      in
+      List.sort (fun a b -> Float.compare b.pressure a.pressure) (ins @ outs)
+
+let hot_spots ?(threshold = 1.0) reports = List.filter (fun r -> r.pressure >= threshold) reports
+
+let pp ppf r =
+  Format.fprintf ppf "%s %d: pressure %.2f (demand %.1f / cap %.1f MB/s), %d/%d accepted"
+    (match r.side with Ingress -> "ingress" | Egress -> "egress")
+    r.port r.pressure r.demanded_rate r.capacity r.accepted r.requests

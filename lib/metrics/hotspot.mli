@@ -1,0 +1,36 @@
+(** Per-port pressure analysis — the paper's future-work direction of
+    "relieving tentative hot spots in the network, that is, ingress/egress
+    points that are heavily demanded" (section 7).
+
+    For each access point this reports, time-averaged over the workload
+    span, the demanded rate (all requests targeting the port), the granted
+    rate (accepted allocations through it), and the rate lost to
+    rejections.  Pressure above 1 marks a hot spot: the port was asked for
+    more than it can carry. *)
+
+type side = Ingress | Egress
+
+type report = {
+  side : side;
+  port : int;
+  capacity : float;  (** MB/s *)
+  demanded_rate : float;  (** Σ volume targeting the port / span *)
+  granted_rate : float;  (** Σ accepted volume through the port / span *)
+  lost_rate : float;  (** demanded - granted *)
+  pressure : float;  (** demanded_rate / capacity; > 1 = hot spot *)
+  requests : int;  (** requests targeting the port *)
+  accepted : int;
+}
+
+val analyze :
+  Gridbw_topology.Fabric.t ->
+  all:Gridbw_request.Request.t list ->
+  accepted:Gridbw_alloc.Allocation.t list ->
+  report list
+(** One report per port (both sides), sorted by decreasing pressure.
+    Empty list for an empty workload. *)
+
+val hot_spots : ?threshold:float -> report list -> report list
+(** Ports with [pressure >= threshold] (default 1.0). *)
+
+val pp : Format.formatter -> report -> unit

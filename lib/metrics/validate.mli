@@ -1,0 +1,32 @@
+(** Detailed schedule validation.
+
+    {!Summary.all_feasible} answers yes/no; this module explains {e what}
+    is wrong with a schedule: which constraint of the paper's set (1) is
+    violated, where, when and by how much.  Used by the CLI's [run]
+    self-check and by failure-injection tests. *)
+
+type violation =
+  | Port_overload of {
+      side : Hotspot.side;
+      port : int;
+      at : float;  (** instant of peak excess *)
+      usage : float;
+      capacity : float;
+    }
+  | Deadline_miss of { request_id : int; tau : float; tf : float }
+  | Rate_above_max of { request_id : int; bw : float; max_rate : float }
+  | Start_before_request of { request_id : int; sigma : float; ts : float }
+  | Bad_route of { request_id : int; ingress : int; egress : int }
+  | Duplicate_request of { request_id : int }
+
+val check :
+  Gridbw_topology.Fabric.t -> Gridbw_alloc.Allocation.t list -> violation list
+(** Empty list iff the allocations form a feasible schedule.  Port
+    overloads are reported once per port at the instant of worst excess;
+    per-request violations once per offending allocation.  Capacity
+    comparisons use the ledger's relative [1e-9] slack. *)
+
+val is_valid : Gridbw_topology.Fabric.t -> Gridbw_alloc.Allocation.t list -> bool
+val pp_violation : Format.formatter -> violation -> unit
+val report : Gridbw_topology.Fabric.t -> Gridbw_alloc.Allocation.t list -> string
+(** Human-readable multi-line report; "schedule is feasible" when clean. *)

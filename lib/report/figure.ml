@@ -1,0 +1,83 @@
+type series = { label : string; points : (float * float) list }
+type t = { id : string; title : string; x_label : string; y_label : string; series : series list }
+
+let make ~id ~title ~x_label ~y_label series = { id; title; x_label; y_label; series }
+let series ~label points = { label; points }
+
+let xs_of t =
+  List.concat_map (fun s -> List.map fst s.points) t.series
+  |> List.sort_uniq Float.compare
+
+let lookup s x = List.assoc_opt x s.points
+
+let to_table ?(precision = 4) t =
+  let xs = xs_of t in
+  let fmt v = Printf.sprintf "%.*f" precision v in
+  let rows =
+    List.map
+      (fun x ->
+        fmt x :: List.map (fun s -> match lookup s x with Some y -> fmt y | None -> "") t.series)
+      xs
+  in
+  Table.make ~headers:(t.x_label :: List.map (fun s -> s.label) t.series) rows
+
+let marks = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&'; '$'; '~' |]
+
+let ascii_plot ?(width = 64) ?(height = 16) t =
+  let points = List.concat_map (fun s -> s.points) t.series in
+  match points with
+  | [] -> ""
+  | (x0, y0) :: _ ->
+      let fold f init = List.fold_left f init points in
+      let xmin = fold (fun a (x, _) -> Float.min a x) x0 in
+      let xmax = fold (fun a (x, _) -> Float.max a x) x0 in
+      let ymin = Float.min 0.0 (fold (fun a (_, y) -> Float.min a y) y0) in
+      let ymax = fold (fun a (_, y) -> Float.max a y) y0 in
+      let ymax = if ymax = ymin then ymin +. 1.0 else ymax in
+      let xspan = if xmax = xmin then 1.0 else xmax -. xmin in
+      let grid = Array.make_matrix height width ' ' in
+      List.iteri
+        (fun si s ->
+          let mark = marks.(si mod Array.length marks) in
+          List.iter
+            (fun (x, y) ->
+              let col =
+                int_of_float ((x -. xmin) /. xspan *. float_of_int (width - 1) +. 0.5)
+              in
+              let row =
+                height - 1
+                - int_of_float ((y -. ymin) /. (ymax -. ymin) *. float_of_int (height - 1) +. 0.5)
+              in
+              if row >= 0 && row < height && col >= 0 && col < width then grid.(row).(col) <- mark)
+            s.points)
+        t.series;
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf (Printf.sprintf "%10.3f |" ymax);
+      Buffer.add_string buf (String.init width (fun c -> grid.(0).(c)));
+      Buffer.add_char buf '\n';
+      for r = 1 to height - 2 do
+        Buffer.add_string buf "           |";
+        Buffer.add_string buf (String.init width (fun c -> grid.(r).(c)));
+        Buffer.add_char buf '\n'
+      done;
+      Buffer.add_string buf (Printf.sprintf "%10.3f |" ymin);
+      Buffer.add_string buf (String.init width (fun c -> grid.(height - 1).(c)));
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf ("           +" ^ String.make width '-' ^ "\n");
+      let xlo = Printf.sprintf "%.3g" xmin and xhi = Printf.sprintf "%.3g" xmax in
+      let gap = max 1 (width - String.length xlo - String.length xhi) in
+      Buffer.add_string buf ("            " ^ xlo ^ String.make gap ' ' ^ xhi ^ "\n");
+      List.iteri
+        (fun si s ->
+          Buffer.add_string buf
+            (Printf.sprintf "            %c = %s\n" marks.(si mod Array.length marks) s.label))
+        t.series;
+      Buffer.contents buf
+
+let render ?precision t =
+  Printf.sprintf "== %s: %s ==\n(y: %s)\n%s\n%s" t.id t.title t.y_label
+    (Table.render (to_table ?precision t))
+    (ascii_plot t)
+
+let to_csv t = Table.to_csv (to_table ~precision:6 t)
+let print t = print_endline (render t)

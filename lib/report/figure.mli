@@ -1,0 +1,31 @@
+(** Figure containers: named series over a shared x-axis, rendered as an
+    aligned table (one column per series) plus optional ASCII plot. *)
+
+type series = { label : string; points : (float * float) list }
+
+type t = {
+  id : string;  (** e.g. "fig4-accept" *)
+  title : string;
+  x_label : string;
+  y_label : string;
+  series : series list;
+}
+
+val make :
+  id:string -> title:string -> x_label:string -> y_label:string -> series list -> t
+
+val series : label:string -> (float * float) list -> series
+
+val to_table : ?precision:int -> t -> Table.t
+(** One row per distinct x (union over series, sorted); missing points
+    render as empty cells. *)
+
+val render : ?precision:int -> t -> string
+(** Title line, the table, and an ASCII chart of the series. *)
+
+val ascii_plot : ?width:int -> ?height:int -> t -> string
+(** Crude scatter plot; each series uses a distinct mark character.
+    Returns "" when there are no points. *)
+
+val to_csv : t -> string
+val print : t -> unit

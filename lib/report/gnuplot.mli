@@ -1,0 +1,14 @@
+(** Gnuplot export for {!Figure.t}.
+
+    The harness's primary output is ASCII, but regenerated paper figures
+    are nicer to eyeball as plots.  [script] renders a self-contained
+    gnuplot program (data inlined via heredocs, one block per series) that
+    produces a PNG; [write ~dir fig] drops [<id>.gp] next to the CSVs so
+    `gnuplot results/fig4-accept.gp` recreates the figure offline. *)
+
+val script : ?terminal:string -> ?output:string -> Figure.t -> string
+(** Gnuplot source.  [terminal] defaults to ["pngcairo size 900,600"];
+    [output] defaults to ["<id>.png"]. *)
+
+val write : dir:string -> Figure.t -> string
+(** Write [<dir>/<id>.gp]; creates [dir] if missing; returns the path. *)

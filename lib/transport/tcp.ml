@@ -1,0 +1,180 @@
+type algorithm = Reno | Bic
+
+type flow_spec = {
+  algorithm : algorithm;
+  volume : float;
+  start_round : int;
+  rate_cap : float option;
+}
+
+let flow ?(algorithm = Reno) ?(start_round = 0) ?rate_cap ~volume () =
+  if volume <= 0. then invalid_arg "Tcp.flow: volume must be positive";
+  if start_round < 0 then invalid_arg "Tcp.flow: start_round must be non-negative";
+  (match rate_cap with
+  | Some c when c <= 0. -> invalid_arg "Tcp.flow: rate_cap must be positive"
+  | _ -> ());
+  { algorithm; volume; start_round; rate_cap }
+
+type flow_report = {
+  spec : flow_spec;
+  delivered : float;
+  finished_round : int option;
+  loss_events : int;
+  mean_rate : float;
+}
+
+type result = {
+  flows : flow_report list;
+  rounds : int;
+  bottleneck_utilization : float;
+  total_drops : float;
+  jain_fairness : float;
+}
+
+(* Per-flow congestion state.  Windows are floats (fluid segments). *)
+type state = {
+  spec : flow_spec;
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  mutable w_max : float;  (* BIC: window before the last loss *)
+  mutable remaining : float;
+  mutable delivered : float;
+  mutable finished : int option;
+  mutable losses : int;
+  mutable active_rounds : int;
+}
+
+let initial_window = 2.0
+
+(* BIC parameters (scaled-down textbook values). *)
+let bic_smax = 16.0
+let bic_beta = 0.8
+
+let grow st =
+  match st.spec.algorithm with
+  | Reno ->
+      if st.cwnd < st.ssthresh then st.cwnd <- st.cwnd *. 2.0 (* slow start *)
+      else st.cwnd <- st.cwnd +. 1.0 (* congestion avoidance *)
+  | Bic ->
+      if st.cwnd < st.ssthresh then st.cwnd <- st.cwnd *. 2.0
+      else if st.cwnd < st.w_max then begin
+        (* binary search toward the pre-loss window *)
+        let step = Float.min bic_smax ((st.w_max -. st.cwnd) /. 2.0) in
+        st.cwnd <- st.cwnd +. Float.max 1.0 step
+      end
+      else
+        (* max probing beyond w_max *)
+        st.cwnd <- st.cwnd +. 1.0
+
+let on_loss st =
+  st.losses <- st.losses + 1;
+  (match st.spec.algorithm with
+  | Reno ->
+      st.ssthresh <- Float.max initial_window (st.cwnd /. 2.0);
+      st.cwnd <- st.ssthresh
+  | Bic ->
+      st.w_max <- st.cwnd;
+      st.ssthresh <- Float.max initial_window (st.cwnd *. bic_beta);
+      st.cwnd <- st.ssthresh);
+  if st.cwnd < 1.0 then st.cwnd <- 1.0
+
+let simulate ?buffer ~capacity ~max_rounds specs =
+  if capacity <= 0. then invalid_arg "Tcp.simulate: capacity must be positive";
+  if max_rounds <= 0 then invalid_arg "Tcp.simulate: max_rounds must be positive";
+  let buffer = match buffer with Some b -> b | None -> capacity in
+  if buffer < 0. then invalid_arg "Tcp.simulate: negative buffer";
+  let states =
+    List.map
+      (fun spec ->
+        {
+          spec;
+          cwnd = initial_window;
+          ssthresh = infinity;
+          w_max = infinity;
+          remaining = spec.volume;
+          delivered = 0.0;
+          finished = None;
+          losses = 0;
+          active_rounds = 0;
+        })
+      specs
+  in
+  let arr = Array.of_list states in
+  let total_drops = ref 0.0 in
+  let busy_rounds = ref 0 and delivered_total = ref 0.0 in
+  let round = ref 0 in
+  let unfinished () =
+    Array.exists (fun st -> st.finished = None && st.remaining > 0.) arr
+  in
+  while !round < max_rounds && unfinished () do
+    let r = !round in
+    (* Offered load this round: window-limited, volume-limited, and capped
+       by any shaping reservation. *)
+    let offers =
+      Array.map
+        (fun st ->
+          if st.finished <> None || r < st.spec.start_round then 0.0
+          else begin
+            st.active_rounds <- st.active_rounds + 1;
+            let w = Float.min st.cwnd st.remaining in
+            match st.spec.rate_cap with Some cap -> Float.min w cap | None -> w
+          end)
+        arr
+    in
+    let offered = Array.fold_left ( +. ) 0.0 offers in
+    if offered > 0. then incr busy_rounds;
+    let deliverable = capacity +. buffer in
+    let overflow = offered > deliverable in
+    let scale = if overflow then deliverable /. offered else 1.0 in
+    Array.iteri
+      (fun i st ->
+        let sent = offers.(i) in
+        if sent > 0. then begin
+          (* Everything above the scaled share is dropped; goodput is
+             additionally limited to the link capacity share (the buffered
+             excess drains within the round in this fluid abstraction). *)
+          let through = sent *. scale in
+          let drops = sent -. through in
+          total_drops := !total_drops +. drops;
+          st.remaining <- Float.max 0.0 (st.remaining -. through);
+          st.delivered <- st.delivered +. through;
+          delivered_total := !delivered_total +. through;
+          if st.remaining <= 1e-9 && st.finished = None then st.finished <- Some r
+          else if drops > 1e-9 then on_loss st
+          else grow st
+        end)
+      arr;
+    incr round
+  done;
+  let reports =
+    List.map
+      (fun st ->
+        {
+          spec = st.spec;
+          delivered = st.delivered;
+          finished_round = st.finished;
+          loss_events = st.losses;
+          mean_rate =
+            (if st.active_rounds = 0 then 0.0
+             else st.delivered /. float_of_int st.active_rounds);
+        })
+      states
+  in
+  let rates = List.map (fun f -> f.mean_rate) reports in
+  let jain =
+    let n = List.length rates in
+    if n = 0 then 1.0
+    else
+      let s = List.fold_left ( +. ) 0.0 rates in
+      let s2 = List.fold_left (fun acc x -> acc +. (x *. x)) 0.0 rates in
+      if s2 = 0. then 1.0 else s *. s /. (float_of_int n *. s2)
+  in
+  {
+    flows = reports;
+    rounds = !round;
+    bottleneck_utilization =
+      (if !busy_rounds = 0 then 0.0
+       else Float.min 1.0 (!delivered_total /. (capacity *. float_of_int !busy_rounds)));
+    total_drops = !total_drops;
+    jain_fairness = jain;
+  }

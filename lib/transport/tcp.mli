@@ -1,0 +1,62 @@
+(** Round-based TCP congestion-control model (Reno and BIC).
+
+    The paper's data plane (section 5.4) runs bulk transfers over TCP; its
+    motivation (section 1) is that TCP's congestion control shares deep
+    bottlenecks poorly for bulk data in large bandwidth-delay-product
+    networks, while the overlay's enforced reservations let "well tuned
+    TCP flows fully utilize their allocated capacity".  This module
+    reproduces those dynamics with the standard fluid/round abstraction:
+    time advances in RTT-sized rounds; each flow sends a window of
+    segments per round into a shared drop-tail bottleneck; overflow
+    segments are dropped in proportion to the offered excess and trigger
+    the control law (slow start, congestion avoidance; BIC's binary
+    increase).  Units: segments and segments/round. *)
+
+type algorithm =
+  | Reno  (** slow start then AIMD: +1 segment/round, halve on loss *)
+  | Bic
+      (** binary increase: on loss remember [w_max], halve; then grow
+          toward [w_max] by binary search and beyond by max-probing —
+          the BIC behaviour of Xu et al. (paper reference [22]) *)
+
+type flow_spec = {
+  algorithm : algorithm;
+  volume : float;  (** segments to deliver; [infinity] = long-lived *)
+  start_round : int;  (** round at which the flow begins *)
+  rate_cap : float option;
+      (** segments/round ceiling (a token-bucket-shaped reservation);
+          [None] = unshaped *)
+}
+
+val flow : ?algorithm:algorithm -> ?start_round:int -> ?rate_cap:float ->
+  volume:float -> unit -> flow_spec
+
+type flow_report = {
+  spec : flow_spec;
+  delivered : float;  (** segments that made it through *)
+  finished_round : int option;  (** [None] if the volume never completed *)
+  loss_events : int;  (** multiplicative-decrease episodes *)
+  mean_rate : float;  (** delivered / active rounds *)
+}
+
+type result = {
+  flows : flow_report list;  (** in input order *)
+  rounds : int;
+  bottleneck_utilization : float;
+      (** delivered segments / (capacity × rounds with ≥1 active flow),
+          clamped to 1 (queued excess drains within the fluid round) *)
+  total_drops : float;
+  jain_fairness : float;
+      (** Jain's index over the flows' mean rates; 1 = perfectly fair *)
+}
+
+val simulate :
+  ?buffer:float ->
+  capacity:float ->
+  max_rounds:int ->
+  flow_spec list ->
+  result
+(** Run until every finite-volume flow completes or [max_rounds] elapse.
+    [capacity] is the bottleneck rate in segments/round (> 0); [buffer]
+    is the drop-tail queue in segments (default [capacity], i.e. one
+    bandwidth-delay product).  Deterministic. *)

@@ -1,0 +1,61 @@
+module Request = Gridbw_request.Request
+
+let header = "id,ingress,egress,volume_mb,ts_s,tf_s,max_rate_mbps"
+
+let line_of (r : Request.t) =
+  Printf.sprintf "%d,%d,%d,%.17g,%.17g,%.17g,%.17g" r.id r.ingress r.egress r.volume r.ts r.tf
+    r.max_rate
+
+let buffer_add buf requests =
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (line_of r);
+      Buffer.add_char buf '\n')
+    requests
+
+let to_string requests =
+  let buf = Buffer.create 4096 in
+  buffer_add buf requests;
+  Buffer.contents buf
+
+let to_channel oc requests = output_string oc (to_string requests)
+
+let to_file path requests =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc requests)
+
+let parse_line lineno line =
+  match String.split_on_char ',' (String.trim line) with
+  | [ id; ingress; egress; volume; ts; tf; max_rate ] -> (
+      try
+        Request.make ~id:(int_of_string id) ~ingress:(int_of_string ingress)
+          ~egress:(int_of_string egress) ~volume:(float_of_string volume)
+          ~ts:(float_of_string ts) ~tf:(float_of_string tf) ~max_rate:(float_of_string max_rate)
+      with Invalid_argument msg | Failure msg ->
+        failwith (Printf.sprintf "Trace: line %d: %s" lineno msg))
+  | _ -> failwith (Printf.sprintf "Trace: line %d: expected 7 comma-separated fields" lineno)
+
+let of_lines lines =
+  match lines with
+  | [] -> []
+  | first :: rest ->
+      let body = if String.trim first = header then rest else lines in
+      let start = if body == rest then 2 else 1 in
+      List.filteri (fun _ l -> String.trim l <> "") body
+      |> List.mapi (fun i l -> parse_line (start + i) l)
+
+let of_string s = of_lines (String.split_on_char '\n' s)
+
+let of_channel ic =
+  let rec read acc =
+    match input_line ic with
+    | line -> read (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  of_lines (read [])
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> of_channel ic)

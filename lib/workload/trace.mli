@@ -1,0 +1,16 @@
+(** CSV persistence of workload traces.
+
+    Format (one line per request, header included):
+    [id,ingress,egress,volume_mb,ts_s,tf_s,max_rate_mbps].  Floats are
+    printed with enough digits to round-trip exactly ([%.17g]). *)
+
+val to_channel : out_channel -> Gridbw_request.Request.t list -> unit
+val to_file : string -> Gridbw_request.Request.t list -> unit
+
+val of_channel : in_channel -> Gridbw_request.Request.t list
+(** Raises [Failure] with a line-number message on malformed input. *)
+
+val of_file : string -> Gridbw_request.Request.t list
+
+val to_string : Gridbw_request.Request.t list -> string
+val of_string : string -> Gridbw_request.Request.t list

@@ -1,0 +1,151 @@
+open Helpers
+module Fabric = Gridbw_topology.Fabric
+module Request = Gridbw_request.Request
+module Maxmin = Gridbw_baseline.Maxmin
+module Fluid = Gridbw_baseline.Fluid
+module Rng = Gridbw_prng.Rng
+
+let flow ?(ingress = 0) ?(egress = 0) max_rate = { Maxmin.ingress; egress; max_rate }
+
+let equal_split () =
+  let rates =
+    Maxmin.rates ~caps_in:[| 100. |] ~caps_out:[| 100. |] [| flow 100.; flow 100. |]
+  in
+  check_approx "fair half" 50.0 rates.(0);
+  check_approx "fair half" 50.0 rates.(1)
+
+let cap_limits_flow () =
+  let rates = Maxmin.rates ~caps_in:[| 100. |] ~caps_out:[| 100. |] [| flow 10.; flow 100. |] in
+  check_approx "capped flow" 10.0 rates.(0);
+  check_approx "rest to the other" 90.0 rates.(1)
+
+let single_flow_gets_min_of_caps () =
+  let rates = Maxmin.rates ~caps_in:[| 40. |] ~caps_out:[| 100. |] [| flow 500. |] in
+  check_approx "ingress bottleneck" 40.0 rates.(0)
+
+let cross_traffic () =
+  (* Flow A crosses (in0, out0); flow B (in0, out1); flow C (in1, out1).
+     Port in0 splits A and B at 50 each; C then gets out1's residue. *)
+  let rates =
+    Maxmin.rates ~caps_in:[| 100.; 100. |] ~caps_out:[| 100.; 100. |]
+      [| flow ~ingress:0 ~egress:0 1000.; flow ~ingress:0 ~egress:1 1000.;
+         flow ~ingress:1 ~egress:1 1000. |]
+  in
+  check_approx "A" 50.0 rates.(0);
+  check_approx "B" 50.0 rates.(1);
+  check_approx "C" 50.0 rates.(2)
+
+let empty_flows () =
+  let rates = Maxmin.rates ~caps_in:[| 10. |] ~caps_out:[| 10. |] [||] in
+  Alcotest.(check int) "no rates" 0 (Array.length rates)
+
+let bad_inputs () =
+  (match Maxmin.rates ~caps_in:[| 0. |] ~caps_out:[| 1. |] [||] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero capacity accepted");
+  match Maxmin.rates ~caps_in:[| 1. |] ~caps_out:[| 1. |] [| flow ~ingress:5 1. |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad port accepted"
+
+let prop_maxmin_properties =
+  qcase ~count:80 "qcheck: progressive filling yields a max-min allocation"
+    QCheck2.Gen.(pair (int_range 1 40) (int_range 0 100000))
+    (fun (n, seed) ->
+      let rng = Rng.create ~seed:(Int64.of_int seed) () in
+      let caps_in = Array.init 3 (fun _ -> Rng.float_in rng 10. 200.) in
+      let caps_out = Array.init 3 (fun _ -> Rng.float_in rng 10. 200.) in
+      let flows =
+        Array.init n (fun _ ->
+            { Maxmin.ingress = Rng.int rng 3; egress = Rng.int rng 3;
+              max_rate = Rng.float_in rng 1. 100. })
+      in
+      let rates = Maxmin.rates ~caps_in ~caps_out flows in
+      Maxmin.is_maxmin ~caps_in ~caps_out flows rates)
+
+(* --- Fluid --- *)
+
+let fabric1 () = Fabric.uniform ~ingress_count:1 ~egress_count:1 ~capacity:100.0
+
+let lone_transfer_on_time () =
+  (* 500 MB at MaxRate 100 through an idle port: finishes in 5 s. *)
+  let r = req ~id:0 ~volume:500. ~ts:0. ~tf:10. ~max_rate:100. () in
+  let result = Fluid.simulate (fabric1 ()) [ r ] in
+  let f = List.hd result.Fluid.flows in
+  check_approx "finish" 5.0 f.Fluid.finish;
+  Alcotest.(check bool) "on time" true f.Fluid.deadline_met;
+  check_approx "no misses" 0.0 result.Fluid.deadline_miss_rate
+
+let sharing_delays_completion () =
+  (* Two identical 500 MB transfers share the 100 MB/s port: 50 each,
+     both complete at t = 10 — exactly their deadline. A third pushes
+     everyone to ~1/3 of the port and all three are late. *)
+  let mk id = req ~id ~volume:500. ~ts:0. ~tf:10. ~max_rate:100. () in
+  let two = Fluid.simulate (fabric1 ()) [ mk 0; mk 1 ] in
+  List.iter
+    (fun f ->
+      check_approx "finish at deadline" 10.0 f.Fluid.finish;
+      Alcotest.(check bool) "met" true f.Fluid.deadline_met)
+    two.Fluid.flows;
+  let three = Fluid.simulate (fabric1 ()) [ mk 0; mk 1; mk 2 ] in
+  check_approx "all late" 1.0 three.Fluid.deadline_miss_rate;
+  Alcotest.(check int) "concurrency" 3 three.Fluid.max_concurrency
+
+let later_arrival_speeds_up_after_departure () =
+  (* f0 runs alone on [0,1) at 100 (150 MB left), then shares at 50 and
+     finishes at t=4; f1 has 50 MB left at t=4 and finishes alone at 100:
+     t=4.5. *)
+  let f0 = req ~id:0 ~volume:250. ~ts:0. ~tf:10. ~max_rate:100. () in
+  let f1 = req ~id:1 ~volume:200. ~ts:1. ~tf:10. ~max_rate:100. () in
+  let result = Fluid.simulate (fabric1 ()) [ f0; f1 ] in
+  let by_id id = List.find (fun f -> f.Fluid.request.Request.id = id) result.Fluid.flows in
+  check_approx "f0 finish" 4.0 (by_id 0).Fluid.finish;
+  check_approx "f1 finish" 4.5 (by_id 1).Fluid.finish
+
+let volume_conserved () =
+  let fabric = fabric2 () in
+  let reqs = random_requests ~seed:17L ~n:30 fabric in
+  let result = Fluid.simulate fabric reqs in
+  Alcotest.(check int) "every flow completes" 30 (List.length result.Fluid.flows);
+  List.iter
+    (fun f ->
+      let r = f.Fluid.request in
+      if f.Fluid.finish < r.Request.ts then Alcotest.fail "finished before arrival";
+      let implied = f.Fluid.mean_rate *. (f.Fluid.finish -. r.Request.ts) in
+      check_approx ~eps:1e-6 "volume conserved" r.Request.volume implied)
+    result.Fluid.flows
+
+let overload_misses_deadlines () =
+  (* Twenty rigid-tight transfers at once on one port: massive overload,
+     nearly everyone is late. *)
+  let reqs =
+    List.init 20 (fun id -> req ~id ~volume:100. ~ts:0. ~tf:1.5 ~max_rate:100. ())
+  in
+  let result = Fluid.simulate (fabric1 ()) reqs in
+  Alcotest.(check bool) "most deadlines missed" true (result.Fluid.deadline_miss_rate > 0.9)
+
+let empty_fluid () =
+  let result = Fluid.simulate (fabric1 ()) [] in
+  Alcotest.(check int) "no flows" 0 (List.length result.Fluid.flows)
+
+let suites =
+  [
+    ( "maxmin",
+      [
+        case "equal split" equal_split;
+        case "per-flow cap limits" cap_limits_flow;
+        case "single flow takes min of caps" single_flow_gets_min_of_caps;
+        case "cross traffic" cross_traffic;
+        case "empty flow set" empty_flows;
+        case "bad inputs" bad_inputs;
+        prop_maxmin_properties;
+      ] );
+    ( "fluid",
+      [
+        case "lone transfer on time" lone_transfer_on_time;
+        case "sharing delays completion" sharing_delays_completion;
+        case "rates rise after departures" later_arrival_speeds_up_after_departure;
+        case "volume conserved on random workload" volume_conserved;
+        case "overload misses deadlines" overload_misses_deadlines;
+        case "empty workload" empty_fluid;
+      ] );
+  ]

@@ -1,0 +1,126 @@
+open Helpers
+module Dinic = Gridbw_flow.Dinic
+module Rng = Gridbw_prng.Rng
+
+let invalid name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+
+let single_edge () =
+  let g = Dinic.create ~vertices:2 in
+  let e = Dinic.add_edge g ~src:0 ~dst:1 ~capacity:7 in
+  Alcotest.(check int) "flow" 7 (Dinic.max_flow g ~source:0 ~sink:1);
+  Alcotest.(check int) "edge carries it" 7 (Dinic.flow_on g e)
+
+let series_bottleneck () =
+  let g = Dinic.create ~vertices:3 in
+  ignore (Dinic.add_edge g ~src:0 ~dst:1 ~capacity:10);
+  ignore (Dinic.add_edge g ~src:1 ~dst:2 ~capacity:3);
+  Alcotest.(check int) "bottleneck" 3 (Dinic.max_flow g ~source:0 ~sink:2)
+
+let parallel_paths () =
+  let g = Dinic.create ~vertices:4 in
+  ignore (Dinic.add_edge g ~src:0 ~dst:1 ~capacity:5);
+  ignore (Dinic.add_edge g ~src:0 ~dst:2 ~capacity:4);
+  ignore (Dinic.add_edge g ~src:1 ~dst:3 ~capacity:5);
+  ignore (Dinic.add_edge g ~src:2 ~dst:3 ~capacity:4);
+  Alcotest.(check int) "sums paths" 9 (Dinic.max_flow g ~source:0 ~sink:3)
+
+(* The classic case where a greedy augmenting path must be undone through
+   the residual edge. *)
+let needs_residual () =
+  let g = Dinic.create ~vertices:4 in
+  ignore (Dinic.add_edge g ~src:0 ~dst:1 ~capacity:1);
+  ignore (Dinic.add_edge g ~src:0 ~dst:2 ~capacity:1);
+  ignore (Dinic.add_edge g ~src:1 ~dst:2 ~capacity:1);
+  ignore (Dinic.add_edge g ~src:1 ~dst:3 ~capacity:1);
+  ignore (Dinic.add_edge g ~src:2 ~dst:3 ~capacity:1);
+  Alcotest.(check int) "2 units through the cross edge" 2 (Dinic.max_flow g ~source:0 ~sink:3)
+
+let disconnected () =
+  let g = Dinic.create ~vertices:4 in
+  ignore (Dinic.add_edge g ~src:0 ~dst:1 ~capacity:5);
+  ignore (Dinic.add_edge g ~src:2 ~dst:3 ~capacity:5);
+  Alcotest.(check int) "no path" 0 (Dinic.max_flow g ~source:0 ~sink:3)
+
+let zero_capacity_edges () =
+  let g = Dinic.create ~vertices:2 in
+  ignore (Dinic.add_edge g ~src:0 ~dst:1 ~capacity:0);
+  Alcotest.(check int) "blocked" 0 (Dinic.max_flow g ~source:0 ~sink:1)
+
+let bipartite_matching () =
+  (* 3x3 bipartite with a perfect matching. *)
+  let g = Dinic.create ~vertices:8 in
+  let src = 0 and sink = 7 in
+  let left i = 1 + i and right j = 4 + j in
+  for i = 0 to 2 do
+    ignore (Dinic.add_edge g ~src ~dst:(left i) ~capacity:1);
+    ignore (Dinic.add_edge g ~src:(right i) ~dst:sink ~capacity:1)
+  done;
+  List.iter
+    (fun (i, j) -> ignore (Dinic.add_edge g ~src:(left i) ~dst:(right j) ~capacity:1))
+    [ (0, 0); (0, 1); (1, 1); (1, 2); (2, 0) ];
+  Alcotest.(check int) "perfect matching" 3 (Dinic.max_flow g ~source:src ~sink)
+
+let validation () =
+  let g = Dinic.create ~vertices:2 in
+  invalid "negative capacity" (fun () -> Dinic.add_edge g ~src:0 ~dst:1 ~capacity:(-1));
+  invalid "bad vertex" (fun () -> Dinic.add_edge g ~src:0 ~dst:9 ~capacity:1);
+  invalid "source = sink" (fun () -> Dinic.max_flow g ~source:0 ~sink:0);
+  invalid "zero vertices" (fun () -> Dinic.create ~vertices:0)
+
+let add_after_solve_rejected () =
+  let g = Dinic.create ~vertices:2 in
+  ignore (Dinic.add_edge g ~src:0 ~dst:1 ~capacity:1);
+  ignore (Dinic.max_flow g ~source:0 ~sink:1);
+  invalid "frozen" (fun () -> Dinic.add_edge g ~src:0 ~dst:1 ~capacity:1)
+
+(* Flow conservation and capacity bounds against a brute-force min-cut
+   upper bound on random small graphs. *)
+let prop_flow_bounded_by_cuts =
+  qcase ~count:40 "qcheck: max flow equals brute-force min cut"
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let rng = Rng.create ~seed:(Int64.of_int seed) () in
+      let vertices = 5 in
+      let edges =
+        List.init 10 (fun _ ->
+            (Rng.int rng vertices, Rng.int rng vertices, Rng.int rng 5))
+        |> List.filter (fun (s, d, _) -> s <> d)
+      in
+      let g = Dinic.create ~vertices in
+      List.iter (fun (s, d, c) -> ignore (Dinic.add_edge g ~src:s ~dst:d ~capacity:c)) edges;
+      let flow = Dinic.max_flow g ~source:0 ~sink:(vertices - 1) in
+      (* Brute-force min cut over all source-side subsets containing 0 and
+         not vertices-1. *)
+      let min_cut = ref max_int in
+      for mask = 0 to (1 lsl vertices) - 1 do
+        if mask land 1 = 1 && mask land (1 lsl (vertices - 1)) = 0 then begin
+          let cut =
+            List.fold_left
+              (fun acc (s, d, c) ->
+                if mask land (1 lsl s) <> 0 && mask land (1 lsl d) = 0 then acc + c else acc)
+              0 edges
+          in
+          if cut < !min_cut then min_cut := cut
+        end
+      done;
+      flow = !min_cut)
+
+let suites =
+  [
+    ( "dinic",
+      [
+        case "single edge" single_edge;
+        case "series bottleneck" series_bottleneck;
+        case "parallel paths" parallel_paths;
+        case "needs residual edges" needs_residual;
+        case "disconnected" disconnected;
+        case "zero capacity" zero_capacity_edges;
+        case "bipartite matching" bipartite_matching;
+        case "validation" validation;
+        case "frozen after solve" add_after_solve_rejected;
+        prop_flow_bounded_by_cuts;
+      ] );
+  ]

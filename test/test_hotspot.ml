@@ -1,0 +1,67 @@
+open Helpers
+module Fabric = Gridbw_topology.Fabric
+module Request = Gridbw_request.Request
+module Allocation = Gridbw_alloc.Allocation
+module Hotspot = Gridbw_metrics.Hotspot
+
+let empty () = Alcotest.(check int) "no reports" 0 (List.length (Hotspot.analyze (fabric2 ()) ~all:[] ~accepted:[]))
+
+let report_for side port reports =
+  match
+    List.find_opt (fun r -> r.Hotspot.side = side && r.Hotspot.port = port) reports
+  with
+  | Some r -> r
+  | None -> Alcotest.fail "missing report"
+
+let pressure_accounting () =
+  let f = fabric2 () in
+  (* 2000 MB over a 10 s span through ingress 0 => 200 MB/s demanded on a
+     100 MB/s port: pressure 2. *)
+  let r1 = req ~id:1 ~ingress:0 ~egress:0 ~volume:1500. ~ts:0. ~tf:10. ~max_rate:150. () in
+  let r2 = req ~id:2 ~ingress:0 ~egress:1 ~volume:500. ~ts:0. ~tf:10. ~max_rate:50. () in
+  let accepted = [ Allocation.make ~request:r2 ~bw:50. ~sigma:0. ] in
+  let reports = Hotspot.analyze f ~all:[ r1; r2 ] ~accepted in
+  Alcotest.(check int) "one report per port" 4 (List.length reports);
+  let in0 = report_for Hotspot.Ingress 0 reports in
+  check_approx "demanded" 200.0 in0.Hotspot.demanded_rate;
+  check_approx "granted" 50.0 in0.Hotspot.granted_rate;
+  check_approx "lost" 150.0 in0.Hotspot.lost_rate;
+  check_approx "pressure" 2.0 in0.Hotspot.pressure;
+  Alcotest.(check int) "requests" 2 in0.Hotspot.requests;
+  Alcotest.(check int) "accepted" 1 in0.Hotspot.accepted;
+  (* Untouched ingress port 1. *)
+  let in1 = report_for Hotspot.Ingress 1 reports in
+  check_approx "idle port" 0.0 in1.Hotspot.pressure
+
+let sorted_by_pressure () =
+  let f = fabric2 () in
+  let r1 = req ~id:1 ~ingress:0 ~egress:1 ~volume:3000. ~ts:0. ~tf:10. ~max_rate:300. () in
+  let reports = Hotspot.analyze f ~all:[ r1 ] ~accepted:[] in
+  (match reports with
+  | first :: second :: _ ->
+      Alcotest.(check bool) "descending" true (first.Hotspot.pressure >= second.Hotspot.pressure)
+  | _ -> Alcotest.fail "expected reports");
+  let hot = Hotspot.hot_spots reports in
+  (* Ingress 0 and egress 1 both carry 300 MB/s demand on 100 MB/s. *)
+  Alcotest.(check int) "two hot spots" 2 (List.length hot);
+  Alcotest.(check int) "threshold filters" 0
+    (List.length (Hotspot.hot_spots ~threshold:10.0 reports))
+
+let egress_side_tracked () =
+  let f = fabric2 () in
+  let r1 = req ~id:1 ~ingress:0 ~egress:1 ~volume:800. ~ts:0. ~tf:10. ~max_rate:80. () in
+  let accepted = [ Allocation.make ~request:r1 ~bw:80. ~sigma:0. ] in
+  let out1 = report_for Hotspot.Egress 1 (Hotspot.analyze f ~all:[ r1 ] ~accepted) in
+  check_approx "egress granted" 80.0 out1.Hotspot.granted_rate;
+  Alcotest.(check int) "egress accepted count" 1 out1.Hotspot.accepted
+
+let suites =
+  [
+    ( "hotspot",
+      [
+        case "empty workload" empty;
+        case "pressure accounting" pressure_accounting;
+        case "sorted and filtered" sorted_by_pressure;
+        case "egress side tracked" egress_side_tracked;
+      ] );
+  ]

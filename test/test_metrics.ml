@@ -1,0 +1,131 @@
+open Helpers
+module Stats = Gridbw_metrics.Stats
+module Summary = Gridbw_metrics.Summary
+module Allocation = Gridbw_alloc.Allocation
+module Fabric = Gridbw_topology.Fabric
+module Request = Gridbw_request.Request
+
+let welford_known_values () =
+  let w = Stats.Welford.create () in
+  List.iter (Stats.Welford.add w) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  check_approx "mean" 5.0 (Stats.Welford.mean w);
+  check_approx "sample variance" (32.0 /. 7.0) (Stats.Welford.variance w);
+  check_approx "min" 2.0 (Stats.Welford.min w);
+  check_approx "max" 9.0 (Stats.Welford.max w);
+  Alcotest.(check int) "count" 8 (Stats.Welford.count w)
+
+let welford_empty () =
+  let w = Stats.Welford.create () in
+  check_approx "mean 0" 0.0 (Stats.Welford.mean w);
+  check_approx "variance 0" 0.0 (Stats.Welford.variance w)
+
+let welford_single () =
+  let w = Stats.Welford.create () in
+  Stats.Welford.add w 3.0;
+  check_approx "mean" 3.0 (Stats.Welford.mean w);
+  check_approx "variance needs two" 0.0 (Stats.Welford.variance w)
+
+let aggregate_ci () =
+  let a = Stats.aggregate [ 1.; 2.; 3.; 4.; 5. ] in
+  check_approx "mean" 3.0 a.Stats.mean;
+  check_approx "ci95" (1.96 *. a.Stats.stddev /. sqrt 5.0) a.Stats.ci95;
+  Alcotest.(check int) "n" 5 a.Stats.n
+
+let aggregate_empty () =
+  let a = Stats.aggregate [] in
+  Alcotest.(check int) "n" 0 a.Stats.n;
+  check_approx "mean" 0.0 a.Stats.mean
+
+(* --- Summary --- *)
+
+let summary_empty () =
+  let s = Summary.compute (fabric2 ()) ~all:[] ~accepted:[] in
+  Alcotest.(check int) "total" 0 s.Summary.total;
+  check_approx "accept rate" 0.0 s.Summary.accept_rate
+
+let two_requests_one_accepted () =
+  let f = fabric2 () in
+  (* Span [0, 10]; r1 accepted at its min rate of 50 MB/s. *)
+  let r1 = req ~id:1 ~ingress:0 ~egress:0 ~volume:500. ~ts:0. ~tf:10. ~max_rate:100. () in
+  let r2 = req ~id:2 ~ingress:1 ~egress:1 ~volume:500. ~ts:0. ~tf:10. ~max_rate:100. () in
+  let a1 = Allocation.make ~request:r1 ~bw:50. ~sigma:0. in
+  let s = Summary.compute f ~all:[ r1; r2 ] ~accepted:[ a1 ] in
+  check_approx "accept rate" 0.5 s.Summary.accept_rate;
+  check_approx "volume accept rate" 0.5 s.Summary.volume_accept_rate;
+  check_approx "mean bw" 50.0 s.Summary.mean_bw;
+  check_approx "mean speedup" 1.0 s.Summary.mean_speedup;
+  check_approx "span" 10.0 s.Summary.span;
+  (* Demand per port is 50 MB/s, below the 100 MB/s capacity, so B_scaled
+     clamps to the demand: utilization = 50 / (0.5*(50+50+50+50)) = 0.5. *)
+  check_approx "scaled utilization" 0.5 s.Summary.utilization;
+  (* Raw denominator is half of total capacity = 200. *)
+  check_approx "raw utilization" 0.25 s.Summary.raw_utilization
+
+let summary_full_acceptance () =
+  let f = fabric2 () in
+  let r = req ~id:1 ~volume:1000. ~ts:0. ~tf:10. ~max_rate:100. () in
+  let a = Allocation.make ~request:r ~bw:100. ~sigma:0. in
+  let s = Summary.compute f ~all:[ r ] ~accepted:[ a ] in
+  check_approx "accept rate 1" 1.0 s.Summary.accept_rate;
+  check_approx "utilization 1 (scaled)" 1.0 s.Summary.utilization
+
+let summary_speedup_and_delay () =
+  let r = req ~id:1 ~volume:100. ~ts:0. ~tf:10. ~max_rate:50. () in
+  (* Accepted at 2.5x its min rate, starting 2 s late. *)
+  let a = Allocation.make ~request:r ~bw:25. ~sigma:2. in
+  let s = Summary.compute (fabric2 ()) ~all:[ r ] ~accepted:[ a ] in
+  check_approx "speedup" 2.5 s.Summary.mean_speedup;
+  check_approx "start delay" 2.0 s.Summary.mean_start_delay
+
+let guaranteed_counting () =
+  let r1 = req ~id:1 ~volume:100. ~ts:0. ~tf:10. ~max_rate:40. () in
+  let r2 = req ~id:2 ~volume:100. ~ts:0. ~tf:10. ~max_rate:40. () in
+  let a1 = Allocation.make ~request:r1 ~bw:32. ~sigma:0. in
+  (* exactly 0.8 * 40 *)
+  let a2 = Allocation.make ~request:r2 ~bw:10. ~sigma:0. in
+  (* min rate only *)
+  Alcotest.(check int) "f=0.8 guarantees one" 1 (Summary.guaranteed_count ~f:0.8 [ a1; a2 ]);
+  Alcotest.(check int) "f=0 guarantees both" 2 (Summary.guaranteed_count ~f:0.0 [ a1; a2 ]);
+  Alcotest.(check int) "f=1 guarantees none" 0 (Summary.guaranteed_count ~f:1.0 [ a1; a2 ])
+
+let feasibility_detects_overload () =
+  let f = fabric2 () in
+  let mk id = req ~id ~ingress:0 ~egress:0 ~volume:600. ~ts:0. ~tf:10. ~max_rate:60. () in
+  let a id = Allocation.make ~request:(mk id) ~bw:60. ~sigma:0. in
+  Alcotest.(check bool) "one fits" true (Summary.all_feasible f [ a 1 ]);
+  Alcotest.(check bool) "two overload the port" false (Summary.all_feasible f [ a 1; a 2 ])
+
+let feasibility_detects_deadline_miss () =
+  let f = fabric2 () in
+  let r = req ~id:1 ~volume:100. ~ts:0. ~tf:10. ~max_rate:50. () in
+  let late = Allocation.make ~request:r ~bw:10. ~sigma:5. in
+  Alcotest.(check bool) "late allocation flagged" false (Summary.all_feasible f [ late ])
+
+let feasibility_detects_rate_violation () =
+  let f = fabric2 () in
+  let r = req ~id:1 ~volume:100. ~ts:0. ~tf:10. ~max_rate:20. () in
+  let fast = Allocation.make ~request:r ~bw:40. ~sigma:0. in
+  Alcotest.(check bool) "over-max-rate flagged" false (Summary.all_feasible f [ fast ])
+
+let suites =
+  [
+    ( "stats",
+      [
+        case "welford known values" welford_known_values;
+        case "welford empty" welford_empty;
+        case "welford single" welford_single;
+        case "aggregate ci95" aggregate_ci;
+        case "aggregate empty" aggregate_empty;
+      ] );
+    ( "summary",
+      [
+        case "empty run" summary_empty;
+        case "two requests, one accepted" two_requests_one_accepted;
+        case "full acceptance saturates utilization" summary_full_acceptance;
+        case "speedup and start delay" summary_speedup_and_delay;
+        case "guaranteed_count thresholds" guaranteed_counting;
+        case "feasibility: port overload" feasibility_detects_overload;
+        case "feasibility: deadline miss" feasibility_detects_deadline_miss;
+        case "feasibility: rate violation" feasibility_detects_rate_violation;
+      ] );
+  ]

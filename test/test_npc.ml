@@ -1,0 +1,113 @@
+open Helpers
+module Npc = Gridbw_core.Npc
+module Unit_exact = Gridbw_core.Unit_exact
+module Rng = Gridbw_prng.Rng
+
+let validate_errors () =
+  (match Npc.validate { Npc.n = 0; triples = [] } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "n = 0 accepted");
+  (match Npc.validate { Npc.n = 2; triples = [ (1, 1, 3) ] } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range coordinate accepted");
+  match Npc.validate { Npc.n = 2; triples = [ (1, 1, 1); (1, 1, 1) ] } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate triple accepted"
+
+let matching_yes () =
+  let t = { Npc.n = 2; triples = [ (1, 1, 1); (2, 2, 2); (1, 2, 2) ] } in
+  match Npc.has_matching t with
+  | Some m ->
+      Alcotest.(check int) "two triples" 2 (List.length m);
+      let xs = List.map (fun (x, _, _) -> x) m |> List.sort_uniq Int.compare in
+      Alcotest.(check (list int)) "x coverage" [ 1; 2 ] xs
+  | None -> Alcotest.fail "matching exists"
+
+let matching_no () =
+  (* Both triples share x = 1: no perfect matching for n = 2. *)
+  let t = { Npc.n = 2; triples = [ (1, 1, 1); (1, 2, 2) ] } in
+  Alcotest.(check bool) "no matching" true (Npc.has_matching t = None)
+
+let matching_needs_all_slices () =
+  (* No triple has z = 2. *)
+  let t = { Npc.n = 2; triples = [ (1, 1, 1); (2, 2, 1) ] } in
+  Alcotest.(check bool) "no matching" true (Npc.has_matching t = None)
+
+let reduction_shape () =
+  let t = { Npc.n = 3; triples = [ (1, 1, 1); (2, 2, 2); (3, 3, 3); (1, 2, 3) ] } in
+  let inst, k = Npc.reduce t in
+  Alcotest.(check int) "K = n + 2n(n-1)" (3 + (2 * 3 * 2)) k;
+  Alcotest.(check int) "|T| + 2n(n-1) requests" (4 + 12) (Array.length inst.Unit_exact.reqs);
+  Alcotest.(check int) "n+1 ingress ports" 4 (Array.length inst.Unit_exact.caps_in);
+  Alcotest.(check int) "regular ingress capacity 1" 1 inst.Unit_exact.caps_in.(0);
+  Alcotest.(check int) "special ingress capacity n-1" 2 inst.Unit_exact.caps_in.(3);
+  (* Regular request of triple (1,2,3): ingress 0, egress 1, window [3,4). *)
+  let r = inst.Unit_exact.reqs.(3) in
+  Alcotest.(check int) "regular ingress" 0 r.Unit_exact.ingress;
+  Alcotest.(check int) "regular egress" 1 r.Unit_exact.egress;
+  Alcotest.(check int) "regular ts" 3 r.Unit_exact.ts;
+  Alcotest.(check int) "regular tf" 4 r.Unit_exact.tf;
+  (* Special requests span the whole horizon. *)
+  let s = inst.Unit_exact.reqs.(4) in
+  Alcotest.(check int) "special ts" 1 s.Unit_exact.ts;
+  Alcotest.(check int) "special tf" 4 s.Unit_exact.tf
+
+let forward_direction () =
+  (* A matching yields a feasible schedule accepting exactly K requests. *)
+  List.iter
+    (fun seed ->
+      let rng = Rng.create ~seed () in
+      let t = Npc.random rng ~n:4 ~extra_triples:4 in
+      match Npc.has_matching t with
+      | None -> Alcotest.fail "promised matching missing"
+      | Some m ->
+          let inst, k = Npc.reduce t in
+          let placements = Npc.schedule_of_matching t m in
+          Alcotest.(check int) "K placements" k (List.length placements);
+          Alcotest.(check bool) "feasible" true (Unit_exact.feasible inst placements))
+    [ 1L; 2L; 3L; 4L; 5L ]
+
+let equivalence ~n ~instances ~triples_lo ~triples_hi seed0 =
+  let rng = Rng.create ~seed:seed0 () in
+  for i = 1 to instances do
+    let t =
+      if i mod 2 = 0 then
+        Npc.random rng ~n ~extra_triples:(Rng.int_in rng 0 (triples_hi - n))
+      else Npc.random_no_promise rng ~n ~triples:(Rng.int_in rng triples_lo triples_hi)
+    in
+    let inst, k = Npc.reduce t in
+    let sol = Unit_exact.solve inst in
+    Alcotest.(check bool) "solver finished" true sol.Unit_exact.optimal;
+    let has = Npc.has_matching t <> None in
+    let schedules_k = sol.Unit_exact.count >= k in
+    if has <> schedules_k then
+      Alcotest.failf "reduction equivalence broken (n=%d, instance %d): matching=%b, count=%d, K=%d"
+        n i has sol.Unit_exact.count k
+  done
+
+let equivalence_n2 () = equivalence ~n:2 ~instances:12 ~triples_lo:1 ~triples_hi:5 77L
+let equivalence_n3 () = equivalence ~n:3 ~instances:6 ~triples_lo:3 ~triples_hi:6 78L
+
+let random_instances_validate () =
+  let rng = Rng.create ~seed:3L () in
+  for _ = 1 to 20 do
+    let t = Npc.random rng ~n:(Rng.int_in rng 1 5) ~extra_triples:(Rng.int_in rng 0 5) in
+    Npc.validate t;
+    Alcotest.(check bool) "promise holds" true (Npc.has_matching t <> None)
+  done
+
+let suites =
+  [
+    ( "npc",
+      [
+        case "tdm validation" validate_errors;
+        case "matching: positive" matching_yes;
+        case "matching: coordinate collision" matching_no;
+        case "matching: missing slice" matching_needs_all_slices;
+        case "reduction shape (Theorem 1)" reduction_shape;
+        case "forward direction: matching -> K-schedule" forward_direction;
+        slow_case "equivalence on random instances (n=2)" equivalence_n2;
+        slow_case "equivalence on random instances (n=3)" equivalence_n3;
+        case "random generators validate" random_instances_validate;
+      ] );
+  ]

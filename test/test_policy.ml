@@ -1,0 +1,77 @@
+open Helpers
+module Policy = Gridbw_core.Policy
+module Request = Gridbw_request.Request
+
+(* volume 100 MB, window [0, 10], host cap 50 MB/s: MinRate = 10. *)
+let r () = req ~volume:100. ~ts:0. ~tf:10. ~max_rate:50. ()
+
+let get = function Some v -> v | None -> Alcotest.fail "expected a rate"
+
+let min_rate_at_arrival () =
+  check_approx "min rate" 10.0 (get (Policy.assign Policy.Min_rate (r ()) ~now:0.))
+
+let full_fraction () =
+  check_approx "max rate" 50.0 (get (Policy.assign (Policy.Fraction_of_max 1.0) (r ()) ~now:0.))
+
+let fraction_below_min_clamps () =
+  (* 0.1 * 50 = 5 < MinRate 10: the guarantee can never go below MinRate. *)
+  check_approx "clamped to min" 10.0
+    (get (Policy.assign (Policy.Fraction_of_max 0.1) (r ()) ~now:0.))
+
+let fraction_midrange () =
+  check_approx "0.5 * 50" 25.0 (get (Policy.assign (Policy.Fraction_of_max 0.5) (r ()) ~now:0.))
+
+let delayed_decision_raises_rate () =
+  (* At t = 5 only 5 s remain: MinRate becomes 20. *)
+  check_approx "residual min rate" 20.0 (get (Policy.assign Policy.Min_rate (r ()) ~now:5.))
+
+let delayed_to_exact_limit () =
+  (* At t = 8, 100 MB in 2 s = 50 MB/s = MaxRate: still feasible. *)
+  check_approx "exactly max" 50.0 (get (Policy.assign Policy.Min_rate (r ()) ~now:8.))
+
+let delayed_past_feasibility () =
+  Alcotest.(check bool) "needs more than max" true
+    (Policy.assign Policy.Min_rate (r ()) ~now:9. = None);
+  Alcotest.(check bool) "window closed" true
+    (Policy.assign Policy.Min_rate (r ()) ~now:10. = None)
+
+let before_ts_uses_ts () =
+  let late = req ~volume:100. ~ts:5. ~tf:15. ~max_rate:50. () in
+  check_approx "clock before ts" 10.0 (get (Policy.assign Policy.Min_rate late ~now:0.))
+
+let rigid_request_any_policy () =
+  let rigid = Request.make_rigid ~id:0 ~ingress:0 ~egress:0 ~bw:10. ~ts:0. ~tf:10. in
+  check_approx "fraction on rigid = min rate" 10.0
+    (get (Policy.assign (Policy.Fraction_of_max 0.3) rigid ~now:0.))
+
+let invalid_fraction () =
+  let bad f =
+    match Policy.assign (Policy.Fraction_of_max f) (r ()) ~now:0. with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "fraction %f accepted" f
+  in
+  bad (-0.1);
+  bad 1.5;
+  bad Float.nan
+
+let names () =
+  Alcotest.(check string) "minrate" "minrate" (Policy.name Policy.Min_rate);
+  Alcotest.(check string) "fraction" "f=0.80" (Policy.name (Policy.Fraction_of_max 0.8))
+
+let suites =
+  [
+    ( "policy",
+      [
+        case "min rate at arrival" min_rate_at_arrival;
+        case "f=1 grants MaxRate" full_fraction;
+        case "small fraction clamps to MinRate" fraction_below_min_clamps;
+        case "f=0.5" fraction_midrange;
+        case "delayed decision raises the rate" delayed_decision_raises_rate;
+        case "delay to the exact limit" delayed_to_exact_limit;
+        case "delay past feasibility" delayed_past_feasibility;
+        case "clock before ts uses ts" before_ts_uses_ts;
+        case "rigid request under any policy" rigid_request_any_policy;
+        case "invalid fraction raises" invalid_fraction;
+        case "policy names" names;
+      ] );
+  ]

@@ -1,0 +1,201 @@
+open Helpers
+module Rng = Gridbw_prng.Rng
+module Dist = Gridbw_prng.Dist
+
+let stream n rng = List.init n (fun _ -> Rng.int64 rng)
+
+let determinism () =
+  let a = Rng.create ~seed:123L () and b = Rng.create ~seed:123L () in
+  Alcotest.(check (list int64)) "same seed, same stream" (stream 32 a) (stream 32 b)
+
+let seeds_differ () =
+  let a = Rng.create ~seed:1L () and b = Rng.create ~seed:2L () in
+  if stream 16 a = stream 16 b then Alcotest.fail "different seeds produced identical streams"
+
+let copy_independent () =
+  let a = rng () in
+  let b = Rng.copy a in
+  Alcotest.(check (list int64)) "copy replays" (stream 8 a) (stream 8 b)
+
+let split_differs () =
+  let a = rng () in
+  let b = Rng.split a in
+  if stream 16 a = stream 16 b then Alcotest.fail "split stream equals parent stream"
+
+let int_bounds () =
+  let r = rng () in
+  for _ = 1 to 10_000 do
+    let n = 1 + Rng.int r 1000 in
+    let v = Rng.int r n in
+    if v < 0 || v >= n then Alcotest.failf "Rng.int %d out of range: %d" n v
+  done
+
+let int_one () = Alcotest.(check int) "int 1 is 0" 0 (Rng.int (rng ()) 1)
+
+let int_rejects_nonpositive () =
+  Alcotest.check_raises "int 0" (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int (rng ()) 0))
+
+let int_in_bounds () =
+  let r = rng () in
+  let seen_lo = ref false and seen_hi = ref false in
+  for _ = 1 to 5_000 do
+    let v = Rng.int_in r 3 7 in
+    if v < 3 || v > 7 then Alcotest.failf "int_in out of range: %d" v;
+    if v = 3 then seen_lo := true;
+    if v = 7 then seen_hi := true
+  done;
+  Alcotest.(check bool) "lo reachable" true !seen_lo;
+  Alcotest.(check bool) "hi reachable" true !seen_hi
+
+let float_bounds () =
+  let r = rng () in
+  for _ = 1 to 10_000 do
+    let v = Rng.float r 2.5 in
+    if v < 0. || v >= 2.5 then Alcotest.failf "float out of range: %f" v
+  done
+
+let float_in_empty () =
+  Alcotest.check_raises "float_in inverted" (Invalid_argument "Rng.float_in: empty range")
+    (fun () -> ignore (Rng.float_in (rng ()) 2. 1.))
+
+let shuffle_permutes () =
+  let r = rng () in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted
+
+let choose_singleton () = Alcotest.(check int) "singleton" 9 (Rng.choose (rng ()) [| 9 |])
+
+let choose_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.choose: empty array") (fun () ->
+      ignore (Rng.choose (rng ()) [||]))
+
+let mean_of f n =
+  let r = rng ~seed:11L () in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. f r
+  done;
+  !acc /. float_of_int n
+
+let exponential_mean () =
+  let m = mean_of (fun r -> Dist.exponential r ~mean:4.0) 40_000 in
+  if Float.abs (m -. 4.0) > 0.1 then Alcotest.failf "exponential mean drifted: %f" m
+
+let exponential_positive () =
+  let r = rng () in
+  for _ = 1 to 1000 do
+    if Dist.exponential r ~mean:1.0 < 0. then Alcotest.fail "negative exponential draw"
+  done
+
+let exponential_bad_mean () =
+  Alcotest.check_raises "mean 0" (Invalid_argument "Dist.exponential: mean must be positive")
+    (fun () -> ignore (Dist.exponential (rng ()) ~mean:0.))
+
+let poisson_small_mean () =
+  let m = mean_of (fun r -> float_of_int (Dist.poisson r ~mean:3.0)) 40_000 in
+  if Float.abs (m -. 3.0) > 0.1 then Alcotest.failf "poisson(3) mean drifted: %f" m
+
+let poisson_large_mean () =
+  let m = mean_of (fun r -> float_of_int (Dist.poisson r ~mean:80.0)) 20_000 in
+  if Float.abs (m -. 80.0) > 1.0 then Alcotest.failf "poisson(80) mean drifted: %f" m
+
+let poisson_zero () = Alcotest.(check int) "poisson 0" 0 (Dist.poisson (rng ()) ~mean:0.)
+
+let normal_moments () =
+  let m = mean_of (fun r -> Dist.normal r ~mu:5.0 ~sigma:2.0) 40_000 in
+  if Float.abs (m -. 5.0) > 0.1 then Alcotest.failf "normal mean drifted: %f" m
+
+let pareto_bounds () =
+  let r = rng () in
+  for _ = 1 to 1000 do
+    let v = Dist.pareto r ~scale:2.0 ~shape:1.5 in
+    if v < 2.0 || not (Float.is_finite v) then Alcotest.failf "pareto out of range: %f" v
+  done
+
+let discrete_weighted () =
+  let r = rng () in
+  for _ = 1 to 2000 do
+    match Dist.discrete r [| ("never", 0.0); ("always", 1.0) |] with
+    | "always" -> ()
+    | other -> Alcotest.failf "picked zero-weight item %s" other
+  done
+
+let discrete_bad_weights () =
+  Alcotest.check_raises "all zero"
+    (Invalid_argument "Dist.discrete: weights must sum to a positive value") (fun () ->
+      ignore (Dist.discrete (rng ()) [| ((), 0.0) |]))
+
+let arrivals_sorted () =
+  let times = Dist.arrival_times (rng ()) ~rate:0.5 ~horizon:1000.0 in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        if a > b then Alcotest.fail "arrivals not sorted";
+        check rest
+    | _ -> ()
+  in
+  check times;
+  List.iter (fun t -> if t < 0. || t >= 1000. then Alcotest.failf "arrival out of horizon: %f" t) times
+
+let arrivals_rate () =
+  let times = Dist.arrival_times (rng ~seed:5L ()) ~rate:2.0 ~horizon:20_000.0 in
+  let n = float_of_int (List.length times) in
+  let rate = n /. 20_000.0 in
+  if Float.abs (rate -. 2.0) > 0.05 then Alcotest.failf "arrival rate drifted: %f" rate
+
+let prop_int_in_range =
+  qcase "qcheck: Rng.int stays in range"
+    QCheck2.Gen.(pair (int_range 1 100000) (int_range 0 1000))
+    (fun (bound, salt) ->
+      let r = Rng.create ~seed:(Int64.of_int salt) () in
+      let v = Rng.int r bound in
+      v >= 0 && v < bound)
+
+let prop_float_in =
+  qcase "qcheck: Rng.float_in stays in range"
+    QCheck2.Gen.(triple (float_bound_exclusive 1000.) (float_bound_exclusive 1000.) (int_range 0 1000))
+    (fun (a, b, salt) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      let r = Rng.create ~seed:(Int64.of_int salt) () in
+      let v = Rng.float_in r lo hi in
+      v >= lo && (v < hi || hi = lo))
+
+let suites =
+  [
+    ( "prng",
+      [
+        case "determinism" determinism;
+        case "seeds differ" seeds_differ;
+        case "copy replays" copy_independent;
+        case "split differs" split_differs;
+        case "int bounds" int_bounds;
+        case "int 1" int_one;
+        case "int rejects non-positive" int_rejects_nonpositive;
+        case "int_in inclusive bounds" int_in_bounds;
+        case "float bounds" float_bounds;
+        case "float_in empty range" float_in_empty;
+        case "shuffle permutes" shuffle_permutes;
+        case "choose singleton" choose_singleton;
+        case "choose empty" choose_empty;
+        prop_int_in_range;
+        prop_float_in;
+      ] );
+    ( "dist",
+      [
+        case "exponential mean" exponential_mean;
+        case "exponential positive" exponential_positive;
+        case "exponential bad mean" exponential_bad_mean;
+        case "poisson small mean" poisson_small_mean;
+        case "poisson large mean" poisson_large_mean;
+        case "poisson zero" poisson_zero;
+        case "normal mean" normal_moments;
+        case "pareto bounds" pareto_bounds;
+        case "discrete weights" discrete_weighted;
+        case "discrete bad weights" discrete_bad_weights;
+        case "arrivals sorted and bounded" arrivals_sorted;
+        case "arrivals rate" arrivals_rate;
+      ] );
+  ]

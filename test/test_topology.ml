@@ -1,0 +1,82 @@
+open Helpers
+module Fabric = Gridbw_topology.Fabric
+
+let invalid_arg_check name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+
+let make_copies_input () =
+  let ingress = [| 10.0 |] and egress = [| 20.0 |] in
+  let f = Fabric.make ~ingress ~egress in
+  ingress.(0) <- 99.0;
+  check_approx "capacity unaffected by caller mutation" 10.0 (Fabric.ingress_capacity f 0)
+
+let rejects_empty_sides () =
+  invalid_arg_check "no ingress" (fun () -> Fabric.make ~ingress:[||] ~egress:[| 1.0 |]);
+  invalid_arg_check "no egress" (fun () -> Fabric.make ~ingress:[| 1.0 |] ~egress:[||])
+
+let rejects_bad_capacity () =
+  invalid_arg_check "zero" (fun () -> Fabric.make ~ingress:[| 0.0 |] ~egress:[| 1.0 |]);
+  invalid_arg_check "negative" (fun () -> Fabric.make ~ingress:[| 1.0 |] ~egress:[| -2.0 |]);
+  invalid_arg_check "infinite" (fun () -> Fabric.make ~ingress:[| infinity |] ~egress:[| 1.0 |]);
+  invalid_arg_check "nan" (fun () -> Fabric.make ~ingress:[| 1.0 |] ~egress:[| Float.nan |])
+
+let uniform_shape () =
+  let f = Fabric.uniform ~ingress_count:3 ~egress_count:5 ~capacity:7.5 in
+  Alcotest.(check int) "ingress count" 3 (Fabric.ingress_count f);
+  Alcotest.(check int) "egress count" 5 (Fabric.egress_count f);
+  check_approx "capacity" 7.5 (Fabric.egress_capacity f 4)
+
+let uniform_rejects_zero_count () =
+  invalid_arg_check "zero ports" (fun () ->
+      Fabric.uniform ~ingress_count:0 ~egress_count:1 ~capacity:1.0)
+
+let paper_platform () =
+  let f = Fabric.paper_default () in
+  Alcotest.(check int) "10 ingress" 10 (Fabric.ingress_count f);
+  Alcotest.(check int) "10 egress" 10 (Fabric.egress_count f);
+  check_approx "1 GB/s ports" 1000.0 (Fabric.ingress_capacity f 9);
+  check_approx "half total = 10 GB/s" 10_000.0 (Fabric.half_total_capacity f)
+
+let totals () =
+  let f = Fabric.make ~ingress:[| 1.0; 2.0 |] ~egress:[| 4.0 |] in
+  check_approx "total in" 3.0 (Fabric.total_ingress_capacity f);
+  check_approx "total out" 4.0 (Fabric.total_egress_capacity f);
+  check_approx "half total" 3.5 (Fabric.half_total_capacity f)
+
+let accessor_range () =
+  let f = fabric2 () in
+  invalid_arg_check "ingress -1" (fun () -> Fabric.ingress_capacity f (-1));
+  invalid_arg_check "egress over" (fun () -> Fabric.egress_capacity f 2);
+  Alcotest.(check bool) "valid ingress" true (Fabric.valid_ingress f 1);
+  Alcotest.(check bool) "invalid ingress" false (Fabric.valid_ingress f 2);
+  Alcotest.(check bool) "invalid egress" false (Fabric.valid_egress f (-1))
+
+let equality () =
+  let a = fabric2 () and b = fabric2 () in
+  Alcotest.(check bool) "equal" true (Fabric.equal a b);
+  let c = Fabric.uniform ~ingress_count:2 ~egress_count:2 ~capacity:50.0 in
+  Alcotest.(check bool) "different capacity" false (Fabric.equal a c)
+
+let pp_smoke () =
+  let s = Format.asprintf "%a" Fabric.pp (fabric2 ()) in
+  Alcotest.(check bool) "mentions ports" true
+    (String.length s > 0 && String.index_opt s '2' <> None)
+
+let suites =
+  [
+    ( "fabric",
+      [
+        case "make copies input arrays" make_copies_input;
+        case "rejects empty sides" rejects_empty_sides;
+        case "rejects bad capacities" rejects_bad_capacity;
+        case "uniform shape" uniform_shape;
+        case "uniform rejects zero counts" uniform_rejects_zero_count;
+        case "paper platform (section 4.3)" paper_platform;
+        case "capacity totals" totals;
+        case "accessor range checks" accessor_range;
+        case "equality" equality;
+        case "pp smoke" pp_smoke;
+      ] );
+  ]

@@ -1,0 +1,132 @@
+open Helpers
+module Tcp = Gridbw_transport.Tcp
+
+let invalid name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+
+let validation () =
+  invalid "zero volume" (fun () -> Tcp.flow ~volume:0. ());
+  invalid "negative start" (fun () -> Tcp.flow ~start_round:(-1) ~volume:1. ());
+  invalid "zero cap" (fun () -> Tcp.flow ~rate_cap:0. ~volume:1. ());
+  invalid "zero capacity" (fun () -> Tcp.simulate ~capacity:0. ~max_rounds:10 []);
+  invalid "zero rounds" (fun () -> Tcp.simulate ~capacity:1. ~max_rounds:0 [])
+
+let single_flow_completes () =
+  let result = Tcp.simulate ~capacity:100. ~max_rounds:10_000 [ Tcp.flow ~volume:5_000. () ] in
+  let f = List.hd result.Tcp.flows in
+  (match f.Tcp.finished_round with
+  | Some r -> Alcotest.(check bool) "finished in reasonable time" true (r > 10 && r < 1_000)
+  | None -> Alcotest.fail "did not finish");
+  check_approx ~eps:1e-6 "everything delivered" 5_000. f.Tcp.delivered
+
+let slow_start_doubles () =
+  (* With a huge pipe and tiny volume, the flow never overflows: rounds ~
+     log2(volume / initial window). 2 + 4 + 8 + ... doubles each round. *)
+  let result = Tcp.simulate ~capacity:1e9 ~max_rounds:100 [ Tcp.flow ~volume:1_000. () ] in
+  match (List.hd result.Tcp.flows).Tcp.finished_round with
+  | Some r -> Alcotest.(check bool) "exponential ramp" true (r <= 10)
+  | None -> Alcotest.fail "did not finish"
+
+let lossless_when_under_capacity () =
+  let result =
+    Tcp.simulate ~capacity:1_000. ~max_rounds:1_000
+      [ Tcp.flow ~rate_cap:100. ~volume:10_000. (); Tcp.flow ~rate_cap:100. ~volume:10_000. () ]
+  in
+  check_approx "no drops" 0.0 result.Tcp.total_drops;
+  List.iter
+    (fun f -> Alcotest.(check int) "no loss events" 0 f.Tcp.loss_events)
+    result.Tcp.flows
+
+let shaped_completion_is_deterministic () =
+  (* 10 shaped flows at 100 seg/round each on a 1000 seg/round link: every
+     flow delivers exactly its cap per round once cwnd passes the cap. *)
+  let specs = List.init 10 (fun _ -> Tcp.flow ~rate_cap:100. ~volume:10_000. ()) in
+  let result = Tcp.simulate ~capacity:1_000. ~max_rounds:10_000 specs in
+  let rounds =
+    List.map
+      (fun f -> match f.Tcp.finished_round with Some r -> r | None -> -1)
+      result.Tcp.flows
+  in
+  Alcotest.(check bool) "all finished" true (List.for_all (fun r -> r >= 0) rounds);
+  let spread = List.fold_left max 0 rounds - List.fold_left min max_int rounds in
+  Alcotest.(check bool) "near-identical completion" true (spread <= 1);
+  check_approx ~eps:1e-6 "perfectly fair" 1.0 result.Tcp.jain_fairness
+
+let contention_causes_losses () =
+  let specs = List.init 10 (fun _ -> Tcp.flow ~volume:50_000. ()) in
+  let result = Tcp.simulate ~capacity:100. ~max_rounds:50_000 specs in
+  Alcotest.(check bool) "drops happened" true (result.Tcp.total_drops > 0.);
+  Alcotest.(check bool) "loss events recorded" true
+    (List.exists (fun f -> f.Tcp.loss_events > 0) result.Tcp.flows)
+
+let reno_sawtooth_bounded () =
+  (* A single long Reno flow on a small pipe oscillates around capacity +
+     buffer; it must keep delivering and must keep taking periodic losses. *)
+  let result = Tcp.simulate ~capacity:50. ~max_rounds:2_000 [ Tcp.flow ~volume:60_000. () ] in
+  let f = List.hd result.Tcp.flows in
+  Alcotest.(check bool) "multiple loss episodes" true (f.Tcp.loss_events > 3);
+  Alcotest.(check bool) "good utilization despite sawtooth" true
+    (result.Tcp.bottleneck_utilization > 0.7)
+
+let bic_ramps_faster_than_reno () =
+  (* After a loss, BIC converges back to the pre-loss window faster: on a
+     lossy link it should finish the same volume no later than Reno. *)
+  let run algorithm =
+    let result =
+      Tcp.simulate ~capacity:100. ~max_rounds:50_000 [ Tcp.flow ~algorithm ~volume:100_000. () ]
+    in
+    match (List.hd result.Tcp.flows).Tcp.finished_round with
+    | Some r -> r
+    | None -> max_int
+  in
+  Alcotest.(check bool) "BIC at least as fast" true (run Tcp.Bic <= run Tcp.Reno)
+
+let late_start_respected () =
+  let result =
+    Tcp.simulate ~capacity:1_000. ~max_rounds:1_000
+      [ Tcp.flow ~start_round:100 ~volume:100. () ]
+  in
+  match (List.hd result.Tcp.flows).Tcp.finished_round with
+  | Some r -> Alcotest.(check bool) "no progress before start" true (r >= 100)
+  | None -> Alcotest.fail "did not finish"
+
+let max_rounds_caps_simulation () =
+  let result = Tcp.simulate ~capacity:1. ~max_rounds:10 [ Tcp.flow ~volume:1e9 () ] in
+  Alcotest.(check int) "stopped at the cap" 10 result.Tcp.rounds;
+  Alcotest.(check bool) "unfinished reported" true
+    ((List.hd result.Tcp.flows).Tcp.finished_round = None)
+
+let transport_experiment_shape () =
+  let rows =
+    Gridbw_experiments.Transport_exp.run ~flows:8 ~volume:5_000. ~capacity:400.
+      ~max_rounds:20_000 Gridbw_experiments.Runner.quick
+  in
+  Alcotest.(check int) "four treatments" 4 (List.length rows);
+  let uncontrolled = List.hd rows in
+  let shaped = List.nth rows 3 in
+  let open Gridbw_experiments.Transport_exp in
+  Alcotest.(check int) "shaped has no losses" 0 shaped.loss_events;
+  Alcotest.(check bool) "shaped is more predictable" true
+    (shaped.cov_completion <= uncontrolled.cov_completion +. 1e-9);
+  Alcotest.(check bool) "shaped is fair" true (shaped.jain > 0.99);
+  Alcotest.(check int) "everything completes" 8 shaped.completed
+
+let suites =
+  [
+    ( "tcp",
+      [
+        case "validation" validation;
+        case "single flow completes" single_flow_completes;
+        case "slow start ramps exponentially" slow_start_doubles;
+        case "no losses under capacity" lossless_when_under_capacity;
+        case "shaped completions deterministic" shaped_completion_is_deterministic;
+        case "contention causes losses" contention_causes_losses;
+        case "reno sawtooth" reno_sawtooth_bounded;
+        case "BIC ramps at least as fast as Reno" bic_ramps_faster_than_reno;
+        case "late start respected" late_start_respected;
+        case "max rounds cap" max_rounds_caps_simulation;
+        slow_case "E13 experiment shape" transport_experiment_shape;
+      ] );
+  ]
