@@ -74,6 +74,11 @@ let regenerate () =
   print_endline "== E15: ample-core assumption stress ==";
   Table.print
     (Gridbw_experiments.Core_stress.to_table (Gridbw_experiments.Core_stress.run params));
+  print_endline "== E16: guarantees under faults ==";
+  Table.print (Gridbw_experiments.Fault_exp.to_table (Gridbw_experiments.Fault_exp.run params));
+  Table.print
+    (Gridbw_experiments.Fault_exp.ablation_table
+       (Gridbw_experiments.Fault_exp.run_ablation params));
   Figure.print (Gridbw_experiments.Ablation.run params)
 
 (* --- part 2: micro-benchmarks --- *)
@@ -111,6 +116,14 @@ let caps = Array.make 10 1000.0
 let fluid_workload =
   Gen.generate (Rng.create ~seed:6L ())
     (Runner.flexible_spec (Runner.with_params ~count:200 params) ~mean_interarrival:0.5)
+
+let fault_script =
+  Gridbw_fault.Fault.generate (Rng.create ~seed:11L ()) fabric
+    ~horizon:(Gridbw_fault.Fault.horizon_of_requests flexible_workload)
+    Gridbw_fault.Fault.default_spec
+
+let fault_config =
+  Gridbw_fault.Injector.default_config ~policy:(Policy.Fraction_of_max 0.8) ()
 
 let tests =
   Test.make_grouped ~name:"gridbw" ~fmt:"%s %s"
@@ -171,6 +184,9 @@ let tests =
                     ~egress:(Rng.int rng0 10) ~bw:300.)
             in
             fun () -> Gridbw_core.Long_lived.optimal_uniform fabric ~bw:300. lreqs));
+      Test.make ~name:"e16:injector-greedy-faults"
+        (Staged.stage (fun () ->
+             Gridbw_fault.Injector.run fabric fault_config fault_script flexible_workload));
       Test.make ~name:"prng:10k-draws"
         (Staged.stage
            (let rng = Rng.create ~seed:9L () in
@@ -189,7 +205,7 @@ let run_benchmarks () =
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols (List.hd instances) raw in
-  let rows =
+  let timings =
     Hashtbl.fold
       (fun name ols_result acc ->
         let ns_per_run =
@@ -198,18 +214,62 @@ let run_benchmarks () =
         (name, ns_per_run) :: acc)
       results []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-    |> List.map (fun (name, ns) ->
-           let time =
-             if Float.is_nan ns then "n/a"
-             else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
-             else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
-             else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
-             else Printf.sprintf "%.0f ns" ns
-           in
-           [ name; time ])
   in
-  Table.print (Table.make ~headers:[ "benchmark"; "time/run" ] rows)
+  let rows =
+    List.map
+      (fun (name, ns) ->
+        let time =
+          if Float.is_nan ns then "n/a"
+          else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+          else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+          else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+          else Printf.sprintf "%.0f ns" ns
+        in
+        [ name; time ])
+      timings
+  in
+  Table.print (Table.make ~headers:[ "benchmark"; "time/run" ] rows);
+  timings
+
+(* JSON string escaping per RFC 8259 (benchmark names are plain ASCII, but
+   be safe about quotes/backslashes/control characters). *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path timings =
+  let oc = open_out path in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "  {\"name\": \"%s\", \"ns_per_run\": %s}%s\n" (json_escape name)
+        (if Float.is_nan ns then "null" else Printf.sprintf "%.3f" ns)
+        (if i < List.length timings - 1 then "," else ""))
+    timings;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "wrote %d timings to %s\n" (List.length timings) path
+
+let json_out =
+  let rec find = function
+    | "--json" :: path :: _ -> Some path
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find (Array.to_list Sys.argv)
 
 let () =
   regenerate ();
-  run_benchmarks ()
+  let timings = run_benchmarks () in
+  Option.iter (fun path -> write_json path timings) json_out

@@ -127,12 +127,21 @@ let run_table params csv_dir = function
   | "corestress" ->
       emit_table csv_dir "corestress"
         (Gridbw_experiments.Core_stress.to_table (Gridbw_experiments.Core_stress.run params))
-  | other -> Printf.eprintf "unknown table %s (tuning|optgap|baseline|coalloc|npc|ablation|longlived|distributed|bookahead|transport|corestress)\n" other
+  | "faults" ->
+      let g_ok, w_ok = Gridbw_experiments.Fault_exp.parity params in
+      Printf.printf "fault-free parity: greedy %s, window %s\n%!"
+        (if g_ok then "ok" else "BROKEN") (if w_ok then "ok" else "BROKEN");
+      emit_table csv_dir "faults"
+        (Gridbw_experiments.Fault_exp.to_table (Gridbw_experiments.Fault_exp.run params));
+      emit_table csv_dir "faults-victims"
+        (Gridbw_experiments.Fault_exp.ablation_table
+           (Gridbw_experiments.Fault_exp.run_ablation params))
+  | other -> Printf.eprintf "unknown table %s (tuning|optgap|baseline|coalloc|npc|ablation|longlived|distributed|bookahead|transport|corestress|faults)\n" other
 
 let table_cmd =
   let name_t =
     Arg.(required & pos 0 (some string) None
-         & info [] ~docv:"NAME" ~doc:"tuning, optgap, baseline, coalloc, npc, ablation, longlived, distributed, bookahead, transport or corestress.")
+         & info [] ~docv:"NAME" ~doc:"tuning, optgap, baseline, coalloc, npc, ablation, longlived, distributed, bookahead, transport, corestress or faults.")
   in
   let run name quick count reps seed csv_dir =
     run_table (params_of quick count reps seed) csv_dir name
@@ -147,7 +156,7 @@ let all_cmd =
   let run quick count reps seed csv_dir =
     let params = params_of quick count reps seed in
     List.iter (run_figure params csv_dir) [ 4; 5; 6; 7 ];
-    List.iter (run_table params csv_dir) [ "tuning"; "optgap"; "baseline"; "coalloc"; "npc"; "ablation"; "longlived"; "distributed"; "bookahead"; "transport"; "corestress" ]
+    List.iter (run_table params csv_dir) [ "tuning"; "optgap"; "baseline"; "coalloc"; "npc"; "ablation"; "longlived"; "distributed"; "bookahead"; "transport"; "corestress"; "faults" ]
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Regenerate every figure and table.")

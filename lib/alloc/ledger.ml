@@ -2,7 +2,7 @@ module Fabric = Gridbw_topology.Fabric
 module Request = Gridbw_request.Request
 
 type t = {
-  fabric : Fabric.t;
+  mutable fabric : Fabric.t;
   ingress : Profile.t array;
   egress : Profile.t array;
 }
@@ -15,6 +15,11 @@ let create fabric =
   }
 
 let fabric t = t.fabric
+
+let set_fabric t fabric =
+  if not (Fabric.same_shape t.fabric fabric) then
+    invalid_arg "Ledger.set_fabric: port counts differ";
+  t.fabric <- fabric
 
 (* Relative slack absorbing float accumulation in capacity comparisons. *)
 let le_cap used cap = used <= cap *. (1. +. 1e-9)

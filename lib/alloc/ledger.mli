@@ -10,6 +10,13 @@ type t
 val create : Gridbw_topology.Fabric.t -> t
 val fabric : t -> Gridbw_topology.Fabric.t
 
+val set_fabric : t -> Gridbw_topology.Fabric.t -> unit
+(** Swap in a revised fabric (same port counts, possibly different
+    capacities).  Existing reservations are untouched; intervals booked
+    before a capacity cut may exceed the new capacity until the caller
+    preempts enough of them (the fault subsystem's capacity-revision
+    path).  All subsequent {!fits} checks use the revised capacities. *)
+
 val fits : t -> Allocation.t -> bool
 (** Would reserving this allocation keep both its ports within capacity
     over [\[sigma, tau)]? *)

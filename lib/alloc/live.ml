@@ -1,6 +1,6 @@
 module Fabric = Gridbw_topology.Fabric
 
-type t = { fabric : Fabric.t; ali : float array; ale : float array }
+type t = { mutable fabric : Fabric.t; ali : float array; ale : float array }
 
 let create fabric =
   {
@@ -10,6 +10,11 @@ let create fabric =
   }
 
 let fabric t = t.fabric
+
+let set_fabric t fabric =
+  if not (Fabric.same_shape t.fabric fabric) then
+    invalid_arg "Live.set_fabric: port counts differ";
+  t.fabric <- fabric
 let ingress_used t i = t.ali.(i)
 let egress_used t e = t.ale.(e)
 

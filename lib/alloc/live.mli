@@ -11,6 +11,12 @@ type t
 val create : Gridbw_topology.Fabric.t -> t
 val fabric : t -> Gridbw_topology.Fabric.t
 
+val set_fabric : t -> Gridbw_topology.Fabric.t -> unit
+(** Swap in a revised fabric (same port counts, possibly different
+    capacities).  Counters are untouched: a shrunk port may be left
+    over-committed — callers are expected to preempt until {!fits} holds
+    again (the fault subsystem's capacity-revision path). *)
+
 val ingress_used : t -> int -> float
 (** [ali(i)]. *)
 

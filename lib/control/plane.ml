@@ -9,6 +9,15 @@ type config = { policy : Policy.t; hop_latency : float; decision_latency : float
 
 let default_config policy = { policy; hop_latency = 0.005; decision_latency = 0.001 }
 
+(* Renegotiating a degraded reservation costs one hop to notify the
+   client, one hop to re-signal the ingress router, and a decision: the
+   RSVP-style exchange of section 5.4 without the egress broadcast (which
+   overlaps the reply). *)
+let renegotiation_delay config =
+  if config.hop_latency < 0. || config.decision_latency < 0. then
+    invalid_arg "Plane.renegotiation_delay: latencies must be non-negative";
+  (2. *. config.hop_latency) +. config.decision_latency
+
 type transcript = {
   request : Request.t;
   decision : Types.decision;

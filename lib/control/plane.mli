@@ -19,6 +19,12 @@ type config = {
 val default_config : Gridbw_core.Policy.t -> config
 (** 5 ms hops, 1 ms decisions. *)
 
+val renegotiation_delay : config -> float
+(** Latency between a transfer being preempted and its residual request
+    reaching a new admission decision: notify hop + re-signal hop +
+    decision ([2·hop_latency + decision_latency]).  Used by the fault
+    subsystem to model recovery renegotiation. *)
+
 type transcript = {
   request : Gridbw_request.Request.t;
   decision : Gridbw_core.Types.decision;

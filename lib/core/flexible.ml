@@ -66,6 +66,98 @@ type candidate = {
   mutable alive : bool;
 }
 
+(* One WINDOW batch against a shared ledger — Algorithm 3's inner loop.
+   Exposed so the fault subsystem can re-pack residual requests with the
+   exact same kernel; capacities are read from the ledger's current
+   fabric, which may have been revised mid-run. *)
+let pack_batch policy ledger ~decide batch =
+  let fabric = Ledger.fabric ledger in
+  let cost c =
+    Float.max
+      ((c.use_in +. c.cbw) /. Fabric.ingress_capacity fabric c.creq.Request.ingress)
+      ((c.use_out +. c.cbw) /. Fabric.egress_capacity fabric c.creq.Request.egress)
+  in
+  (* Every candidate keeps its arrival start, so the policy rate is the
+     one of section 5.1 (MinRate or f x MaxRate at ts) and is always
+     defined. *)
+  let candidates =
+    List.filter_map
+      (fun (r : Request.t) ->
+        match Policy.assign policy r ~now:r.ts with
+        | Some bw ->
+            Some
+              {
+                creq = r;
+                cbw = bw;
+                use_in = Ledger.ingress_usage_at ledger r.ingress r.ts;
+                use_out = Ledger.egress_usage_at ledger r.egress r.ts;
+                alive = true;
+              }
+        | None ->
+            decide r (Types.Rejected Types.Deadline_unreachable);
+            None)
+      batch
+    |> Array.of_list
+  in
+  let remaining = ref (Array.length candidates) in
+  while !remaining > 0 do
+    (* Cheapest alive candidate (ties: smaller id). *)
+    let best = ref None in
+    Array.iter
+      (fun c ->
+        if c.alive then
+          match !best with
+          | None -> best := Some (c, cost c)
+          | Some (b, bc) ->
+              let cc = cost c in
+              if cc < bc || (cc = bc && c.creq.Request.id < b.creq.Request.id) then
+                best := Some (c, cc))
+      candidates;
+    match !best with
+    | None -> remaining := 0
+    | Some (c, best_cost) ->
+        if best_cost > 1. +. 1e-9 then begin
+          (* Algorithm 3's cut: the cheapest candidate saturates a port,
+             so every remaining candidate does too. *)
+          Array.iter
+            (fun c ->
+              if c.alive then begin
+                c.alive <- false;
+                decide c.creq (Types.Rejected Types.Port_saturated)
+              end)
+            candidates;
+          remaining := 0
+        end
+        else begin
+          let r = c.creq in
+          let a = Allocation.make ~request:r ~bw:c.cbw ~sigma:r.Request.ts in
+          if Ledger.fits ledger a then begin
+            Ledger.reserve ledger a;
+            decide r (Types.Accepted a);
+            (* Refresh the cached usage of batch mates whose start falls
+               inside the accepted transmission interval. *)
+            Array.iter
+              (fun m ->
+                if m.alive && m != c then begin
+                  let ts = m.creq.Request.ts in
+                  if ts >= a.Allocation.sigma && ts < a.Allocation.tau then begin
+                    if m.creq.Request.ingress = r.Request.ingress then
+                      m.use_in <- m.use_in +. c.cbw;
+                    if m.creq.Request.egress = r.Request.egress then
+                      m.use_out <- m.use_out +. c.cbw
+                  end
+                end)
+              candidates
+          end
+          else
+            (* Instantaneously cheap but blocked by a reservation spike
+               later in its transmission interval. *)
+            decide r (Types.Rejected Types.Port_saturated);
+          c.alive <- false;
+          decr remaining
+        end
+  done
+
 let window fabric policy ~step requests =
   if step <= 0. || not (Float.is_finite step) then
     invalid_arg "Flexible.window: step must be positive and finite";
@@ -74,94 +166,7 @@ let window fabric policy ~step requests =
   let ledger = Ledger.create fabric in
   let decisions = ref [] in
   let decide r d = decisions := (r, d) :: !decisions in
-  let cost c =
-    Float.max
-      ((c.use_in +. c.cbw) /. Fabric.ingress_capacity fabric c.creq.Request.ingress)
-      ((c.use_out +. c.cbw) /. Fabric.egress_capacity fabric c.creq.Request.egress)
-  in
-  let pack_batch batch =
-    (* Every candidate keeps its arrival start, so the policy rate is the
-       one of section 5.1 (MinRate or f x MaxRate at ts) and is always
-       defined. *)
-    let candidates =
-      List.filter_map
-        (fun (r : Request.t) ->
-          match Policy.assign policy r ~now:r.ts with
-          | Some bw ->
-              Some
-                {
-                  creq = r;
-                  cbw = bw;
-                  use_in = Ledger.ingress_usage_at ledger r.ingress r.ts;
-                  use_out = Ledger.egress_usage_at ledger r.egress r.ts;
-                  alive = true;
-                }
-          | None ->
-              decide r (Types.Rejected Types.Deadline_unreachable);
-              None)
-        batch
-      |> Array.of_list
-    in
-    let remaining = ref (Array.length candidates) in
-    while !remaining > 0 do
-      (* Cheapest alive candidate (ties: smaller id). *)
-      let best = ref None in
-      Array.iter
-        (fun c ->
-          if c.alive then
-            match !best with
-            | None -> best := Some (c, cost c)
-            | Some (b, bc) ->
-                let cc = cost c in
-                if cc < bc || (cc = bc && c.creq.Request.id < b.creq.Request.id) then
-                  best := Some (c, cc))
-        candidates;
-      match !best with
-      | None -> remaining := 0
-      | Some (c, best_cost) ->
-          if best_cost > 1. +. 1e-9 then begin
-            (* Algorithm 3's cut: the cheapest candidate saturates a port,
-               so every remaining candidate does too. *)
-            Array.iter
-              (fun c ->
-                if c.alive then begin
-                  c.alive <- false;
-                  decide c.creq (Types.Rejected Types.Port_saturated)
-                end)
-              candidates;
-            remaining := 0
-          end
-          else begin
-            let r = c.creq in
-            let a = Allocation.make ~request:r ~bw:c.cbw ~sigma:r.Request.ts in
-            if Ledger.fits ledger a then begin
-              Ledger.reserve ledger a;
-              decide r (Types.Accepted a);
-              (* Refresh the cached usage of batch mates whose start falls
-                 inside the accepted transmission interval. *)
-              Array.iter
-                (fun m ->
-                  if m.alive && m != c then begin
-                    let ts = m.creq.Request.ts in
-                    if ts >= a.Allocation.sigma && ts < a.Allocation.tau then begin
-                      if m.creq.Request.ingress = r.Request.ingress then
-                        m.use_in <- m.use_in +. c.cbw;
-                      if m.creq.Request.egress = r.Request.egress then
-                        m.use_out <- m.use_out +. c.cbw
-                    end
-                  end)
-                candidates
-            end
-            else
-              (* Instantaneously cheap but blocked by a reservation spike
-                 later in its transmission interval. *)
-              decide r (Types.Rejected Types.Port_saturated);
-            c.alive <- false;
-            decr remaining
-          end
-    done
-  in
-  List.iter (fun (_, batch) -> pack_batch batch) (batches ~step requests);
+  List.iter (fun (_, batch) -> pack_batch policy ledger ~decide batch) (batches ~step requests);
   collect requests (List.rev !decisions)
 
 let book_ahead fabric policy ~announce requests =

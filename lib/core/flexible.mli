@@ -65,6 +65,38 @@ val book_ahead :
     equivalent to {!greedy} up to the ledger's exact future accounting;
     heterogeneous leads let early bookers displace late ones. *)
 
+(** {2 WINDOW internals, shared with the fault subsystem}
+
+    The fault injector replays Algorithm 3 batch-by-batch while capacity
+    revisions and preemptions interleave, so the batching and packing
+    kernels are exposed.  They behave exactly as inside {!window}. *)
+
+val arrival_order : Gridbw_request.Request.t list -> Gridbw_request.Request.t list
+(** The processing order of {!greedy}: by arrival time, then minimum
+    rate, then id. *)
+
+val batches :
+  step:float -> Gridbw_request.Request.t list -> (int * Gridbw_request.Request.t list) list
+(** Group requests by the [step]-interval their arrival falls into, in
+    interval order, each batch in arrival order. *)
+
+val pack_batch :
+  Policy.t ->
+  Gridbw_alloc.Ledger.t ->
+  decide:(Gridbw_request.Request.t -> Types.decision -> unit) ->
+  Gridbw_request.Request.t list ->
+  unit
+(** Pack one batch against the ledger (min-cost order, Algorithm 3's cut),
+    calling [decide] once per request.  Capacities are read from the
+    ledger's {e current} fabric. *)
+
+val collect :
+  Gridbw_request.Request.t list ->
+  (Gridbw_request.Request.t * Types.decision) list ->
+  Types.result
+(** Assemble a {!Types.result} from per-request decisions (accepted and
+    rejected lists keep the decision order). *)
+
 val heuristic_name : [ `Greedy | `Window of float | `Window_deferred of float ] -> string
 (** "greedy", "window(400)" or "window-deferred(400)". *)
 

@@ -8,31 +8,48 @@ type t = {
   live : Live.t;
   releases : Allocation.t Event_queue.t;
   mutable clock : float;
-  mutable active : int;
+  (* Physical identities of the allocations whose bandwidth is still held.
+     Preemption removes an entry without touching [releases]; the stale
+     queue entry is skipped when its release time is drained. *)
+  mutable active : Allocation.t list;
 }
 
 let create fabric =
-  { live = Live.create fabric; releases = Event_queue.create (); clock = neg_infinity; active = 0 }
+  { live = Live.create fabric; releases = Event_queue.create (); clock = neg_infinity; active = [] }
 
 let fabric t = Live.fabric t.live
 let now t = t.clock
 
+(* Event-handler float jitter can ask for a timestamp an ulp in the past;
+   absorb it with the same relative slack the ledger uses for capacities,
+   and keep the raise for genuinely past times. *)
+let clamp_past t time =
+  if time >= t.clock then time
+  else if t.clock -. time <= 1e-9 *. Float.max 1.0 (Float.abs t.clock) then t.clock
+  else invalid_arg "Online.advance_to: time moves backwards"
+
+let remove_active t a = t.active <- List.filter (fun b -> b != a) t.active
+let is_active t a = List.memq a t.active
+
 let advance_to t time =
-  if time < t.clock then invalid_arg "Online.advance_to: time moves backwards";
+  let time = clamp_past t time in
   t.clock <- time;
   let rec drain () =
     match Event_queue.peek t.releases with
     | Some (tau, a) when tau <= time ->
         ignore (Event_queue.pop t.releases);
-        Live.release t.live ~ingress:a.Allocation.request.Request.ingress
-          ~egress:a.Allocation.request.Request.egress ~bw:a.Allocation.bw;
-        t.active <- t.active - 1;
+        if is_active t a then begin
+          Live.release t.live ~ingress:a.Allocation.request.Request.ingress
+            ~egress:a.Allocation.request.Request.egress ~bw:a.Allocation.bw;
+          remove_active t a
+        end;
         drain ()
     | _ -> ()
   in
   drain ()
 
 let try_admit t policy (r : Request.t) ~at =
+  let at = clamp_past t at in
   advance_to t at;
   match Policy.assign policy r ~now:at with
   | None -> Types.Rejected Types.Deadline_unreachable
@@ -40,17 +57,29 @@ let try_admit t policy (r : Request.t) ~at =
       if Live.try_grab t.live ~ingress:r.ingress ~egress:r.egress ~bw then begin
         let a = Allocation.make ~request:r ~bw ~sigma:(Float.max at r.ts) in
         Event_queue.push t.releases ~time:a.Allocation.tau a;
-        t.active <- t.active + 1;
+        t.active <- a :: t.active;
         Types.Accepted a
       end
       else Types.Rejected Types.Port_saturated
 
 let peek_cost t policy (r : Request.t) ~at =
+  let at = clamp_past t at in
   advance_to t at;
   match Policy.assign policy r ~now:at with
   | None -> None
   | Some bw -> Some (bw, Live.saturation t.live ~ingress:r.ingress ~egress:r.egress ~bw)
 
-let active_count t = t.active
+let preempt t (a : Allocation.t) =
+  if is_active t a then begin
+    Live.release t.live ~ingress:a.Allocation.request.Request.ingress
+      ~egress:a.Allocation.request.Request.egress ~bw:a.Allocation.bw;
+    remove_active t a;
+    true
+  end
+  else false
+
+let set_fabric t fabric = Live.set_fabric t.live fabric
+let active_allocations t = t.active
+let active_count t = List.length t.active
 let ingress_used t i = Live.ingress_used t.live i
 let egress_used t e = Live.egress_used t.live e

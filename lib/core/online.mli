@@ -16,8 +16,10 @@ val now : t -> float
 
 val advance_to : t -> float -> unit
 (** Move virtual time forward, releasing the bandwidth of every accepted
-    allocation whose finish time [tau] is [<= time].  Raises
-    [Invalid_argument] if [time] is in the past. *)
+    allocation whose finish time [tau] is [<= time].  A [time] within
+    [1e-9] relative slack of the current clock is clamped to the clock
+    (event-handler float jitter must not crash a run); a genuinely past
+    [time] raises [Invalid_argument]. *)
 
 val try_admit : t -> Policy.t -> Gridbw_request.Request.t -> at:float -> Types.decision
 (** Decide request [r] at time [at] (implicitly {!advance_to} [at] first).
@@ -31,6 +33,21 @@ val peek_cost : t -> Policy.t -> Gridbw_request.Request.t -> at:float -> (float 
     WINDOW heuristic's saturation [max((ali+bw)/B_in, (ale+bw)/B_out)]
     (section 5.2); [None] when the deadline is no longer reachable.  Does
     not modify the controller (apart from an implicit {!advance_to}). *)
+
+val preempt : t -> Gridbw_alloc.Allocation.t -> bool
+(** Revoke a still-held allocation (matched by physical identity),
+    returning its bandwidth to both ports immediately.  Returns [false]
+    if the allocation already finished or was already preempted.  The
+    fault subsystem's capacity-revision path uses this to shed load after
+    a port degradation. *)
+
+val set_fabric : t -> Gridbw_topology.Fabric.t -> unit
+(** Revise port capacities mid-flight (same port counts).  Counters are
+    kept: a shrunk port may be left over-committed until the caller
+    preempts enough allocations ({!active_allocations} + {!preempt}). *)
+
+val active_allocations : t -> Gridbw_alloc.Allocation.t list
+(** Allocations whose bandwidth is still held, most recent first. *)
 
 val active_count : t -> int
 (** Accepted transfers whose bandwidth is still held. *)

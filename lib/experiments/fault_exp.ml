@@ -1,0 +1,164 @@
+module Table = Gridbw_report.Table
+module Request = Gridbw_request.Request
+module Spec = Gridbw_workload.Spec
+module Gen = Gridbw_workload.Gen
+module Policy = Gridbw_core.Policy
+module Types = Gridbw_core.Types
+module Flexible = Gridbw_core.Flexible
+module Summary = Gridbw_metrics.Summary
+module Resilience = Gridbw_metrics.Resilience
+module Rng = Gridbw_prng.Rng
+module Fault = Gridbw_fault.Fault
+module Victim = Gridbw_fault.Victim
+module Injector = Gridbw_fault.Injector
+
+type row = {
+  variant : string;
+  mtbf : float;
+  depth : float;  (** mean retained-capacity fraction during outages *)
+  accept : float;
+  kept : float;
+  recovered : float;
+  violation_min : float;
+  goodput : float;
+}
+
+let policy = Policy.Fraction_of_max 0.8
+let window_step = 400.0
+
+(* Fault scripts get their own seed stream, decorrelated from the workload
+   stream so the same faults hit every admission variant of a rep. *)
+let fault_seed params ~rep = Int64.add (Runner.seed_for params ~rep) 7919L
+
+let config_of ~admission ~recovery ~victim =
+  { (Injector.default_config ~policy ~admission ()) with recovery; victim }
+
+let variants =
+  [
+    ("greedy+recovery", Injector.Greedy, Injector.Resubmit);
+    ("window+recovery", Injector.Window window_step, Injector.Resubmit);
+    ("greedy no-recovery", Injector.Greedy, Injector.No_recovery);
+  ]
+
+let script_for params ~rep spec fault_spec requests =
+  let rng = Rng.create ~seed:(fault_seed params ~rep) () in
+  let horizon = Fault.horizon_of_requests requests in
+  Fault.generate rng spec.Spec.fabric ~horizon fault_spec
+
+let one_cell (params : Runner.params) ~mean_interarrival ~fault_spec ~victim
+    (label, admission, recovery) =
+  let cfg = config_of ~admission ~recovery ~victim in
+  let acc = ref 0.0 and kept = ref 0.0 and recov = ref 0.0 in
+  let viol = ref 0.0 and gput = ref 0.0 in
+  for rep = 0 to params.Runner.reps - 1 do
+    let spec = Runner.flexible_spec params ~mean_interarrival in
+    let requests = Gen.generate (Rng.create ~seed:(Runner.seed_for params ~rep) ()) spec in
+    let script = script_for params ~rep spec fault_spec requests in
+    let report = Injector.run spec.Spec.fabric cfg script requests in
+    let total = float_of_int (max 1 (List.length requests)) in
+    acc :=
+      !acc +. (float_of_int (List.length report.Injector.result.Types.accepted) /. total);
+    kept := !kept +. report.Injector.stats.Resilience.guarantee_kept;
+    recov := !recov +. report.Injector.stats.Resilience.recovered_fraction;
+    viol := !viol +. report.Injector.stats.Resilience.violation_minutes;
+    gput := !gput +. report.Injector.stats.Resilience.goodput
+  done;
+  let reps = float_of_int (max 1 params.Runner.reps) in
+  {
+    variant = label;
+    mtbf = fault_spec.Fault.mtbf;
+    depth = 0.5 *. (fault_spec.Fault.depth_lo +. fault_spec.Fault.depth_hi);
+    accept = !acc /. reps;
+    kept = !kept /. reps;
+    recovered = !recov /. reps;
+    violation_min = !viol /. reps;
+    goodput = !gput /. reps;
+  }
+
+let default_fault_specs =
+  [
+    { Fault.default_spec with Fault.mtbf = 400.0; depth_lo = 0.4; depth_hi = 0.7 };
+    { Fault.default_spec with Fault.mtbf = 400.0; depth_lo = 0.0; depth_hi = 0.3 };
+    { Fault.default_spec with Fault.mtbf = 150.0; depth_lo = 0.0; depth_hi = 0.3 };
+  ]
+
+let run ?(fault_specs = default_fault_specs) ?(mean_interarrival = 0.3)
+    (params : Runner.params) =
+  List.concat_map
+    (fun fault_spec ->
+      List.map
+        (one_cell params ~mean_interarrival ~fault_spec ~victim:Victim.Smallest_residual)
+        variants)
+    fault_specs
+
+let to_table rows =
+  Table.make
+    ~headers:
+      [ "variant"; "MTBF (s)"; "mean depth"; "accept"; "kept"; "recovered";
+        "violation (min)"; "goodput (MB/s)" ]
+    (List.map
+       (fun r ->
+         [
+           r.variant;
+           Printf.sprintf "%.0f" r.mtbf;
+           Printf.sprintf "%.2f" r.depth;
+           Printf.sprintf "%.3f" r.accept;
+           Printf.sprintf "%.3f" r.kept;
+           Printf.sprintf "%.3f" r.recovered;
+           Printf.sprintf "%.2f" r.violation_min;
+           Printf.sprintf "%.1f" r.goodput;
+         ])
+       rows)
+
+(* Victim-policy ablation under the harshest default fault spec. *)
+let run_ablation ?(mean_interarrival = 0.3) (params : Runner.params) =
+  let fault_spec = { Fault.default_spec with Fault.mtbf = 150.0; depth_lo = 0.0; depth_hi = 0.3 } in
+  List.map
+    (fun victim ->
+      let r =
+        one_cell params ~mean_interarrival ~fault_spec ~victim
+          ("greedy+recovery", Injector.Greedy, Injector.Resubmit)
+      in
+      (Victim.name victim, r))
+    Victim.all
+
+let ablation_table rows =
+  Table.make
+    ~headers:[ "victim policy"; "kept"; "recovered"; "violation (min)"; "goodput (MB/s)" ]
+    (List.map
+       (fun (name, r) ->
+         [
+           name;
+           Printf.sprintf "%.3f" r.kept;
+           Printf.sprintf "%.3f" r.recovered;
+           Printf.sprintf "%.2f" r.violation_min;
+           Printf.sprintf "%.1f" r.goodput;
+         ])
+       rows)
+
+(* Acceptance gate: with no faults the injector must reproduce the
+   fault-free heuristics bit for bit. *)
+let parity (params : Runner.params) =
+  let spec = Runner.flexible_spec params ~mean_interarrival:0.3 in
+  let requests = Gen.generate (Rng.create ~seed:(Runner.seed_for params ~rep:0) ()) spec in
+  let fabric = spec.Spec.fabric in
+  let same (a : Types.result) (b : Types.result) =
+    let ids l = List.map (fun (x : Gridbw_alloc.Allocation.t) -> x.request.Request.id) l in
+    let summary (r : Types.result) =
+      Summary.compute fabric ~all:r.Types.all ~accepted:r.Types.accepted
+    in
+    ids a.Types.accepted = ids b.Types.accepted && summary a = summary b
+  in
+  let g_ref = Flexible.greedy fabric policy requests in
+  let g_inj =
+    (Injector.run fabric (config_of ~admission:Injector.Greedy ~recovery:Injector.Resubmit
+                            ~victim:Victim.Smallest_residual) [] requests)
+      .Injector.result
+  in
+  let w_ref = Flexible.window ~step:window_step fabric policy requests in
+  let w_inj =
+    (Injector.run fabric (config_of ~admission:(Injector.Window window_step)
+                            ~recovery:Injector.Resubmit ~victim:Victim.Smallest_residual) [] requests)
+      .Injector.result
+  in
+  (same g_ref g_inj, same w_ref w_inj)

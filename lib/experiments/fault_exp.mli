@@ -1,0 +1,44 @@
+(** Experiment E16 — guarantees under faults.
+
+    The paper's admission control promises every accepted request its
+    deadline; E16 measures what survives of that promise when port
+    capacities degrade.  A PRNG-driven renewal fault process (MTBF ×
+    outage-depth sweep) hits the same workload under three variants:
+    GREEDY with residual re-admission, WINDOW with residual re-admission,
+    and GREEDY with no recovery.  A second table ablates the
+    victim-selection policy.  Shapes in DESIGN.md section 5. *)
+
+type row = {
+  variant : string;
+  mtbf : float;
+  depth : float;  (** mean retained-capacity fraction during outages *)
+  accept : float;
+      (** accept rate of the original requests (re-admitted residuals
+          compete for capacity, so recovery shifts this slightly) *)
+  kept : float;  (** fraction of admitted, non-aborted transfers that met
+                     their original deadline *)
+  recovered : float;  (** fraction of preempted transfers that still finished *)
+  violation_min : float;  (** mean guarantee-violation minutes per run *)
+  goodput : float;  (** delivered MB over the workload span, MB/s *)
+}
+
+val run :
+  ?fault_specs:Gridbw_fault.Fault.spec list ->
+  ?mean_interarrival:float ->
+  Runner.params ->
+  row list
+(** Defaults: mild (40–70 % retained) and severe (0–30 %) outages at
+    MTBF 400 s plus severe at MTBF 150 s; inter-arrival 0.3 s. *)
+
+val to_table : row list -> Gridbw_report.Table.t
+
+val run_ablation :
+  ?mean_interarrival:float -> Runner.params -> (string * row) list
+(** Victim-policy ablation (GREEDY + recovery, severe faults). *)
+
+val ablation_table : (string * row) list -> Gridbw_report.Table.t
+
+val parity : Runner.params -> bool * bool
+(** [(greedy_ok, window_ok)]: with an empty fault script the injector's
+    decisions and summary metrics equal {!Gridbw_core.Flexible.greedy} /
+    [window] exactly. *)

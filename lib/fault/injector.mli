@@ -1,0 +1,64 @@
+(** Fault injection and recovery: replay GREEDY / WINDOW admission as a
+    discrete-event simulation while a fault script revises port
+    capacities, aborts hosts and preempts transfers.
+
+    With an empty script the replay is {e bit-identical} to
+    {!Gridbw_core.Flexible.greedy} / [window] — same decision stream,
+    same accepted order, same summary floats — so fault runs compare
+    cleanly against the fault-free baselines.
+
+    When a degradation shrinks a port below its committed bandwidth, a
+    {!Victim} policy picks transfers to preempt.  Under [Resubmit]
+    recovery a preempted request comes back as a {e residual} request
+    (volume = remaining MB, same deadline and rate cap) after the control
+    plane's renegotiation delay; if the renegotiation is rejected (the
+    port is still degraded), the client re-signals when a degraded port
+    is next restored.  All time spent waiting accrues as
+    guarantee-violation time. *)
+
+type admission = Greedy | Window of float  (** WINDOW with its batching step *)
+
+type recovery =
+  | No_recovery  (** preempted transfers are lost *)
+  | Resubmit  (** residual re-admission after the renegotiation delay *)
+
+type config = {
+  policy : Gridbw_core.Policy.t;  (** rate policy for admission *)
+  admission : admission;
+  victim : Victim.t;
+  recovery : recovery;
+  control : Gridbw_control.Plane.config;  (** sets the renegotiation delay *)
+  check_invariants : bool;
+      (** assert after every event that no port exceeds its current
+          capacity (testing aid; raises [Failure] on violation) *)
+}
+
+val default_config :
+  ?policy:Gridbw_core.Policy.t -> ?admission:admission -> unit -> config
+(** Min-rate GREEDY, smallest-residual victims, resubmit recovery,
+    default control plane, invariant checks off. *)
+
+val admission_name : admission -> string
+
+(** One contiguous constant-rate service interval actually delivered. *)
+type service = { s_ingress : int; s_egress : int; s_bw : float; s_from : float; s_until : float }
+
+type report = {
+  result : Gridbw_core.Types.result;
+      (** initial admission decisions, comparable to the fault-free run *)
+  outcomes : Gridbw_metrics.Resilience.outcome list;  (** per request, input order *)
+  stats : Gridbw_metrics.Resilience.t;
+  services : service list;
+      (** every delivered interval, for post-hoc capacity auditing *)
+  span : float;  (** workload span used for goodput *)
+}
+
+val run :
+  Gridbw_topology.Fabric.t ->
+  config ->
+  Fault.event list ->
+  Gridbw_request.Request.t list ->
+  report
+(** Validates the script against the fabric ({!Fault.validate}) and the
+    requests against the fabric, then simulates.  Deterministic: same
+    inputs give the same report. *)

@@ -1,0 +1,337 @@
+(* Fault injection and recovery: victim selection, script validation,
+   fault-free parity with Flexible, recovery identities, and randomized
+   capacity/deadline invariants. *)
+
+open Helpers
+module Fabric = Gridbw_topology.Fabric
+module Request = Gridbw_request.Request
+module Allocation = Gridbw_alloc.Allocation
+module Spec = Gridbw_workload.Spec
+module Gen = Gridbw_workload.Gen
+module Summary = Gridbw_metrics.Summary
+module Resilience = Gridbw_metrics.Resilience
+module Flexible = Gridbw_core.Flexible
+module Policy = Gridbw_core.Policy
+module Types = Gridbw_core.Types
+module Plane = Gridbw_control.Plane
+module Rng = Gridbw_prng.Rng
+module Fault = Gridbw_fault.Fault
+module Victim = Gridbw_fault.Victim
+module Injector = Gridbw_fault.Injector
+
+let seed_gen = QCheck2.Gen.int_range 0 1_000_000
+
+let workload_of_seed ?(n = 40) seed =
+  let spec =
+    Spec.make ~fabric:(fabric2 ()) ~volumes:(Spec.Uniform_volume { lo = 50.; hi = 3000. })
+      ~rate_lo:5. ~rate_hi:100. ~count:n ~mean_interarrival:1.5 ()
+  in
+  Gen.generate (Rng.create ~seed:(Int64.of_int seed) ()) spec
+
+let zero_latency_config ?(admission = Injector.Greedy) ?(victim = Victim.Smallest_residual) () =
+  {
+    (Injector.default_config ~admission ()) with
+    Injector.control = { (Plane.default_config Policy.Min_rate) with hop_latency = 0.; decision_latency = 0. };
+    victim;
+    check_invariants = true;
+  }
+
+let alloc ~id ~bw ~sigma ~tau ?(tf = tau) () =
+  let r =
+    Request.make ~id ~ingress:0 ~egress:0 ~volume:(bw *. (tau -. sigma)) ~ts:sigma ~tf
+      ~max_rate:bw
+  in
+  Allocation.make ~request:r ~bw ~sigma
+
+(* --- victim selection --- *)
+
+let test_victim_smallest_residual () =
+  let a = alloc ~id:0 ~bw:10. ~sigma:0. ~tau:10. () in
+  let b = alloc ~id:1 ~bw:10. ~sigma:0. ~tau:10. () in
+  let c = alloc ~id:2 ~bw:10. ~sigma:0. ~tau:10. () in
+  let victims =
+    Victim.select Victim.Smallest_residual ~need:15. [ (a, 50.); (b, 20.); (c, 90.) ]
+  in
+  Alcotest.(check (list int))
+    "smallest residuals first, stop once need covered" [ 1; 0 ]
+    (List.map (fun (v : Allocation.t) -> v.request.Request.id) victims)
+
+let test_victim_latest_deadline () =
+  let a = alloc ~id:0 ~bw:10. ~sigma:0. ~tau:10. ~tf:30. () in
+  let b = alloc ~id:1 ~bw:10. ~sigma:0. ~tau:10. ~tf:50. () in
+  let c = alloc ~id:2 ~bw:10. ~sigma:0. ~tau:10. ~tf:40. () in
+  let victims = Victim.select Victim.Latest_deadline ~need:15. [ (a, 1.); (b, 1.); (c, 1.) ] in
+  Alcotest.(check (list int))
+    "latest deadlines first" [ 1; 2 ]
+    (List.map (fun (v : Allocation.t) -> v.request.Request.id) victims)
+
+let test_victim_squeeze_takes_all () =
+  let a = alloc ~id:0 ~bw:10. ~sigma:0. ~tau:10. () in
+  let b = alloc ~id:1 ~bw:10. ~sigma:0. ~tau:10. () in
+  let victims = Victim.select Victim.Proportional_squeeze ~need:1. [ (a, 5.); (b, 5.) ] in
+  Alcotest.(check int) "squeeze renegotiates every candidate" 2 (List.length victims)
+
+(* --- script validation --- *)
+
+let test_validate_rejects () =
+  let fabric = fabric2 () in
+  let bad_port = [ Fault.Degrade { side = Fault.Ingress; port = 9; factor = 0.5; from_ = 0.; until = 1. } ] in
+  let bad_factor = [ Fault.Degrade { side = Fault.Ingress; port = 0; factor = 1.5; from_ = 0.; until = 1. } ] in
+  let overlap =
+    [
+      Fault.Degrade { side = Fault.Egress; port = 1; factor = 0.5; from_ = 0.; until = 5. };
+      Fault.Degrade { side = Fault.Egress; port = 1; factor = 0.2; from_ = 3.; until = 8. };
+    ]
+  in
+  let raises events =
+    match Fault.validate fabric events with
+    | () -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "bad port" true (raises bad_port);
+  Alcotest.(check bool) "bad factor" true (raises bad_factor);
+  Alcotest.(check bool) "overlapping windows" true (raises overlap);
+  Fault.validate fabric
+    [
+      Fault.Degrade { side = Fault.Egress; port = 1; factor = 0.5; from_ = 0.; until = 3. };
+      Fault.Degrade { side = Fault.Egress; port = 1; factor = 0.2; from_ = 3.; until = 8. };
+    ]
+
+let test_generate_is_valid_and_deterministic () =
+  let fabric = fabric2 () in
+  let gen seed = Fault.generate (Rng.create ~seed ()) fabric ~horizon:500. Fault.default_spec in
+  let a = gen 1L and b = gen 1L in
+  Alcotest.(check bool) "same seed, same script" true (a = b);
+  Fault.validate fabric a
+
+(* --- fault-free parity --- *)
+
+let ids (l : Allocation.t list) = List.map (fun (a : Allocation.t) -> a.request.Request.id) l
+
+let summary_of fabric (r : Types.result) =
+  Summary.compute fabric ~all:r.Types.all ~accepted:r.Types.accepted
+
+let prop_empty_script_greedy_parity =
+  qcase ~count:40 "injector: empty script is bit-identical to greedy" seed_gen (fun seed ->
+      let fabric = fabric2 () in
+      let reqs = workload_of_seed seed in
+      let reference = Flexible.greedy fabric Policy.Min_rate reqs in
+      let cfg = { (Injector.default_config ()) with Injector.check_invariants = true } in
+      let report = Injector.run fabric cfg [] reqs in
+      ids reference.Types.accepted = ids report.Injector.result.Types.accepted
+      && summary_of fabric reference = summary_of fabric report.Injector.result)
+
+let prop_empty_script_window_parity =
+  qcase ~count:40 "injector: empty script is bit-identical to window" seed_gen (fun seed ->
+      let fabric = fabric2 () in
+      let reqs = workload_of_seed seed in
+      let step = 10.0 in
+      let reference = Flexible.window ~step fabric (Policy.Fraction_of_max 0.8) reqs in
+      let cfg =
+        {
+          (Injector.default_config ~policy:(Policy.Fraction_of_max 0.8)
+             ~admission:(Injector.Window step) ())
+          with Injector.check_invariants = true
+        }
+      in
+      let report = Injector.run fabric cfg [] reqs in
+      ids reference.Types.accepted = ids report.Injector.result.Types.accepted
+      && summary_of fabric reference = summary_of fabric report.Injector.result)
+
+(* --- recovery identities --- *)
+
+let test_scripted_preempt_recovers () =
+  (* One transfer, preempted halfway, zero renegotiation latency: the
+     residual is re-admitted instantly on an otherwise idle fabric and the
+     request still meets its deadline with full delivery. *)
+  let fabric = fabric2 () in
+  let r = req ~id:0 ~volume:200. ~ts:0. ~tf:10. ~max_rate:50. () in
+  let script = [ Fault.Preempt { request_id = 0; at = 2.0 } ] in
+  let report = Injector.run fabric (zero_latency_config ()) script [ r ] in
+  let o = List.hd report.Injector.outcomes in
+  Alcotest.(check bool) "admitted" true o.Resilience.admitted;
+  Alcotest.(check int) "one preemption" 1 o.Resilience.preemptions;
+  check_approx "full volume delivered" 200. o.Resilience.delivered;
+  (match o.Resilience.finished_at with
+  | Some f -> Alcotest.(check bool) "finished by deadline" true (f <= 10. +. 1e-9)
+  | None -> Alcotest.fail "transfer never finished");
+  check_approx "no violation time at zero latency" 0. o.Resilience.violation_time;
+  Alcotest.(check int) "recovered count" 1 report.Injector.stats.Resilience.recovered
+
+let test_no_recovery_loses_transfer () =
+  let fabric = fabric2 () in
+  let r = req ~id:0 ~volume:200. ~ts:0. ~tf:10. ~max_rate:50. () in
+  let script = [ Fault.Preempt { request_id = 0; at = 2.0 } ] in
+  let cfg = { (zero_latency_config ()) with Injector.recovery = Injector.No_recovery } in
+  let report = Injector.run fabric cfg script [ r ] in
+  let o = List.hd report.Injector.outcomes in
+  Alcotest.(check bool) "never finished" true (o.Resilience.finished_at = None);
+  Alcotest.(check bool) "partial delivery only" true (o.Resilience.delivered < 200.);
+  Alcotest.(check bool) "violation accrued" true (o.Resilience.violation_time > 0.)
+
+let test_abort_excluded_from_ratios () =
+  let fabric = fabric2 () in
+  let r = req ~id:0 ~volume:200. ~ts:0. ~tf:10. ~max_rate:50. () in
+  let script = [ Fault.Abort { request_id = 0; at = 2.0 } ] in
+  let report = Injector.run fabric (zero_latency_config ()) script [ r ] in
+  let o = List.hd report.Injector.outcomes in
+  Alcotest.(check bool) "aborted" true o.Resilience.aborted;
+  check_approx "no violation time for dead hosts" 0. o.Resilience.violation_time;
+  check_approx "guarantee ratio ignores aborts" 1. report.Injector.stats.Resilience.guarantee_kept
+
+let test_degrade_sheds_to_capacity () =
+  (* Two transfers fill ingress 0; halving it must preempt one, and with
+     zero-latency recovery the victim must still finish by its deadline
+     (it has slack: max_rate 50 vs min_rate 10). *)
+  let fabric = fabric2 () in
+  let r0 = req ~id:0 ~ingress:0 ~egress:0 ~volume:500. ~ts:0. ~tf:50. ~max_rate:50. () in
+  let r1 = req ~id:1 ~ingress:0 ~egress:1 ~volume:500. ~ts:0. ~tf:50. ~max_rate:50. () in
+  let script =
+    [ Fault.Degrade { side = Fault.Ingress; port = 0; factor = 0.5; from_ = 2.; until = 4. } ]
+  in
+  let cfg = { (zero_latency_config ()) with Injector.policy = Policy.Fraction_of_max 1.0 } in
+  let report = Injector.run fabric cfg script [ r0; r1 ] in
+  Alcotest.(check int) "both admitted" 2 (List.length report.Injector.result.Types.accepted);
+  Alcotest.(check int) "someone was preempted" 1 report.Injector.stats.Resilience.preempted;
+  List.iter
+    (fun (o : Resilience.outcome) ->
+      match o.Resilience.finished_at with
+      | Some f ->
+          Alcotest.(check bool) "finished by deadline" true (f <= o.Resilience.request.Request.tf +. 1e-9)
+      | None -> Alcotest.fail "transfer lost despite recovery")
+    report.Injector.outcomes
+
+(* --- randomized invariants --- *)
+
+let script_of_seed fabric seed reqs =
+  let spec = { Fault.mtbf = 60.; mean_outage = 20.; depth_lo = 0.0; depth_hi = 0.7 } in
+  Fault.generate (Rng.create ~seed:(Int64.of_int (seed + 17)) ()) fabric
+    ~horizon:(Fault.horizon_of_requests reqs) spec
+
+(* Post-hoc audit (greedy mode): at every instant, the delivered service
+   intervals must fit under the fabric's *current* capacity as revised by
+   the script. *)
+let audit_services fabric script (services : Injector.service list) =
+  let cap side port t =
+    let nominal =
+      match side with
+      | Fault.Ingress -> Fabric.ingress_capacity fabric port
+      | Fault.Egress -> Fabric.egress_capacity fabric port
+    in
+    List.fold_left
+      (fun cap ev ->
+        match ev with
+        | Fault.Degrade { side = s; port = p; factor; from_; until }
+          when s = side && p = port && from_ <= t && t < until ->
+            Float.max (factor *. nominal) 1e-6
+        | _ -> cap)
+      nominal script
+  in
+  let probes =
+    List.concat_map (fun (s : Injector.service) -> [ s.Injector.s_from; s.Injector.s_until ]) services
+    @ List.concat_map
+        (function
+          | Fault.Degrade { from_; until; _ } -> [ from_; until ] | _ -> [])
+        script
+    |> List.sort_uniq Float.compare
+  in
+  let usage pick t =
+    List.fold_left
+      (fun acc (s : Injector.service) ->
+        if s.Injector.s_from <= t && t < s.Injector.s_until then acc +. pick s else acc)
+      0.0 services
+  in
+  List.for_all
+    (fun t ->
+      let ok side count pick port_of =
+        List.for_all
+          (fun port ->
+            let u =
+              usage (fun s -> if port_of s = port then pick s else 0.) t
+            in
+            u <= (cap side port t *. (1. +. 1e-6)) +. 1e-6)
+          (List.init count Fun.id)
+      in
+      ok Fault.Ingress (Fabric.ingress_count fabric)
+        (fun (s : Injector.service) -> s.Injector.s_bw)
+        (fun s -> s.Injector.s_ingress)
+      && ok Fault.Egress (Fabric.egress_count fabric)
+           (fun (s : Injector.service) -> s.Injector.s_bw)
+           (fun s -> s.Injector.s_egress))
+    probes
+
+let prop_capacity_never_exceeded_greedy =
+  qcase ~count:40 "injector: greedy never exceeds revised capacities" seed_gen (fun seed ->
+      let fabric = fabric2 () in
+      let reqs = workload_of_seed seed in
+      let script = script_of_seed fabric seed reqs in
+      (* check_invariants asserts the live counters after every event; the
+         audit re-derives usage from the delivered service intervals. *)
+      let report = Injector.run fabric (zero_latency_config ()) script reqs in
+      audit_services fabric script report.Injector.services)
+
+let prop_capacity_never_exceeded_window =
+  qcase ~count:25 "injector: window invariant checks pass under faults" seed_gen (fun seed ->
+      let fabric = fabric2 () in
+      let reqs = workload_of_seed seed in
+      let script = script_of_seed fabric seed reqs in
+      let cfg = zero_latency_config ~admission:(Injector.Window 10.0) () in
+      let report = Injector.run fabric cfg script reqs in
+      List.length report.Injector.outcomes = List.length reqs)
+
+let prop_recovered_meet_deadlines =
+  qcase ~count:40 "injector: recovered transfers finish by their original deadline"
+    QCheck2.Gen.(pair seed_gen (int_range 0 2))
+    (fun (seed, vidx) ->
+      let fabric = fabric2 () in
+      let reqs = workload_of_seed seed in
+      let script = script_of_seed fabric seed reqs in
+      let victim = List.nth Victim.all vidx in
+      let report = Injector.run fabric (zero_latency_config ~victim ()) script reqs in
+      List.for_all
+        (fun (o : Resilience.outcome) ->
+          match o.Resilience.finished_at with
+          | Some f ->
+              f <= (o.Resilience.request.Request.tf *. (1. +. 1e-9)) +. 1e-9
+          | None -> true)
+        report.Injector.outcomes)
+
+let prop_preempt_readmit_identity =
+  qcase ~count:60 "injector: preempt + zero-latency readmit preserves the guarantee"
+    QCheck2.Gen.(pair seed_gen (float_range 0.05 0.95))
+    (fun (seed, frac) ->
+      let fabric = fabric2 () in
+      let r = List.hd (workload_of_seed ~n:1 seed) in
+      let at = r.Request.ts +. (frac *. (r.Request.tf -. r.Request.ts)) in
+      let script = [ Fault.Preempt { request_id = r.Request.id; at } ] in
+      let report = Injector.run fabric (zero_latency_config ()) script [ r ] in
+      let o = List.hd report.Injector.outcomes in
+      (not o.Resilience.admitted)
+      ||
+      match o.Resilience.finished_at with
+      | Some f ->
+          f <= (r.Request.tf *. (1. +. 1e-9)) +. 1e-9
+          && approx ~eps:1e-6 o.Resilience.delivered r.Request.volume
+      | None -> false)
+
+let suites =
+  [
+    ( "fault",
+      [
+        case "victim: smallest-residual order" test_victim_smallest_residual;
+        case "victim: latest-deadline order" test_victim_latest_deadline;
+        case "victim: proportional squeeze takes all" test_victim_squeeze_takes_all;
+        case "fault: validate rejects bad scripts" test_validate_rejects;
+        case "fault: generate is valid and deterministic" test_generate_is_valid_and_deterministic;
+        case "injector: scripted preempt recovers" test_scripted_preempt_recovers;
+        case "injector: no-recovery loses the transfer" test_no_recovery_loses_transfer;
+        case "injector: aborts excluded from ratios" test_abort_excluded_from_ratios;
+        case "injector: degrade sheds to capacity" test_degrade_sheds_to_capacity;
+        prop_empty_script_greedy_parity;
+        prop_empty_script_window_parity;
+        prop_capacity_never_exceeded_greedy;
+        prop_capacity_never_exceeded_window;
+        prop_recovered_meet_deadlines;
+        prop_preempt_readmit_identity;
+      ] );
+  ]

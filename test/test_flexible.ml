@@ -289,6 +289,19 @@ let online_time_monotone () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "time moved backwards"
 
+let online_clamps_rounding_dust () =
+  (* Timestamps an epsilon in the past (float dust from upstream arithmetic)
+     are clamped to the clock instead of raising; genuinely past times
+     still raise (previous test). *)
+  let ctl = Online.create (fabric1 ()) in
+  Online.advance_to ctl 5.0;
+  Online.advance_to ctl (5.0 -. 1e-12);
+  check_approx "clock unchanged" 5.0 (Online.now ctl);
+  let r = flex ~id:0 ~volume:100. ~ts:0. ~tf:10. ~max_rate:100. in
+  match Online.try_admit ctl (Policy.Fraction_of_max 1.0) r ~at:(5.0 -. 1e-12) with
+  | Types.Accepted a -> check_approx "admitted at the clamped clock" 5.0 a.Allocation.sigma
+  | Types.Rejected _ -> Alcotest.fail "admission failed"
+
 let online_active_count () =
   let ctl = Online.create (fabric1 ()) in
   let r = flex ~id:0 ~volume:100. ~ts:0. ~tf:10. ~max_rate:100. in
@@ -355,6 +368,7 @@ let suites =
     ( "online",
       [
         case "time is monotone" online_time_monotone;
+        case "rounding dust is clamped" online_clamps_rounding_dust;
         case "active count follows releases" online_active_count;
         case "peek_cost does not mutate" online_peek_does_not_mutate;
       ] );
