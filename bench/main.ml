@@ -6,7 +6,14 @@
    2. micro-benchmarks the core algorithms with Bechamel (one Test.make per
       experiment kernel).
 
-     dune exec bench/main.exe *)
+     dune exec bench/main.exe
+
+   Flags:
+     --json PATH          dump the timings as a JSON array
+     --only SUBSTRING     skip part 1 and run only the benchmarks whose
+                          name contains SUBSTRING (e.g. --only admission)
+     --admission-base N   base request count for the admission group
+                          (default 400; the x10/x100 targets multiply it) *)
 
 open Bechamel
 open Toolkit
@@ -23,6 +30,7 @@ module Unit_exact = Gridbw_core.Unit_exact
 module Maxmin = Gridbw_baseline.Maxmin
 module Fluid = Gridbw_baseline.Fluid
 module Profile = Gridbw_alloc.Profile
+module Timeline = Gridbw_alloc.Timeline
 module Rng = Gridbw_prng.Rng
 module Runner = Gridbw_experiments.Runner
 module Figure = Gridbw_report.Figure
@@ -83,6 +91,19 @@ let regenerate () =
 
 (* --- part 2: micro-benchmarks --- *)
 
+let only_filter =
+  let rec find = function
+    | "--only" :: sub :: _ -> Some sub
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find (Array.to_list Sys.argv)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  n = 0 || at 0
+
 (* Fixed inputs, built once: the benchmarks measure the algorithms, not the
    generators. *)
 let fabric = Fabric.paper_default ()
@@ -125,8 +146,70 @@ let fault_script =
 let fault_config =
   Gridbw_fault.Injector.default_config ~policy:(Policy.Fraction_of_max 0.8) ()
 
-let tests =
-  Test.make_grouped ~name:"gridbw" ~fmt:"%s %s"
+(* --- admission hot-path benchmarks ---
+
+   The WINDOW/GREEDY admission kernels at 10x and 100x the fig5 request
+   count, plus a substrate comparison running the exact same
+   reserve + max_over sequence against the allocation structure.  These are
+   the targets recorded in BENCH_admission.json (see README "Performance"). *)
+
+let admission_base =
+  let rec find = function
+    | "--admission-base" :: n :: _ -> int_of_string n
+    | _ :: rest -> find rest
+    | [] -> 400
+  in
+  find (Array.to_list Sys.argv)
+
+let admission_workload mult =
+  Gen.generate
+    (Rng.create ~seed:21L ())
+    (Runner.flexible_spec
+       (Runner.with_params ~count:(admission_base * mult) params)
+       ~mean_interarrival:0.4)
+
+let admission_x10 = admission_workload 10
+let admission_x100 = admission_workload 100
+
+(* Identical interval/query sequence replayed against each profile
+   implementation: reserve n intervals, then one max_over per interval. *)
+let maxover_ops =
+  let rng = Rng.create ~seed:31L () in
+  List.init (admission_base * 10) (fun _ ->
+      let from_ = Rng.float_in rng 0. 10_000. in
+      (from_, from_ +. Rng.float_in rng 1. 500., Rng.float_in rng 1. 100.))
+
+let admission_tests =
+  [
+    Test.make ~name:"admission:window-x10"
+      (Staged.stage (fun () ->
+           Flexible.window fabric (Policy.Fraction_of_max 1.0) ~step:400. admission_x10));
+    Test.make ~name:"admission:window-x100"
+      (Staged.stage (fun () ->
+           Flexible.window fabric (Policy.Fraction_of_max 1.0) ~step:400. admission_x100));
+    Test.make ~name:"admission:greedy-x100"
+      (Staged.stage (fun () ->
+           Flexible.greedy fabric (Policy.Fraction_of_max 1.0) admission_x100));
+    Test.make ~name:"admission:profile-ref-maxover"
+      (Staged.stage (fun () ->
+           let p =
+             List.fold_left
+               (fun p (f, u, bw) -> Profile.add p ~from_:f ~until:u bw)
+               Profile.empty maxover_ops
+           in
+           List.fold_left
+             (fun acc (f, u, _) -> acc +. Profile.max_over p ~from_:f ~until:u)
+             0. maxover_ops));
+    Test.make ~name:"admission:timeline-maxover"
+      (Staged.stage (fun () ->
+           let t = Timeline.create () in
+           List.iter (fun (f, u, bw) -> Timeline.add t ~from_:f ~until:u bw) maxover_ops;
+           List.fold_left
+             (fun acc (f, u, _) -> acc +. Timeline.max_over t ~from_:f ~until:u)
+             0. maxover_ops));
+  ]
+
+let base_tests =
     [
       (* one kernel per paper table/figure *)
       Test.make ~name:"fig4:fcfs" (Staged.stage (fun () -> Rigid.fcfs fabric rigid_workload));
@@ -197,6 +280,18 @@ let tests =
               done;
               !acc));
     ]
+
+let tests =
+  let all = base_tests @ admission_tests in
+  let selected =
+    match only_filter with
+    | None -> all
+    | Some sub -> List.filter (fun t -> contains ~sub (Test.name t)) all
+  in
+  if selected = [] then (
+    Printf.eprintf "no benchmark matches --only %s\n" (Option.get only_filter);
+    exit 1);
+  Test.make_grouped ~name:"gridbw" ~fmt:"%s %s" selected
 
 let run_benchmarks () =
   print_endline "\n=== part 2: micro-benchmarks (Bechamel) ===\n";
@@ -270,6 +365,6 @@ let json_out =
   find (Array.to_list Sys.argv)
 
 let () =
-  regenerate ();
+  if only_filter = None then regenerate ();
   let timings = run_benchmarks () in
   Option.iter (fun path -> write_json path timings) json_out

@@ -11,8 +11,8 @@ module Gen = Gridbw_workload.Gen
 module Trace = Gridbw_workload.Trace
 module Summary = Gridbw_metrics.Summary
 module Rigid = Gridbw_core.Rigid
-module Flexible = Gridbw_core.Flexible
 module Policy = Gridbw_core.Policy
+module Scheduler = Gridbw_core.Scheduler
 module Types = Gridbw_core.Types
 module Runner = Gridbw_experiments.Runner
 module Rng = Gridbw_prng.Rng
@@ -229,6 +229,15 @@ let policy_conv =
   in
   Arg.conv (parse, Policy.pp)
 
+(* Both trace-replay commands dispatch through the first-class scheduler
+   interface rather than matching on heuristic constructors. *)
+let scheduler_of heuristic policy ~step =
+  match heuristic with
+  | (`Fcfs | `Fifo_blocking | `Slots _) as kind -> Scheduler.of_rigid kind
+  | `Greedy -> Scheduler.of_flexible `Greedy policy
+  | `Window -> Scheduler.of_flexible (`Window step) policy
+  | `Window_deferred -> Scheduler.of_flexible (`Window_deferred step) policy
+
 let run_cmd =
   let trace_t =
     Arg.(required & opt (some file) None & info [ "trace" ] ~docv:"FILE" ~doc:"Workload CSV.")
@@ -247,13 +256,8 @@ let run_cmd =
   let run trace heuristic policy step =
     let requests = Trace.of_file trace in
     let fabric = Gridbw_topology.Fabric.paper_default () in
-    let result =
-      match heuristic with
-      | (`Fcfs | `Fifo_blocking | `Slots _) as kind -> Rigid.run kind fabric requests
-      | `Greedy -> Flexible.greedy fabric policy requests
-      | `Window -> Flexible.window fabric policy ~step requests
-      | `Window_deferred -> Flexible.window_deferred fabric policy ~step requests
-    in
+    let sched = scheduler_of heuristic policy ~step in
+    let result = Scheduler.run sched (Spec.for_replay fabric) requests in
     let summary = Summary.compute fabric ~all:requests ~accepted:result.Types.accepted in
     Format.printf "%a@." Summary.pp summary;
     (match Gridbw_metrics.Validate.check fabric result.Types.accepted with
@@ -286,13 +290,8 @@ let hotspot_cmd =
   let run trace heuristic policy step =
     let requests = Trace.of_file trace in
     let fabric = Gridbw_topology.Fabric.paper_default () in
-    let result =
-      match heuristic with
-      | (`Fcfs | `Fifo_blocking | `Slots _) as kind -> Rigid.run kind fabric requests
-      | `Greedy -> Flexible.greedy fabric policy requests
-      | `Window -> Flexible.window fabric policy ~step requests
-      | `Window_deferred -> Flexible.window_deferred fabric policy ~step requests
-    in
+    let sched = scheduler_of heuristic policy ~step in
+    let result = Scheduler.run sched (Spec.for_replay fabric) requests in
     let reports =
       Gridbw_metrics.Hotspot.analyze fabric ~all:requests ~accepted:result.Types.accepted
     in

@@ -3,15 +3,15 @@ module Request = Gridbw_request.Request
 
 type t = {
   mutable fabric : Fabric.t;
-  ingress : Profile.t array;
-  egress : Profile.t array;
+  ingress : Timeline.t array;
+  egress : Timeline.t array;
 }
 
 let create fabric =
   {
     fabric;
-    ingress = Array.make (Fabric.ingress_count fabric) Profile.empty;
-    egress = Array.make (Fabric.egress_count fabric) Profile.empty;
+    ingress = Array.init (Fabric.ingress_count fabric) (fun _ -> Timeline.create ());
+    egress = Array.init (Fabric.egress_count fabric) (fun _ -> Timeline.create ());
   }
 
 let fabric t = t.fabric
@@ -20,6 +20,28 @@ let set_fabric t fabric =
   if not (Fabric.same_shape t.fabric fabric) then
     invalid_arg "Ledger.set_fabric: port counts differ";
   t.fabric <- fabric
+
+(* Resolve a port to its timeline, validating the index against the fabric.
+   [what] names the calling operation in the error message. *)
+let timeline t what port =
+  match (port : Port.t) with
+  | Port.Ingress i ->
+      if not (Fabric.valid_ingress t.fabric i) then
+        invalid_arg (Printf.sprintf "Ledger.%s: bad ingress port" what);
+      t.ingress.(i)
+  | Port.Egress e ->
+      if not (Fabric.valid_egress t.fabric e) then
+        invalid_arg (Printf.sprintf "Ledger.%s: bad egress port" what);
+      t.egress.(e)
+
+let capacity t port =
+  match (port : Port.t) with
+  | Port.Ingress i ->
+      if not (Fabric.valid_ingress t.fabric i) then invalid_arg "Ledger.capacity: bad ingress port";
+      Fabric.ingress_capacity t.fabric i
+  | Port.Egress e ->
+      if not (Fabric.valid_egress t.fabric e) then invalid_arg "Ledger.capacity: bad egress port";
+      Fabric.egress_capacity t.fabric e
 
 (* Relative slack absorbing float accumulation in capacity comparisons. *)
 let le_cap used cap = used <= cap *. (1. +. 1e-9)
@@ -31,10 +53,10 @@ let fits_interval t ~ingress ~egress ~bw ~from_ ~until =
     invalid_arg "Ledger.fits_interval: bad egress port";
   if from_ >= until then invalid_arg "Ledger.fits_interval: empty interval";
   le_cap
-    (Profile.max_over t.ingress.(ingress) ~from_ ~until +. bw)
+    (Timeline.max_over t.ingress.(ingress) ~from_ ~until +. bw)
     (Fabric.ingress_capacity t.fabric ingress)
   && le_cap
-       (Profile.max_over t.egress.(egress) ~from_ ~until +. bw)
+       (Timeline.max_over t.egress.(egress) ~from_ ~until +. bw)
        (Fabric.egress_capacity t.fabric egress)
 
 let ports (a : Allocation.t) =
@@ -46,12 +68,12 @@ let fits t a =
     ~until:a.Allocation.tau
 
 let reserve_interval t ~ingress ~egress ~bw ~from_ ~until =
-  t.ingress.(ingress) <- Profile.add t.ingress.(ingress) ~from_ ~until bw;
-  t.egress.(egress) <- Profile.add t.egress.(egress) ~from_ ~until bw
+  Timeline.add t.ingress.(ingress) ~from_ ~until bw;
+  Timeline.add t.egress.(egress) ~from_ ~until bw
 
 let release_interval t ~ingress ~egress ~bw ~from_ ~until =
-  t.ingress.(ingress) <- Profile.remove t.ingress.(ingress) ~from_ ~until bw;
-  t.egress.(egress) <- Profile.remove t.egress.(egress) ~from_ ~until bw
+  Timeline.remove t.ingress.(ingress) ~from_ ~until bw;
+  Timeline.remove t.egress.(egress) ~from_ ~until bw
 
 let reserve t a =
   if not (fits t a) then invalid_arg "Ledger.reserve: allocation exceeds port capacity";
@@ -64,21 +86,35 @@ let release t a =
   release_interval t ~ingress:i ~egress:e ~bw:a.Allocation.bw ~from_:a.Allocation.sigma
     ~until:a.Allocation.tau
 
-let ingress_usage_at t i time = Profile.usage_at t.ingress.(i) time
-let egress_usage_at t e time = Profile.usage_at t.egress.(e) time
-let ingress_max_over t i ~from_ ~until = Profile.max_over t.ingress.(i) ~from_ ~until
-let egress_max_over t e ~from_ ~until = Profile.max_over t.egress.(e) ~from_ ~until
-let ingress_breakpoints t i = Profile.breakpoints t.ingress.(i)
-let egress_breakpoints t e = Profile.breakpoints t.egress.(e)
+let usage_at t port time = Timeline.usage_at (timeline t "usage_at" port) time
+let max_over t port ~from_ ~until = Timeline.max_over (timeline t "max_over" port) ~from_ ~until
+
+let argmax_over t port ~from_ ~until =
+  Timeline.argmax_over (timeline t "argmax_over" port) ~from_ ~until
+
+let headroom_over t port ~from_ ~until =
+  capacity t port -. Timeline.max_over (timeline t "headroom_over" port) ~from_ ~until
+
+let breakpoints t port = Timeline.breakpoints (timeline t "breakpoints" port)
+
+(* Deprecated per-side accessors, kept as wrappers over the port-keyed API. *)
+let ingress_usage_at t i time = usage_at t (Port.Ingress i) time
+let egress_usage_at t e time = usage_at t (Port.Egress e) time
+let ingress_max_over t i ~from_ ~until = max_over t (Port.Ingress i) ~from_ ~until
+let egress_max_over t e ~from_ ~until = max_over t (Port.Egress e) ~from_ ~until
+let ingress_breakpoints t i = breakpoints t (Port.Ingress i)
+let egress_breakpoints t e = breakpoints t (Port.Egress e)
 
 let within_capacity t =
   let ok = ref true in
   Array.iteri
-    (fun i p -> if not (le_cap (Profile.peak p) (Fabric.ingress_capacity t.fabric i)) then ok := false)
+    (fun i p ->
+      if not (le_cap (Timeline.peak p) (Fabric.ingress_capacity t.fabric i)) then ok := false)
     t.ingress;
   Array.iteri
-    (fun e p -> if not (le_cap (Profile.peak p) (Fabric.egress_capacity t.fabric e)) then ok := false)
+    (fun e p ->
+      if not (le_cap (Timeline.peak p) (Fabric.egress_capacity t.fabric e)) then ok := false)
     t.egress;
   !ok
 
-let reserved_volume t = Array.fold_left (fun acc p -> acc +. Profile.integral p) 0.0 t.ingress
+let reserved_volume t = Array.fold_left (fun acc p -> acc +. Timeline.integral p) 0.0 t.ingress

@@ -1,9 +1,15 @@
 (** Time-indexed bandwidth accounting for a whole fabric.
 
-    One {!Profile.t} per ingress and egress port.  The ledger enforces the
-    paper's constraint set (1): at any instant, the bandwidth reserved
-    through a port never exceeds its capacity.  Capacity checks allow a
-    relative [1e-9] slack to absorb float accumulation. *)
+    One {!Timeline.t} per ingress and egress port, so admission checks
+    ({!fits_interval}, {!max_over}) cost O(log n) in the number of live
+    breakpoints.  The ledger enforces the paper's constraint set (1): at
+    any instant, the bandwidth reserved through a port never exceeds its
+    capacity.  Capacity checks allow a relative [1e-9] slack to absorb
+    float accumulation.
+
+    Ports are addressed with {!Port.t}; the historical per-side accessor
+    pairs ([ingress_usage_at]/[egress_usage_at], ...) remain as deprecated
+    wrappers. *)
 
 type t
 
@@ -38,16 +44,48 @@ val reserve_interval : t -> ingress:int -> egress:int -> bw:float -> from_:float
 
 val release_interval : t -> ingress:int -> egress:int -> bw:float -> from_:float -> until:float -> unit
 
+val capacity : t -> Port.t -> float
+(** The port's capacity in the current fabric. *)
+
+val usage_at : t -> Port.t -> float -> float
+(** Reserved bandwidth through the port at a time (intervals are closed on
+    the left). *)
+
+val max_over : t -> Port.t -> from_:float -> until:float -> float
+(** Maximum reserved bandwidth through the port over [\[from_, until)].
+    Requires [from_ < until]. *)
+
+val argmax_over : t -> Port.t -> from_:float -> until:float -> float * float
+(** [(time, level)] of the maximum over [\[from_, until)], earliest time
+    winning ties — the revision point the fault subsystem preempts at. *)
+
+val headroom_over : t -> Port.t -> from_:float -> until:float -> float
+(** [capacity t port -. max_over t port ~from_ ~until]: the largest extra
+    rate the port can carry throughout the interval.  Negative when the
+    port is oversubscribed (after a capacity cut).  Note admission keeps
+    using {!fits_interval}'s comparison, which has the [1e-9] slack;
+    [headroom_over] is a measurement, not an admission predicate. *)
+
+val breakpoints : t -> Port.t -> float list
+(** Sorted times where the port's reserved bandwidth changes. *)
+
 val ingress_usage_at : t -> int -> float -> float
+  [@@ocaml.deprecated "use Ledger.usage_at with Port.Ingress"]
+
 val egress_usage_at : t -> int -> float -> float
+  [@@ocaml.deprecated "use Ledger.usage_at with Port.Egress"]
 
 val ingress_max_over : t -> int -> from_:float -> until:float -> float
+  [@@ocaml.deprecated "use Ledger.max_over with Port.Ingress"]
+
 val egress_max_over : t -> int -> from_:float -> until:float -> float
+  [@@ocaml.deprecated "use Ledger.max_over with Port.Egress"]
 
 val ingress_breakpoints : t -> int -> float list
-(** Sorted times where the ingress port's reserved bandwidth changes. *)
+  [@@ocaml.deprecated "use Ledger.breakpoints with Port.Ingress"]
 
 val egress_breakpoints : t -> int -> float list
+  [@@ocaml.deprecated "use Ledger.breakpoints with Port.Egress"]
 
 val within_capacity : t -> bool
 (** Global invariant check: every port's peak usage is within its

@@ -1,16 +1,14 @@
-(** Piecewise-constant bandwidth usage of a single port over time.
+(** Reference implementation of the piecewise-constant port profile.
 
     The profile stores, for each breakpoint time, the change (delta) of the
     allocated bandwidth at that instant; the usage on an interval is the
-    prefix sum of deltas.  Breakpoint times come verbatim from request
-    fields, so float keys compare exactly and reservations cancel out
-    precisely on release.
+    prefix sum of deltas, recomputed by a full walk on every query — O(n)
+    per query.  Breakpoint times come verbatim from request fields, so
+    float keys compare exactly and reservations cancel out precisely on
+    release.
 
-    This module is an alias of {!Profile_ref}, the pure O(n)-per-query
-    reference implementation.  The ledger's admission hot path uses
-    {!Timeline}, the balanced O(log n) structure; keep using [Profile] only
-    where an independent, obviously-correct accounting is wanted (tests,
-    {!Gridbw_metrics.Validate}). *)
+    This is the oracle the O(log n) {!Timeline} structure is differentially
+    tested against; the ledger's admission hot path uses {!Timeline}. *)
 
 type t
 

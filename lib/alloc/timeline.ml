@@ -1,0 +1,233 @@
+(* Balanced breakpoint tree for a single port's piecewise-constant usage.
+
+   Each node holds one breakpoint time and the delta of allocated bandwidth
+   there (exactly the entries of the reference [Profile_ref] map), and
+   caches for its subtree
+     - [sum]: the total of the deltas, and
+     - [best]/[best_at]: the maximum over the subtree's breakpoints of the
+       running in-order delta sum (i.e. the usage level just after each
+       breakpoint), with the leftmost breakpoint achieving it.
+   Prefix sums ([usage_at]) and range maxima ([max_over], [argmax_over])
+   then resolve along a single root-to-leaf descent: O(log n) against the
+   reference's O(n) full-map walk.
+
+   The tree is an AVL rebalanced on the insertion/deletion path; the nodes
+   themselves are immutable (so snapshots would be O(1)), with a mutable
+   root making the structure imperative for the ledger's add/remove flow.
+
+   Float discipline matches [Profile_ref] exactly: keys are compared with
+   [Float.compare] (the ordering of [Map.Make (Float)]), deltas cancel on
+   [= 0.], and aggregate sums are accumulated left-to-right in key order so
+   every level equals the same rounding-order prefix sum the reference
+   computes.  The differential qcheck suite in test/test_timeline.ml pins
+   this equivalence down. *)
+
+type tree =
+  | Leaf
+  | Node of {
+      l : tree;
+      key : float;
+      delta : float;
+      r : tree;
+      h : int;
+      sum : float;
+      best : float;
+      best_at : float;
+    }
+
+type t = { mutable root : tree }
+
+let height = function Leaf -> 0 | Node n -> n.h
+let sum = function Leaf -> 0. | Node n -> n.sum
+
+(* Smart constructor: recompute height and aggregates.  The in-order
+   candidates for [best] are the left subtree's best, the level after this
+   node, and the right subtree's best offset by everything to its left;
+   strict [>] keeps the leftmost witness on ties. *)
+let node l key delta r =
+  let here = sum l +. delta in
+  let best, best_at =
+    match l with Leaf -> (here, key) | Node n -> if here > n.best then (here, key) else (n.best, n.best_at)
+  in
+  let best, best_at =
+    match r with
+    | Leaf -> (best, best_at)
+    | Node n ->
+        let rb = here +. n.best in
+        if rb > best then (rb, n.best_at) else (best, best_at)
+  in
+  Node
+    {
+      l;
+      key;
+      delta;
+      r;
+      h = 1 + max (height l) (height r);
+      sum = here +. sum r;
+      best;
+      best_at;
+    }
+
+(* AVL rebalance for a node whose children differ in height by at most 2
+   (the invariant after one insertion or deletion below). *)
+let balance l key delta r =
+  let hl = height l and hr = height r in
+  if hl > hr + 1 then
+    match l with
+    | Node { l = ll; key = lk; delta = ld; r = lr; _ } when height ll >= height lr ->
+        node ll lk ld (node lr key delta r)
+    | Node { l = ll; key = lk; delta = ld; r = Node { l = lrl; key = lrk; delta = lrd; r = lrr; _ }; _ }
+      ->
+        node (node ll lk ld lrl) lrk lrd (node lrr key delta r)
+    | _ -> assert false
+  else if hr > hl + 1 then
+    match r with
+    | Node { l = rl; key = rk; delta = rd; r = rr; _ } when height rr >= height rl ->
+        node (node l key delta rl) rk rd rr
+    | Node { l = Node { l = rll; key = rlk; delta = rld; r = rlr; _ }; key = rk; delta = rd; r = rr; _ }
+      ->
+        node (node l key delta rll) rlk rld (node rlr rk rd rr)
+    | _ -> assert false
+  else node l key delta r
+
+let rec min_binding = function
+  | Leaf -> assert false
+  | Node { l = Leaf; key; delta; _ } -> (key, delta)
+  | Node { l; _ } -> min_binding l
+
+let rec remove_min = function
+  | Leaf -> assert false
+  | Node { l = Leaf; r; _ } -> r
+  | Node { l; key; delta; r; _ } -> balance (remove_min l) key delta r
+
+let merge l r =
+  match (l, r) with
+  | Leaf, t | t, Leaf -> t
+  | _ ->
+      let key, delta = min_binding r in
+      balance l key delta (remove_min r)
+
+(* Add [delta] to the entry at [key], dropping the node when the deltas
+   cancel exactly — the same invariant as the reference map, so
+   [breakpoints] never reports a time where the level does not change. *)
+let rec add_delta tree key delta =
+  match tree with
+  | Leaf -> if delta = 0. then Leaf else node Leaf key delta Leaf
+  | Node { l; key = k; delta = d; r; _ } ->
+      let c = Float.compare key k in
+      if c = 0 then
+        let d = d +. delta in
+        if d = 0. then merge l r else node l k d r
+      else if c < 0 then balance (add_delta l key delta) k d r
+      else balance l k d (add_delta r key delta)
+
+(* Sum of deltas with key <= time. *)
+let rec prefix_sum tree time =
+  match tree with
+  | Leaf -> 0.
+  | Node { l; key; delta; r; _ } ->
+      if Float.compare key time <= 0 then sum l +. delta +. prefix_sum r time
+      else prefix_sum l time
+
+(* Max (and leftmost witness) of the level after each breakpoint with
+   key > lo, offset by [acc], the sum of all deltas left of this subtree.
+   Subtrees entirely above the bound are answered from their cached
+   aggregates, so the descent visits O(log n) nodes. *)
+let rec best_above tree lo acc =
+  match tree with
+  | Leaf -> (neg_infinity, Float.nan)
+  | Node { l; key; delta; r; _ } ->
+      let here = acc +. sum l +. delta in
+      if Float.compare key lo <= 0 then best_above r lo here
+      else
+        let best, best_at = best_above l lo acc in
+        let best, best_at = if here > best then (here, key) else (best, best_at) in
+        (match r with
+        | Leaf -> (best, best_at)
+        | Node n ->
+            let rb = here +. n.best in
+            if rb > best then (rb, n.best_at) else (best, best_at))
+
+(* Symmetric: keys < hi. *)
+let rec best_below tree hi acc =
+  match tree with
+  | Leaf -> (neg_infinity, Float.nan)
+  | Node { l; key; delta; r; _ } ->
+      if Float.compare key hi >= 0 then best_below l hi acc
+      else
+        let here = acc +. sum l +. delta in
+        let best, best_at =
+          match l with
+          | Leaf -> (here, key)
+          | Node n -> if here > acc +. n.best then (here, key) else (acc +. n.best, n.best_at)
+        in
+        let rb, ra = best_below r hi here in
+        if rb > best then (rb, ra) else (best, best_at)
+
+(* Keys strictly inside (lo, hi): descend to the split node, then the two
+   one-sided searches above. *)
+let rec best_between tree ~lo ~hi acc =
+  match tree with
+  | Leaf -> (neg_infinity, Float.nan)
+  | Node { l; key; delta; r; _ } ->
+      if Float.compare key lo <= 0 then best_between r ~lo ~hi (acc +. sum l +. delta)
+      else if Float.compare key hi >= 0 then best_between l ~lo ~hi acc
+      else
+        let here = acc +. sum l +. delta in
+        let best, best_at = best_above l lo acc in
+        let best, best_at = if here > best then (here, key) else (best, best_at) in
+        let rb, ra = best_below r hi here in
+        if rb > best then (rb, ra) else (best, best_at)
+
+(* --- public interface --- *)
+
+let create () = { root = Leaf }
+let copy t = { root = t.root }
+let clear t = t.root <- Leaf
+let is_empty t = t.root = Leaf
+
+let add t ~from_ ~until bw =
+  if not (Float.is_finite from_ && Float.is_finite until) then
+    invalid_arg "Timeline.add: non-finite interval";
+  if from_ >= until then invalid_arg "Timeline.add: empty interval";
+  t.root <- add_delta (add_delta t.root from_ bw) until (-.bw)
+
+let remove t ~from_ ~until bw = add t ~from_ ~until (-.bw)
+let usage_at t time = prefix_sum t.root time
+
+let max_over t ~from_ ~until =
+  if from_ >= until then invalid_arg "Timeline.max_over: empty interval";
+  let start_level = prefix_sum t.root from_ in
+  let best, _ = best_between t.root ~lo:from_ ~hi:until 0. in
+  Float.max start_level best
+
+let argmax_over t ~from_ ~until =
+  if from_ >= until then invalid_arg "Timeline.argmax_over: empty interval";
+  let start_level = prefix_sum t.root from_ in
+  let best, best_at = best_between t.root ~lo:from_ ~hi:until 0. in
+  if best > start_level then (best_at, best) else (from_, start_level)
+
+let peak t = match t.root with Leaf -> 0.0 | Node n -> Float.max 0.0 n.best
+
+let breakpoints t =
+  let rec walk tree acc =
+    match tree with Leaf -> acc | Node { l; key; r; _ } -> walk l (key :: walk r acc)
+  in
+  walk t.root []
+
+let fold_segments t ~init ~f =
+  let rec walk tree (acc, level, prev) =
+    match tree with
+    | Leaf -> (acc, level, prev)
+    | Node { l; key; delta; r; _ } ->
+        let acc, level, prev = walk l (acc, level, prev) in
+        let acc =
+          match prev with Some p when p < key -> f acc ~from_:p ~until:key level | _ -> acc
+        in
+        walk r (acc, level +. delta, Some key)
+  in
+  let acc, _, _ = walk t.root (init, 0.0, None) in
+  acc
+
+let integral t =
+  fold_segments t ~init:0.0 ~f:(fun acc ~from_ ~until level -> acc +. (level *. (until -. from_)))

@@ -2,6 +2,7 @@ module Fabric = Gridbw_topology.Fabric
 module Request = Gridbw_request.Request
 module Allocation = Gridbw_alloc.Allocation
 module Ledger = Gridbw_alloc.Ledger
+module Port = Gridbw_alloc.Port
 
 let check_routing fabric requests =
   List.iter
@@ -89,8 +90,8 @@ let pack_batch policy ledger ~decide batch =
               {
                 creq = r;
                 cbw = bw;
-                use_in = Ledger.ingress_usage_at ledger r.ingress r.ts;
-                use_out = Ledger.egress_usage_at ledger r.egress r.ts;
+                use_in = Ledger.usage_at ledger (Port.Ingress r.ingress) r.ts;
+                use_out = Ledger.usage_at ledger (Port.Egress r.egress) r.ts;
                 alive = true;
               }
         | None ->

@@ -81,5 +81,12 @@ let preempt t (a : Allocation.t) =
 let set_fabric t fabric = Live.set_fabric t.live fabric
 let active_allocations t = t.active
 let active_count t = List.length t.active
-let ingress_used t i = Live.ingress_used t.live i
-let egress_used t e = Live.egress_used t.live e
+
+let used t port =
+  match (port : Gridbw_alloc.Port.t) with
+  | Gridbw_alloc.Port.Ingress i -> Live.ingress_used t.live i
+  | Gridbw_alloc.Port.Egress e -> Live.egress_used t.live e
+
+(* Deprecated per-side accessors, kept as wrappers over the port-keyed API. *)
+let ingress_used t i = used t (Gridbw_alloc.Port.Ingress i)
+let egress_used t e = used t (Gridbw_alloc.Port.Egress e)

@@ -52,5 +52,12 @@ val active_allocations : t -> Gridbw_alloc.Allocation.t list
 val active_count : t -> int
 (** Accepted transfers whose bandwidth is still held. *)
 
+val used : t -> Gridbw_alloc.Port.t -> float
+(** Bandwidth currently held through the port (the paper's [ali]/[ale]
+    counter). *)
+
 val ingress_used : t -> int -> float
+  [@@ocaml.deprecated "use Online.used with Port.Ingress"]
+
 val egress_used : t -> int -> float
+  [@@ocaml.deprecated "use Online.used with Port.Egress"]

@@ -2,6 +2,7 @@ module Fabric = Gridbw_topology.Fabric
 module Request = Gridbw_request.Request
 module Allocation = Gridbw_alloc.Allocation
 module Ledger = Gridbw_alloc.Ledger
+module Port = Gridbw_alloc.Port
 module Live = Gridbw_alloc.Live
 
 type cost_kind = Cumulated | Min_bw | Min_vol
@@ -151,16 +152,16 @@ let fifo_blocking fabric requests =
     then None
     else
       let fits_at t =
-        Ledger.ingress_usage_at ledger r.ingress t +. bw
+        Ledger.usage_at ledger (Port.Ingress r.ingress) t +. bw
         <= Fabric.ingress_capacity fabric r.ingress *. (1. +. 1e-9)
-        && Ledger.egress_usage_at ledger r.egress t +. bw
+        && Ledger.usage_at ledger (Port.Egress r.egress) t +. bw
            <= Fabric.egress_capacity fabric r.egress *. (1. +. 1e-9)
       in
       let candidates =
         from_
         :: (List.filter (fun t -> t > from_)
-              (Ledger.ingress_breakpoints ledger r.ingress
-              @ Ledger.egress_breakpoints ledger r.egress)
+              (Ledger.breakpoints ledger (Port.Ingress r.ingress)
+              @ Ledger.breakpoints ledger (Port.Egress r.egress))
            |> List.sort_uniq Float.compare)
       in
       List.find_opt fits_at candidates

@@ -1,0 +1,41 @@
+(** First-class scheduler interface.
+
+    Every admission strategy in the repo — the rigid heuristics of section
+    4, the flexible GREEDY/WINDOW family of section 5, and the fault
+    injector's degraded-fabric variants — answers the same question: given
+    a workload spec and the concrete request trace drawn from it, which
+    requests are accepted and at what allocation?  {!S} captures exactly
+    that, so drivers ({!Gridbw_experiments}, bin/gridbw) can iterate over a
+    list of schedulers instead of matching on per-heuristic constructors. *)
+
+module type S = sig
+  val name : string
+  (** Stable label used in tables, CSV columns and the CLI. *)
+
+  val run : Gridbw_workload.Spec.t -> Gridbw_request.Request.t list -> Types.result
+  (** Decide every request of the trace against the spec's fabric.  The
+      trace is normally drawn from the same spec ({!Gridbw_workload.Gen}),
+      but only [spec.fabric] (and, for batch heuristics, timing derived
+      from the requests themselves) is consulted. *)
+end
+
+type t = (module S)
+
+val name : t -> string
+val run : t -> Gridbw_workload.Spec.t -> Gridbw_request.Request.t list -> Types.result
+
+val make : name:string -> (Gridbw_workload.Spec.t -> Gridbw_request.Request.t list -> Types.result) -> t
+(** Wrap a function as a scheduler. *)
+
+val of_rigid : [ `Fcfs | `Fifo_blocking | `Slots of Rigid.cost_kind ] -> t
+(** The section-4 heuristics, named as {!Rigid.heuristic_name}. *)
+
+val of_flexible : [ `Greedy | `Window of float | `Window_deferred of float ] -> Policy.t -> t
+(** The section-5 heuristics; the name combines {!Flexible.heuristic_name}
+    and {!Policy.name}, e.g. ["window(400)/f=0.80"]. *)
+
+val rigid_all : t list
+(** All five rigid schedulers, in the paper's presentation order. *)
+
+val find : t list -> string -> t option
+(** First scheduler with the given {!name}, if any. *)

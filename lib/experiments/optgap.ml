@@ -1,11 +1,11 @@
 module Table = Gridbw_report.Table
 module Fabric = Gridbw_topology.Fabric
 module Request = Gridbw_request.Request
-module Rigid = Gridbw_core.Rigid
-module Flexible = Gridbw_core.Flexible
 module Policy = Gridbw_core.Policy
+module Scheduler = Gridbw_core.Scheduler
 module Exact = Gridbw_core.Exact
 module Types = Gridbw_core.Types
+module Spec = Gridbw_workload.Spec
 module Rng = Gridbw_prng.Rng
 
 type row = {
@@ -27,18 +27,19 @@ let random_instance rng fabric n =
 let run ?(instances = 12) ?(requests_per_instance = 14) (params : Runner.params) =
   let fabric = Fabric.uniform ~ingress_count:2 ~egress_count:2 ~capacity:100.0 in
   let rng = Rng.create ~seed:params.Runner.seed () in
+  let spec = Spec.for_replay fabric in
   let ratios = Hashtbl.create 8 in
-  List.iter (fun (name, _) -> Hashtbl.replace ratios name []) Runner.rigid_kinds;
+  List.iter (fun (name, _) -> Hashtbl.replace ratios name []) Runner.rigid_schedulers;
   for _ = 1 to instances do
     let reqs = random_instance rng fabric requests_per_instance in
     let optimum = (Exact.max_requests fabric reqs).Exact.count in
     if optimum > 0 then
       List.iter
-        (fun (name, kind) ->
-          let got = List.length (Rigid.run kind fabric reqs).Types.accepted in
+        (fun (name, sched) ->
+          let got = List.length (Scheduler.run sched spec reqs).Types.accepted in
           let ratio = float_of_int got /. float_of_int optimum in
           Hashtbl.replace ratios name (ratio :: Hashtbl.find ratios name))
-        Runner.rigid_kinds
+        Runner.rigid_schedulers
   done;
   List.map
     (fun (name, _) ->
@@ -52,7 +53,7 @@ let run ?(instances = 12) ?(requests_per_instance = 14) (params : Runner.params)
         optimal_instances = List.length (List.filter (fun r -> r >= 1.0 -. 1e-9) rs);
         instances = n;
       })
-    Runner.rigid_kinds
+    Runner.rigid_schedulers
 
 let random_flexible_instance rng fabric n =
   List.init n (fun id ->
@@ -71,12 +72,13 @@ let run_flexible ?(instances = 10) ?(requests_per_instance = 12) (params : Runne
   let rng = Rng.create ~seed:params.Runner.seed () in
   let contenders =
     [
-      ("GREEDY min-bw", fun reqs -> Flexible.greedy fabric Policy.Min_rate reqs);
-      ("GREEDY f=1", fun reqs -> Flexible.greedy fabric (Policy.Fraction_of_max 1.0) reqs);
-      ("WINDOW(10) min-bw", fun reqs -> Flexible.window fabric Policy.Min_rate ~step:10. reqs);
-      ("WINDOW(10) f=1", fun reqs -> Flexible.window fabric (Policy.Fraction_of_max 1.0) ~step:10. reqs);
+      ("GREEDY min-bw", Scheduler.of_flexible `Greedy Policy.Min_rate);
+      ("GREEDY f=1", Scheduler.of_flexible `Greedy (Policy.Fraction_of_max 1.0));
+      ("WINDOW(10) min-bw", Scheduler.of_flexible (`Window 10.) Policy.Min_rate);
+      ("WINDOW(10) f=1", Scheduler.of_flexible (`Window 10.) (Policy.Fraction_of_max 1.0));
     ]
   in
+  let spec = Spec.for_replay fabric in
   let ratios = Hashtbl.create 8 in
   List.iter (fun (name, _) -> Hashtbl.replace ratios name []) contenders;
   for _ = 1 to instances do
@@ -84,8 +86,8 @@ let run_flexible ?(instances = 10) ?(requests_per_instance = 12) (params : Runne
     let optimum = (Exact.max_requests_flexible fabric reqs).Exact.count in
     if optimum > 0 then
       List.iter
-        (fun (name, heuristic) ->
-          let got = List.length (heuristic reqs).Types.accepted in
+        (fun (name, sched) ->
+          let got = List.length (Scheduler.run sched spec reqs).Types.accepted in
           let ratio = float_of_int got /. float_of_int optimum in
           Hashtbl.replace ratios name (ratio :: Hashtbl.find ratios name))
         contenders

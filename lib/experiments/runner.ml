@@ -4,8 +4,8 @@ module Gen = Gridbw_workload.Gen
 module Fabric = Gridbw_topology.Fabric
 module Summary = Gridbw_metrics.Summary
 module Rigid = Gridbw_core.Rigid
-module Flexible = Gridbw_core.Flexible
 module Policy = Gridbw_core.Policy
+module Scheduler = Gridbw_core.Scheduler
 module Types = Gridbw_core.Types
 
 type params = { count : int; reps : int; seed : int64 }
@@ -72,15 +72,15 @@ let flexible_spec p ~mean_interarrival =
 let summary_of_result fabric (result : Types.result) =
   Summary.compute fabric ~all:result.Types.all ~accepted:result.Types.accepted
 
-let rigid_summary p ~load kind ~rep =
-  let spec = rigid_spec p ~load in
+let scheduler_summary p spec sched ~rep =
   let requests = Gen.generate (Rng.create ~seed:(seed_for p ~rep) ()) spec in
-  summary_of_result spec.Spec.fabric (Rigid.run kind spec.Spec.fabric requests)
+  summary_of_result spec.Spec.fabric (Scheduler.run sched spec requests)
+
+let rigid_summary p ~load kind ~rep =
+  scheduler_summary p (rigid_spec p ~load) (Scheduler.of_rigid kind) ~rep
 
 let flexible_summary p ~mean_interarrival kind policy ~rep =
-  let spec = flexible_spec p ~mean_interarrival in
-  let requests = Gen.generate (Rng.create ~seed:(seed_for p ~rep) ()) spec in
-  summary_of_result spec.Spec.fabric (Flexible.run kind spec.Spec.fabric policy requests)
+  scheduler_summary p (flexible_spec p ~mean_interarrival) (Scheduler.of_flexible kind policy) ~rep
 
 let mean_over_reps p f =
   let acc = ref 0.0 in
@@ -97,6 +97,9 @@ let rigid_kinds =
     ("MINBW-SLOTS", `Slots Rigid.Min_bw);
     ("MINVOL-SLOTS", `Slots Rigid.Min_vol);
   ]
+
+let rigid_schedulers =
+  List.map (fun (label, kind) -> (label, Scheduler.of_rigid kind)) rigid_kinds
 
 let policy_ladder =
   [

@@ -53,6 +53,17 @@ val offered_load_of_interarrival : float -> float
 (** The offered load a mean inter-arrival induces under the scaled
     volumes on the paper platform. *)
 
+val scheduler_summary :
+  params ->
+  Gridbw_workload.Spec.t ->
+  Gridbw_core.Scheduler.t ->
+  rep:int ->
+  Gridbw_metrics.Summary.t
+(** One replication: draw the trace from the spec with the replication's
+    seed, run the scheduler, summarise.  {!rigid_summary} and
+    {!flexible_summary} are this with {!Gridbw_core.Scheduler.of_rigid} /
+    [of_flexible]. *)
+
 val rigid_summary :
   params -> load:float -> rigid_kind -> rep:int -> Gridbw_metrics.Summary.t
 (** One replication of a rigid workload at the given offered load. *)
@@ -72,6 +83,9 @@ val mean_over_reps : params -> (rep:int -> float) -> float
 val rigid_kinds : (string * rigid_kind) list
 (** The §4 heuristics with their paper names: the blocking FIFO of
     Figure 4, the §4.1 FCFS, and the three slot heuristics. *)
+
+val rigid_schedulers : (string * Gridbw_core.Scheduler.t) list
+(** {!rigid_kinds} as first-class schedulers, same labels and order. *)
 
 val policy_ladder : (string * Gridbw_core.Policy.t) list
 (** MIN BW plus f ∈ {0.2, 0.5, 0.8, 1.0} — the §5.3 policy sweep. *)

@@ -2,6 +2,7 @@ module Fabric = Gridbw_topology.Fabric
 module Request = Gridbw_request.Request
 module Allocation = Gridbw_alloc.Allocation
 module Ledger = Gridbw_alloc.Ledger
+module Port = Gridbw_alloc.Port
 module Engine = Gridbw_sim.Engine
 module Online = Gridbw_core.Online
 module Policy = Gridbw_core.Policy
@@ -45,6 +46,13 @@ type report = {
   services : service list;
   span : float;
 }
+
+(* A fault event names a port by side + index; the allocation layer's
+   port-keyed API takes the sum type. *)
+let port_of side port =
+  match (side : Fault.side) with
+  | Fault.Ingress -> Port.Ingress port
+  | Fault.Egress -> Port.Egress port
 
 (* A port at nominal capacity never hits zero (Fabric requires positive
    capacities), so a full outage retains this sliver instead. *)
@@ -184,17 +192,17 @@ let run_greedy fabric cfg events requests =
     if cfg.check_invariants then begin
       Array.iteri
         (fun i cap ->
-          if not (within_current (Online.ingress_used ctl i) cap) then
+          if not (within_current (Online.used ctl (Port.Ingress i)) cap) then
             failwith
               (Printf.sprintf "Injector: ingress %d over current capacity (%g > %g)" i
-                 (Online.ingress_used ctl i) cap))
+                 (Online.used ctl (Port.Ingress i)) cap))
         caps.cur_in;
       Array.iteri
         (fun e cap ->
-          if not (within_current (Online.egress_used ctl e) cap) then
+          if not (within_current (Online.used ctl (Port.Egress e)) cap) then
             failwith
               (Printf.sprintf "Injector: egress %d over current capacity (%g > %g)" e
-                 (Online.egress_used ctl e) cap))
+                 (Online.used ctl (Port.Egress e)) cap))
         caps.cur_out
     end
   in
@@ -293,11 +301,7 @@ let run_greedy fabric cfg events requests =
     let now = Engine.now engine in
     Online.advance_to ctl now;
     let cap = current_capacity caps side port in
-    let used =
-      match side with
-      | Fault.Ingress -> Online.ingress_used ctl port
-      | Fault.Egress -> Online.egress_used ctl port
-    in
+    let used = Online.used ctl (port_of side port) in
     let excess = used -. cap in
     if excess > tol *. Float.max 1.0 cap then begin
       let candidates =
@@ -380,12 +384,12 @@ let run_window fabric cfg ~step events requests =
       let now = Engine.now engine in
       Array.iteri
         (fun i cap ->
-          if not (within_current (Ledger.ingress_usage_at ledger i now) cap) then
+          if not (within_current (Ledger.usage_at ledger (Port.Ingress i) now) cap) then
             failwith (Printf.sprintf "Injector: ingress %d over current capacity at %g" i now))
         caps.cur_in;
       Array.iteri
         (fun e cap ->
-          if not (within_current (Ledger.egress_usage_at ledger e now) cap) then
+          if not (within_current (Ledger.usage_at ledger (Port.Egress e) now) cap) then
             failwith (Printf.sprintf "Injector: egress %d over current capacity at %g" e now))
         caps.cur_out
     end
@@ -504,24 +508,11 @@ let run_window fabric cfg ~step events requests =
     end
   in
   (* Usage peak of the degraded port over the outage window; the argmax
-     instant tells us which allocations to rank as victims. *)
+     instant tells us which allocations to rank as victims.  One O(log n)
+     ledger query — this used to enumerate every breakpoint of the port
+     and recompute the usage at each, O(n^2) per shed round. *)
   let peak_over side port ~from_ ~until =
-    let usage t =
-      match side with
-      | Fault.Ingress -> Ledger.ingress_usage_at ledger port t
-      | Fault.Egress -> Ledger.egress_usage_at ledger port t
-    in
-    let bps =
-      (match side with
-      | Fault.Ingress -> Ledger.ingress_breakpoints ledger port
-      | Fault.Egress -> Ledger.egress_breakpoints ledger port)
-      |> List.filter (fun t -> t > from_ && t < until)
-    in
-    List.fold_left
-      (fun (best_t, best_u) t ->
-        let u = usage t in
-        if u > best_u then (t, u) else (best_t, best_u))
-      (from_, usage from_) bps
+    Ledger.argmax_over ledger (port_of side port) ~from_ ~until
   in
   let shed engine side port ~until =
     let now = Engine.now engine in
@@ -627,3 +618,14 @@ let run fabric cfg events requests =
   in
   let span = span_of requests in
   { result; outcomes; stats = Resilience.compute ~span outcomes; services; span }
+
+(* A fault run viewed through the first-class scheduler interface: the
+   admission decision stream of [run] under this config and script.  The
+   resilience report is recomputed by callers that need it; schedulers
+   only expose the accept/reject outcome. *)
+let scheduler cfg events : Gridbw_core.Scheduler.t =
+  let name =
+    Printf.sprintf "faulty-%s[%d events]" (admission_name cfg.admission) (List.length events)
+  in
+  Gridbw_core.Scheduler.make ~name (fun spec requests ->
+      (run spec.Gridbw_workload.Spec.fabric cfg events requests).result)

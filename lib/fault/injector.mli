@@ -62,3 +62,8 @@ val run :
 (** Validates the script against the fabric ({!Fault.validate}) and the
     requests against the fabric, then simulates.  Deterministic: same
     inputs give the same report. *)
+
+val scheduler : config -> Fault.event list -> Gridbw_core.Scheduler.t
+(** The injector as a first-class scheduler: runs the full fault
+    simulation and exposes the admission decision stream
+    ([(run ...).result]).  Named ["faulty-<admission>[<n> events]"]. *)

@@ -2,6 +2,7 @@ module Fabric = Gridbw_topology.Fabric
 module Request = Gridbw_request.Request
 module Allocation = Gridbw_alloc.Allocation
 module Ledger = Gridbw_alloc.Ledger
+module Port = Gridbw_alloc.Port
 
 type t = { fabric : Fabric.t; ledger : Ledger.t; span : (float * float) option }
 
@@ -24,8 +25,8 @@ let build fabric allocations =
   { fabric; ledger; span }
 
 let span t = t.span
-let ingress_usage t i ~at = Ledger.ingress_usage_at t.ledger i at
-let egress_usage t e ~at = Ledger.egress_usage_at t.ledger e at
+let ingress_usage t i ~at = Ledger.usage_at t.ledger (Port.Ingress i) at
+let egress_usage t e ~at = Ledger.usage_at t.ledger (Port.Egress e) at
 
 let total_rate t ~at =
   let acc = ref 0.0 in
@@ -51,7 +52,7 @@ let peak_port_usage t =
     List.init (Fabric.ingress_count t.fabric) (fun i ->
         ( "ingress",
           i,
-          Ledger.ingress_max_over t.ledger i
+          Ledger.max_over t.ledger (Port.Ingress i)
             ~from_:(match t.span with Some (lo, _) -> lo | None -> 0.)
             ~until:(match t.span with Some (_, hi) -> hi +. 1. | None -> 1.) ))
   in
@@ -59,7 +60,7 @@ let peak_port_usage t =
     List.init (Fabric.egress_count t.fabric) (fun e ->
         ( "egress",
           e,
-          Ledger.egress_max_over t.ledger e
+          Ledger.max_over t.ledger (Port.Egress e)
             ~from_:(match t.span with Some (lo, _) -> lo | None -> 0.)
             ~until:(match t.span with Some (_, hi) -> hi +. 1. | None -> 1.) ))
   in

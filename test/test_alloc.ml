@@ -1,5 +1,6 @@
 open Helpers
 module Profile = Gridbw_alloc.Profile
+module Port = Gridbw_alloc.Port
 module Ledger = Gridbw_alloc.Ledger
 module Live = Gridbw_alloc.Live
 module Allocation = Gridbw_alloc.Allocation
@@ -138,7 +139,7 @@ let ledger_fit_and_reserve () =
   let a1 = alloc r1 60. 0. in
   Alcotest.(check bool) "fits empty" true (Ledger.fits l a1);
   Ledger.reserve l a1;
-  check_approx "usage" 60.0 (Ledger.ingress_usage_at l 0 5.0);
+  check_approx "usage" 60.0 (Ledger.usage_at l (Port.Ingress 0) 5.0);
   (* Same ports, same window, 60 + 60 > 100. *)
   let r2 = req ~id:2 ~ingress:0 ~egress:0 ~volume:600. ~ts:0. ~tf:10. ~max_rate:60. () in
   Alcotest.(check bool) "does not fit" false (Ledger.fits l (alloc r2 60. 0.));

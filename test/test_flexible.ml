@@ -2,6 +2,7 @@ open Helpers
 module Fabric = Gridbw_topology.Fabric
 module Request = Gridbw_request.Request
 module Allocation = Gridbw_alloc.Allocation
+module Port = Gridbw_alloc.Port
 module Flexible = Gridbw_core.Flexible
 module Online = Gridbw_core.Online
 module Policy = Gridbw_core.Policy
@@ -309,11 +310,11 @@ let online_active_count () =
   | Types.Accepted _ -> ()
   | Types.Rejected _ -> Alcotest.fail "admission failed");
   Alcotest.(check int) "one active" 1 (Online.active_count ctl);
-  check_approx "port used" 100.0 (Online.ingress_used ctl 0);
+  check_approx "port used" 100.0 (Online.used ctl (Port.Ingress 0));
   Online.advance_to ctl 1.0;
   (* Transfer finishes at t = 1 (100 MB at 100 MB/s). *)
   Alcotest.(check int) "released" 0 (Online.active_count ctl);
-  check_approx "port free" 0.0 (Online.egress_used ctl 0)
+  check_approx "port free" 0.0 (Online.used ctl (Port.Egress 0))
 
 let online_peek_does_not_mutate () =
   let ctl = Online.create (fabric1 ()) in
@@ -323,7 +324,7 @@ let online_peek_does_not_mutate () =
       check_approx "peeked bw" 10.0 bw;
       check_approx "peeked cost" 0.1 cost
   | None -> Alcotest.fail "expected a cost");
-  check_approx "nothing grabbed" 0.0 (Online.ingress_used ctl 0);
+  check_approx "nothing grabbed" 0.0 (Online.used ctl (Port.Ingress 0));
   Alcotest.(check int) "nothing active" 0 (Online.active_count ctl)
 
 let suites =

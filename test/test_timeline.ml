@@ -1,0 +1,274 @@
+(* Differential tests: the O(log n) Timeline against the pure Profile_ref
+   oracle, on random add/remove/query sequences.
+
+   Two generators.  The grid generator draws times and bandwidths as small
+   integer multiples of 0.25, so every partial sum is exactly representable
+   and the two structures must agree bit-for-bit even though they associate
+   additions differently.  The float generator draws arbitrary values and
+   compares with the suite's relative tolerance, pinning the rounding gap
+   to the last-ulp scale the ledger's 1e-9 admission slack absorbs. *)
+
+open Helpers
+module Profile_ref = Gridbw_alloc.Profile_ref
+module Timeline = Gridbw_alloc.Timeline
+module Port = Gridbw_alloc.Port
+module Ledger = Gridbw_alloc.Ledger
+module Allocation = Gridbw_alloc.Allocation
+module Fabric = Gridbw_topology.Fabric
+module Policy = Gridbw_core.Policy
+module Flexible = Gridbw_core.Flexible
+module Scheduler = Gridbw_core.Scheduler
+module Spec = Gridbw_workload.Spec
+module Gen = Gridbw_workload.Gen
+module Rng = Gridbw_prng.Rng
+
+(* --- random operation sequences --- *)
+
+type op = Add of float * float * float  (* from_, until, bw; bw < 0 releases *)
+
+let apply_ref p (Add (from_, until, bw)) = Profile_ref.add p ~from_ ~until bw
+let apply_tl t (Add (from_, until, bw)) = Timeline.add t ~from_ ~until bw
+
+let build ops =
+  let tl = Timeline.create () in
+  let p = List.fold_left (fun p op -> apply_tl tl op; apply_ref p op) Profile_ref.empty ops in
+  (p, tl)
+
+let interval_gen time =
+  let open QCheck2.Gen in
+  time >>= fun from_ ->
+  time >>= fun span ->
+  return (from_, from_ +. 1. +. Float.abs span)
+
+(* Exactly-representable times/rates: multiples of 0.25 in a small range. *)
+let grid_time = QCheck2.Gen.(map (fun k -> 0.25 *. float_of_int k) (int_range 0 400))
+let grid_bw = QCheck2.Gen.(map (fun k -> 0.25 *. float_of_int k) (int_range 1 400))
+let float_time = QCheck2.Gen.float_range 0. 100.
+let float_bw = QCheck2.Gen.float_range 0.001 100.
+
+(* An op sequence where roughly a third of the adds are later removed with
+   the exact same interval and rate, exercising exact cancellation. *)
+let ops_gen time bw =
+  let open QCheck2.Gen in
+  let add_gen =
+    interval_gen time >>= fun (from_, until) ->
+    bw >>= fun b -> return (Add (from_, until, b))
+  in
+  list_size (int_range 1 60) (pair add_gen bool) >|= fun tagged ->
+  let adds = List.map fst tagged in
+  let removals =
+    List.filter_map
+      (fun (Add (f, u, b), cancel) -> if cancel then Some (Add (f, u, -.b)) else None)
+      tagged
+  in
+  adds @ removals
+
+let grid_ops = ops_gen grid_time grid_bw
+let float_ops = ops_gen float_time float_bw
+
+let queries ops =
+  (* Probe at every breakpoint, just before/after, and between them. *)
+  List.concat_map (fun (Add (f, u, _)) -> [ f; u; f -. 0.1; u +. 0.1; 0.5 *. (f +. u) ]) ops
+
+(* --- exact equivalence on the grid --- *)
+
+let eq_exact name a b = if a <> b && not (a <> a && b <> b) then Alcotest.failf "%s: ref %h vs timeline %h" name a b
+
+let check_equiv ~exact ops =
+  let p, tl = build ops in
+  let check name a b =
+    if exact then eq_exact name a b
+    else if not (approx a b) then Alcotest.failf "%s: ref %.17g vs timeline %.17g" name a b
+  in
+  Alcotest.(check bool) "is_empty" (Profile_ref.is_empty p) (Timeline.is_empty tl);
+  List.iter
+    (fun t -> check (Printf.sprintf "usage_at %g" t) (Profile_ref.usage_at p t) (Timeline.usage_at tl t))
+    (queries ops);
+  List.iter
+    (fun (Add (f, u, _)) ->
+      check
+        (Printf.sprintf "max_over [%g,%g)" f u)
+        (Profile_ref.max_over p ~from_:f ~until:u)
+        (Timeline.max_over tl ~from_:f ~until:u))
+    ops;
+  check "peak" (Profile_ref.peak p) (Timeline.peak tl);
+  check "integral" (Profile_ref.integral p) (Timeline.integral tl);
+  let bps_ref = Profile_ref.breakpoints p and bps_tl = Timeline.breakpoints tl in
+  if exact then
+    Alcotest.(check (list (float 0.))) "breakpoints" bps_ref bps_tl
+  else if List.length bps_ref <> List.length bps_tl then
+    Alcotest.failf "breakpoint counts differ: %d vs %d" (List.length bps_ref) (List.length bps_tl);
+  true
+
+(* argmax reference: scan breakpoints in (from_, until) left to right,
+   strictly-greater replaces — the fault injector's historical peak_over. *)
+let argmax_ref p ~from_ ~until =
+  Profile_ref.breakpoints p
+  |> List.filter (fun t -> t > from_ && t < until)
+  |> List.fold_left
+       (fun (bt, bu) t ->
+         let u = Profile_ref.usage_at p t in
+         if u > bu then (t, u) else (bt, bu))
+       (from_, Profile_ref.usage_at p from_)
+
+let check_argmax ops =
+  let p, tl = build ops in
+  List.iter
+    (fun (Add (f, u, _)) ->
+      let rt, ru = argmax_ref p ~from_:f ~until:u in
+      let tt, tu = Timeline.argmax_over tl ~from_:f ~until:u in
+      if rt <> tt || ru <> tu then
+        Alcotest.failf "argmax_over [%g,%g): ref (%g,%g) vs timeline (%g,%g)" f u rt ru tt tu)
+    ops;
+  true
+
+(* --- unit cases the random sequences may miss --- *)
+
+let exact_cancel () =
+  let tl = Timeline.create () in
+  Timeline.add tl ~from_:1. ~until:5. 30.;
+  Timeline.add tl ~from_:2. ~until:6. 20.;
+  Timeline.remove tl ~from_:1. ~until:5. 30.;
+  Timeline.remove tl ~from_:2. ~until:6. 20.;
+  Alcotest.(check bool) "empty after exact release" true (Timeline.is_empty tl);
+  Alcotest.(check (list (float 0.))) "no breakpoints" [] (Timeline.breakpoints tl)
+
+let copy_is_snapshot () =
+  let tl = Timeline.create () in
+  Timeline.add tl ~from_:0. ~until:10. 5.;
+  let snap = Timeline.copy tl in
+  Timeline.add tl ~from_:0. ~until:10. 7.;
+  check_approx "original sees both" 12. (Timeline.usage_at tl 5.);
+  check_approx "snapshot unchanged" 5. (Timeline.usage_at snap 5.)
+
+let rejects_bad_interval () =
+  let tl = Timeline.create () in
+  (match Timeline.add tl ~from_:3. ~until:3. 1. with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "empty interval accepted");
+  match Timeline.max_over tl ~from_:5. ~until:5. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty query interval accepted"
+
+let argmax_prefers_earliest () =
+  let tl = Timeline.create () in
+  (* Two disjoint plateaus at the same level: the earlier one wins. *)
+  Timeline.add tl ~from_:2. ~until:4. 50.;
+  Timeline.add tl ~from_:6. ~until:8. 50.;
+  let t, u = Timeline.argmax_over tl ~from_:0. ~until:10. in
+  check_approx "peak level" 50. u;
+  check_approx "earliest witness" 2. t;
+  (* No interior breakpoint above the start level: from_ is the witness. *)
+  let t0, u0 = Timeline.argmax_over tl ~from_:2.5 ~until:3.5 in
+  check_approx "start level" 50. u0;
+  check_approx "start witness" 2.5 t0
+
+(* --- ledger invariants on the new substrate --- *)
+
+let ledger_within_capacity_random () =
+  let fabric = fabric2 () in
+  let l = Ledger.create fabric in
+  let rng = rng ~seed:11L () in
+  let reqs = List.init 200 (random_request rng fabric) in
+  List.iter
+    (fun r ->
+      let a = Allocation.make ~request:r ~bw:(Gridbw_request.Request.min_rate r) ~sigma:r.Gridbw_request.Request.ts in
+      if Ledger.fits l a then Ledger.reserve l a)
+    reqs;
+  Alcotest.(check bool) "within_capacity" true (Ledger.within_capacity l)
+
+let ledger_headroom_consistent () =
+  let fabric = fabric2 () in
+  let l = Ledger.create fabric in
+  Ledger.reserve_interval l ~ingress:0 ~egress:1 ~bw:60. ~from_:0. ~until:10.;
+  check_approx "ingress headroom" 40. (Ledger.headroom_over l (Port.Ingress 0) ~from_:0. ~until:10.);
+  check_approx "egress headroom" 40. (Ledger.headroom_over l (Port.Egress 1) ~from_:0. ~until:10.);
+  check_approx "idle port" 100. (Ledger.headroom_over l (Port.Ingress 1) ~from_:0. ~until:10.);
+  check_approx "clear interval" 100. (Ledger.headroom_over l (Port.Ingress 0) ~from_:10. ~until:20.);
+  (* Oversubscription (capacity cut below commitment) shows as negative. *)
+  Ledger.set_fabric l
+    (Fabric.make ~ingress:[| 50.; 100. |] ~egress:[| 100.; 100. |]);
+  check_approx "negative headroom" (-10.)
+    (Ledger.headroom_over l (Port.Ingress 0) ~from_:0. ~until:10.)
+
+(* The wrappers exist for out-of-tree callers; exercising them is the
+   point of this module, hence the local alert opt-out. *)
+module Wrappers = struct
+  [@@@alert "-deprecated"]
+  [@@@warning "-3"]
+
+  let ingress_usage_at = Ledger.ingress_usage_at
+  let egress_usage_at = Ledger.egress_usage_at
+  let ingress_max_over = Ledger.ingress_max_over
+  let egress_max_over = Ledger.egress_max_over
+  let ingress_breakpoints = Ledger.ingress_breakpoints
+  let egress_breakpoints = Ledger.egress_breakpoints
+end
+
+let deprecated_wrappers_agree () =
+  let fabric = fabric2 () in
+  let l = Ledger.create fabric in
+  Ledger.reserve_interval l ~ingress:0 ~egress:1 ~bw:35. ~from_:1. ~until:7.;
+  Ledger.reserve_interval l ~ingress:0 ~egress:0 ~bw:20. ~from_:4. ~until:9.;
+  check_approx "usage_at" (Ledger.usage_at l (Port.Ingress 0) 5.) (Wrappers.ingress_usage_at l 0 5.);
+  check_approx "egress usage_at"
+    (Ledger.usage_at l (Port.Egress 1) 5.)
+    (Wrappers.egress_usage_at l 1 5.);
+  check_approx "max_over"
+    (Ledger.max_over l (Port.Ingress 0) ~from_:0. ~until:10.)
+    (Wrappers.ingress_max_over l 0 ~from_:0. ~until:10.);
+  check_approx "egress max_over"
+    (Ledger.max_over l (Port.Egress 0) ~from_:0. ~until:10.)
+    (Wrappers.egress_max_over l 0 ~from_:0. ~until:10.);
+  Alcotest.(check (list (float 0.))) "breakpoints"
+    (Ledger.breakpoints l (Port.Ingress 0))
+    (Wrappers.ingress_breakpoints l 0);
+  Alcotest.(check (list (float 0.))) "egress breakpoints"
+    (Ledger.breakpoints l (Port.Egress 1))
+    (Wrappers.egress_breakpoints l 1)
+
+(* --- scheduler interface vs direct heuristic calls --- *)
+
+let scheduler_matches_direct () =
+  let spec =
+    Spec.make ~fabric:(fabric2 ()) ~volumes:(Spec.Fixed_volume 500.) ~rate_lo:10. ~rate_hi:100.
+      ~count:60 ~mean_interarrival:0.8 ()
+  in
+  let requests = Gen.generate (Rng.create ~seed:5L ()) spec in
+  let policy = Policy.Fraction_of_max 0.8 in
+  let direct = Flexible.run (`Window 5.) spec.Spec.fabric policy requests in
+  let via = Scheduler.run (Scheduler.of_flexible (`Window 5.) policy) spec requests in
+  Alcotest.(check (list int)) "same accepted ids"
+    (Gridbw_core.Types.accepted_ids direct)
+    (Gridbw_core.Types.accepted_ids via);
+  Alcotest.(check string) "name" "window(5)/f=0.80"
+    (Scheduler.name (Scheduler.of_flexible (`Window 5.) policy));
+  Alcotest.(check int) "all rigid schedulers" 5 (List.length Scheduler.rigid_all);
+  match Scheduler.find Scheduler.rigid_all "fcfs" with
+  | Some s ->
+      let r = Scheduler.run s (Spec.for_replay (fabric2 ())) requests in
+      Alcotest.(check bool) "fcfs runs" true
+        (List.length r.Gridbw_core.Types.accepted + List.length r.Gridbw_core.Types.rejected
+        = List.length requests)
+  | None -> Alcotest.fail "fcfs not found by name"
+
+let suites =
+  [
+    ( "alloc-timeline",
+      [
+        qcase ~count:300 "differential: exact on grid ops" grid_ops (check_equiv ~exact:true);
+        qcase ~count:300 "differential: tolerant on float ops" float_ops (check_equiv ~exact:false);
+        qcase ~count:200 "differential: argmax_over on grid ops" grid_ops check_argmax;
+        case "exact cancellation empties the tree" exact_cancel;
+        case "copy is an O(1) snapshot" copy_is_snapshot;
+        case "rejects bad intervals" rejects_bad_interval;
+        case "argmax prefers the earliest witness" argmax_prefers_earliest;
+      ] );
+    ( "ledger-port",
+      [
+        case "within_capacity on random workload" ledger_within_capacity_random;
+        case "headroom_over is capacity minus max" ledger_headroom_consistent;
+        case "deprecated wrappers match port API" deprecated_wrappers_agree;
+        case "scheduler dispatch matches direct call" scheduler_matches_direct;
+      ] );
+  ]
