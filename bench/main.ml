@@ -35,6 +35,9 @@ module Rng = Gridbw_prng.Rng
 module Runner = Gridbw_experiments.Runner
 module Figure = Gridbw_report.Figure
 module Table = Gridbw_report.Table
+module Provenance = Gridbw_report.Provenance
+module Obs = Gridbw_obs.Obs
+module Sink = Gridbw_obs.Sink
 
 (* --- part 1: regenerate every figure and table --- *)
 
@@ -179,6 +182,40 @@ let maxover_ops =
       let from_ = Rng.float_in rng 0. 10_000. in
       (from_, from_ +. Rng.float_in rng 1. 500., Rng.float_in rng 1. 100.))
 
+(* --- telemetry overhead benchmarks ---
+
+   The same GREEDY admission kernel under the three telemetry states:
+   disabled ctx (the ?obs default everywhere), metrics-only ctx (counters +
+   spans, no event sink), and a JSONL sink writing every event to a buffer.
+   BENCH_obs.json records these; the disabled column must stay within noise
+   of the plain fig5 kernel. *)
+
+let obs_tests =
+  let policy = Policy.Fraction_of_max 0.8 in
+  let buf = Buffer.create (1 lsl 20) in
+  [
+    Test.make ~name:"obs:greedy-disabled"
+      (Staged.stage (fun () -> Flexible.greedy fabric policy flexible_workload));
+    Test.make ~name:"obs:greedy-metrics-noop"
+      (Staged.stage (fun () ->
+           Flexible.greedy ~obs:(Obs.create ()) fabric policy flexible_workload));
+    Test.make ~name:"obs:greedy-jsonl-buffer"
+      (Staged.stage (fun () ->
+           Buffer.clear buf;
+           Flexible.greedy
+             ~obs:(Obs.create ~sink:(Sink.jsonl_buffer buf) ())
+             fabric policy flexible_workload));
+    Test.make ~name:"obs:window-disabled"
+      (Staged.stage (fun () ->
+           Flexible.window fabric policy ~step:400. flexible_workload));
+    Test.make ~name:"obs:window-jsonl-buffer"
+      (Staged.stage (fun () ->
+           Buffer.clear buf;
+           Flexible.window
+             ~obs:(Obs.create ~sink:(Sink.jsonl_buffer buf) ())
+             fabric policy ~step:400. flexible_workload));
+  ]
+
 let admission_tests =
   [
     Test.make ~name:"admission:window-x10"
@@ -282,7 +319,7 @@ let base_tests =
     ]
 
 let tests =
-  let all = base_tests @ admission_tests in
+  let all = base_tests @ admission_tests @ obs_tests in
   let selected =
     match only_filter with
     | None -> all
@@ -365,6 +402,11 @@ let json_out =
   find (Array.to_list Sys.argv)
 
 let () =
+  Provenance.print ~cmd:"bench"
+    [ Provenance.seed params.Runner.seed; Provenance.int "count" params.Runner.count;
+      Provenance.int "reps" params.Runner.reps;
+      Provenance.int "admission-base" admission_base;
+      ("admission-seed", "21") ];
   if only_filter = None then regenerate ();
   let timings = run_benchmarks () in
   Option.iter (fun path -> write_json path timings) json_out

@@ -16,6 +16,10 @@ module Scheduler = Gridbw_core.Scheduler
 module Types = Gridbw_core.Types
 module Runner = Gridbw_experiments.Runner
 module Rng = Gridbw_prng.Rng
+module Provenance = Gridbw_report.Provenance
+module Replay = Gridbw_metrics.Replay
+module Obs = Gridbw_obs.Obs
+module Sink = Gridbw_obs.Sink
 
 (* --- shared options --- *)
 
@@ -41,44 +45,58 @@ let params_of quick count reps seed =
   let base = if quick then Runner.quick else Runner.defaults in
   Runner.with_params ?count ?reps ?seed base
 
-let write_csv dir name contents =
+let params_fields (p : Runner.params) =
+  [ Provenance.seed p.Runner.seed; Provenance.int "count" p.Runner.count;
+    Provenance.int "reps" p.Runner.reps ]
+
+let write_csv ?stamp dir name contents =
   match dir with
   | None -> ()
   | Some dir ->
       if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
       let path = Filename.concat dir (name ^ ".csv") in
       let oc = open_out path in
-      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents);
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+          Option.iter (fun s -> output_string oc (s ^ "\n")) stamp;
+          output_string oc contents);
       Printf.printf "wrote %s\n" path
 
-let emit_figure csv_dir fig =
+let emit_figure ?stamp csv_dir fig =
   Figure.print fig;
-  write_csv csv_dir fig.Figure.id (Figure.to_csv fig);
+  write_csv ?stamp csv_dir fig.Figure.id (Figure.to_csv fig);
   match csv_dir with
   | None -> ()
   | Some dir -> Printf.printf "wrote %s\n" (Gridbw_report.Gnuplot.write ~dir fig)
 
-let emit_table csv_dir name table =
+let emit_table ?stamp csv_dir name table =
   Printf.printf "== %s ==\n" name;
   Table.print table;
-  write_csv csv_dir name (Table.to_csv table)
+  write_csv ?stamp csv_dir name (Table.to_csv table)
 
 (* --- figure command --- *)
 
-let run_figure params csv_dir = function
+let run_figure params csv_dir num =
+  let stamp = Provenance.line ~cmd:(Printf.sprintf "figure %d" num) (params_fields params) in
+  let emit_figure fig = emit_figure ~stamp csv_dir fig in
+  match num with
   | 4 ->
+      print_endline stamp;
       let accept, util = Gridbw_experiments.Figure4.run params in
-      emit_figure csv_dir accept;
-      emit_figure csv_dir util
-  | 5 -> emit_figure csv_dir (Gridbw_experiments.Figure5.run params)
+      emit_figure accept;
+      emit_figure util
+  | 5 ->
+      print_endline stamp;
+      emit_figure (Gridbw_experiments.Figure5.run params)
   | 6 ->
+      print_endline stamp;
       let heavy, under = Gridbw_experiments.Figure6.figure6 params in
-      emit_figure csv_dir heavy;
-      emit_figure csv_dir under
+      emit_figure heavy;
+      emit_figure under
   | 7 ->
+      print_endline stamp;
       let heavy, under = Gridbw_experiments.Figure6.figure7 params in
-      emit_figure csv_dir heavy;
-      emit_figure csv_dir under
+      emit_figure heavy;
+      emit_figure under
   | n -> Printf.eprintf "unknown figure %d (paper evaluation figures: 4-7)\n" n
 
 let figure_cmd =
@@ -92,7 +110,16 @@ let figure_cmd =
 
 (* --- table command --- *)
 
-let run_table params csv_dir = function
+let table_names =
+  [ "tuning"; "optgap"; "baseline"; "coalloc"; "npc"; "ablation"; "longlived"; "distributed";
+    "bookahead"; "transport"; "corestress"; "faults" ]
+
+let run_table params csv_dir name =
+  let stamp = Provenance.line ~cmd:("table " ^ name) (params_fields params) in
+  let emit_table csv_dir n t = emit_table ~stamp csv_dir n t in
+  let emit_figure csv_dir fig = emit_figure ~stamp csv_dir fig in
+  if List.mem name table_names then print_endline stamp;
+  match name with
   | "tuning" ->
       emit_table csv_dir "tuning"
         (Gridbw_experiments.Tuning.to_table (Gridbw_experiments.Tuning.run params))
@@ -136,7 +163,8 @@ let run_table params csv_dir = function
       emit_table csv_dir "faults-victims"
         (Gridbw_experiments.Fault_exp.ablation_table
            (Gridbw_experiments.Fault_exp.run_ablation params))
-  | other -> Printf.eprintf "unknown table %s (tuning|optgap|baseline|coalloc|npc|ablation|longlived|distributed|bookahead|transport|corestress|faults)\n" other
+  | other ->
+      Printf.eprintf "unknown table %s (%s)\n" other (String.concat "|" table_names)
 
 let table_cmd =
   let name_t =
@@ -156,7 +184,7 @@ let all_cmd =
   let run quick count reps seed csv_dir =
     let params = params_of quick count reps seed in
     List.iter (run_figure params csv_dir) [ 4; 5; 6; 7 ];
-    List.iter (run_table params csv_dir) [ "tuning"; "optgap"; "baseline"; "coalloc"; "npc"; "ablation"; "longlived"; "distributed"; "bookahead"; "transport"; "corestress"; "faults" ]
+    List.iter (run_table params csv_dir) table_names
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Regenerate every figure and table.")
@@ -185,6 +213,13 @@ let workload_cmd =
       | None, None -> Spec.paper_flexible ~count ~mean_interarrival:1.0 ()
       | Some _, Some _ -> failwith "pass either --load (rigid) or --interarrival (flexible)"
     in
+    Provenance.print ~cmd:"workload"
+      (Provenance.seed seed :: Provenance.int "count" count
+      ::
+      (match (load, inter) with
+      | Some l, _ -> [ Provenance.float "load" l ]
+      | None, Some t -> [ Provenance.float "interarrival" t ]
+      | None, None -> [ Provenance.float "interarrival" 1.0 ]));
     let requests = Gen.generate (Rng.create ~seed ()) spec in
     Trace.to_file out requests;
     Format.printf "%a@.wrote %d requests to %s (measured load %.2f)@." Spec.pp spec
@@ -196,6 +231,14 @@ let workload_cmd =
     Term.(const run $ out_t $ load_t $ inter_t $ count_t $ seed_t)
 
 (* --- run command --- *)
+
+let pp_heuristic ppf = function
+  | `Fcfs -> Format.pp_print_string ppf "fcfs"
+  | `Fifo_blocking -> Format.pp_print_string ppf "fifo"
+  | `Slots c -> Format.pp_print_string ppf (Rigid.cost_name c)
+  | `Greedy -> Format.pp_print_string ppf "greedy"
+  | `Window -> Format.pp_print_string ppf "window"
+  | `Window_deferred -> Format.pp_print_string ppf "window-deferred"
 
 let heuristic_conv =
   let parse = function
@@ -209,15 +252,16 @@ let heuristic_conv =
     | "window-deferred" -> Ok `Window_deferred
     | s -> Error (`Msg ("unknown heuristic " ^ s))
   in
-  let print ppf = function
-    | `Fcfs -> Format.pp_print_string ppf "fcfs"
-    | `Fifo_blocking -> Format.pp_print_string ppf "fifo"
-    | `Slots c -> Format.pp_print_string ppf (Rigid.cost_name c)
-    | `Greedy -> Format.pp_print_string ppf "greedy"
-    | `Window -> Format.pp_print_string ppf "window"
-    | `Window_deferred -> Format.pp_print_string ppf "window-deferred"
-  in
-  Arg.conv (parse, print)
+  Arg.conv (parse, pp_heuristic)
+
+(* The stamp of a trace-replay command: everything that determines the
+   decision stream, and nothing about output destinations — a traced run
+   and a plain run must print byte-identical stdout (CI checks this). *)
+let replay_fields trace heuristic policy step =
+  [ ("trace", trace);
+    ("heuristic", Format.asprintf "%a" pp_heuristic heuristic);
+    ("policy", Format.asprintf "%a" Policy.pp policy);
+    Provenance.float "step" step ]
 
 let policy_conv =
   let parse s =
@@ -253,11 +297,41 @@ let run_cmd =
   let step_t =
     Arg.(value & opt float 400. & info [ "step" ] ~docv:"S" ~doc:"WINDOW interval length (s).")
   in
-  let run trace heuristic policy step =
+  let trace_out_t =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write a JSONL event trace of every arrival and decision to $(docv).")
+  in
+  let metrics_out_t =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Dump the telemetry registry (Prometheus text format) to $(docv).")
+  in
+  let run trace heuristic policy step trace_out metrics_out =
     let requests = Trace.of_file trace in
     let fabric = Gridbw_topology.Fabric.paper_default () in
     let sched = scheduler_of heuristic policy ~step in
-    let result = Scheduler.run sched (Spec.for_replay fabric) requests in
+    Provenance.print ~cmd:"run" (replay_fields trace heuristic policy step);
+    let trace_oc = Option.map open_out trace_out in
+    let obs =
+      match (trace_oc, metrics_out) with
+      | None, None -> None
+      | _ -> Some (Obs.create ?sink:(Option.map Sink.jsonl trace_oc) ())
+    in
+    let result = Scheduler.run ?obs sched (Spec.for_replay fabric) requests in
+    Option.iter Obs.flush obs;
+    Option.iter close_out trace_oc;
+    (* Side artefacts are reported on stderr: stdout stays identical to a
+       plain (untraced) run. *)
+    Option.iter (Printf.eprintf "wrote %s\n%!") trace_out;
+    (match (metrics_out, obs) with
+    | Some path, Some o ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Gridbw_obs.Metrics.to_prometheus (Obs.metrics o)));
+        Printf.eprintf "wrote %s\n%!" path
+    | _ -> ());
     let summary = Summary.compute fabric ~all:requests ~accepted:result.Types.accepted in
     Format.printf "%a@." Summary.pp summary;
     (match Gridbw_metrics.Validate.check fabric result.Types.accepted with
@@ -270,7 +344,31 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one heuristic on a workload trace and print its summary.")
-    Term.(const run $ trace_t $ heuristic_t $ policy_t $ step_t)
+    Term.(const run $ trace_t $ heuristic_t $ policy_t $ step_t $ trace_out_t $ metrics_out_t)
+
+(* --- replay-trace command --- *)
+
+let replay_trace_cmd =
+  let trace_t =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"TRACE" ~doc:"JSONL event trace written by run --trace-out.")
+  in
+  let run trace =
+    match Replay.of_file trace with
+    | Error msg ->
+        Printf.eprintf "replay-trace: %s\n" msg;
+        exit 1
+    | Ok r ->
+        Provenance.print ~cmd:"replay-trace" [ ("trace", trace) ];
+        if not (Replay.monotone r.Replay.events) then
+          prerr_endline "warning: trace timestamps are not monotone (engine-driven trace?)";
+        let fabric = Gridbw_topology.Fabric.paper_default () in
+        Format.printf "%a@." Summary.pp (Replay.summary fabric r)
+  in
+  Cmd.v
+    (Cmd.info "replay-trace"
+       ~doc:"Rebuild a run's summary from its JSONL event trace alone.")
+    Term.(const run $ trace_t)
 
 let hotspot_cmd =
   let trace_t =
@@ -291,6 +389,7 @@ let hotspot_cmd =
     let requests = Trace.of_file trace in
     let fabric = Gridbw_topology.Fabric.paper_default () in
     let sched = scheduler_of heuristic policy ~step in
+    Provenance.print ~cmd:"hotspot" (replay_fields trace heuristic policy step);
     let result = Scheduler.run sched (Spec.for_replay fabric) requests in
     let reports =
       Gridbw_metrics.Hotspot.analyze fabric ~all:requests ~accepted:result.Types.accepted
@@ -323,6 +422,6 @@ let main_cmd =
   Cmd.group
     (Cmd.info "gridbw" ~version:"1.0.0"
        ~doc:"Optimal bandwidth sharing in grid environments (HPDC'06) — reproduction toolkit.")
-    [ figure_cmd; table_cmd; all_cmd; workload_cmd; run_cmd; hotspot_cmd ]
+    [ figure_cmd; table_cmd; all_cmd; workload_cmd; run_cmd; replay_trace_cmd; hotspot_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -5,6 +5,7 @@ type t = {
   mutable fabric : Fabric.t;
   ingress : Timeline.t array;
   egress : Timeline.t array;
+  mutable probes : int;
 }
 
 let create fabric =
@@ -12,7 +13,10 @@ let create fabric =
     fabric;
     ingress = Array.init (Fabric.ingress_count fabric) (fun _ -> Timeline.create ());
     egress = Array.init (Fabric.egress_count fabric) (fun _ -> Timeline.create ());
+    probes = 0;
   }
+
+let probe_count t = t.probes
 
 let fabric t = t.fabric
 
@@ -52,6 +56,7 @@ let fits_interval t ~ingress ~egress ~bw ~from_ ~until =
   if not (Fabric.valid_egress t.fabric egress) then
     invalid_arg "Ledger.fits_interval: bad egress port";
   if from_ >= until then invalid_arg "Ledger.fits_interval: empty interval";
+  t.probes <- t.probes + 2;
   le_cap
     (Timeline.max_over t.ingress.(ingress) ~from_ ~until +. bw)
     (Fabric.ingress_capacity t.fabric ingress)
@@ -87,23 +92,20 @@ let release t a =
     ~until:a.Allocation.tau
 
 let usage_at t port time = Timeline.usage_at (timeline t "usage_at" port) time
-let max_over t port ~from_ ~until = Timeline.max_over (timeline t "max_over" port) ~from_ ~until
+
+let max_over t port ~from_ ~until =
+  t.probes <- t.probes + 1;
+  Timeline.max_over (timeline t "max_over" port) ~from_ ~until
 
 let argmax_over t port ~from_ ~until =
+  t.probes <- t.probes + 1;
   Timeline.argmax_over (timeline t "argmax_over" port) ~from_ ~until
 
 let headroom_over t port ~from_ ~until =
+  t.probes <- t.probes + 1;
   capacity t port -. Timeline.max_over (timeline t "headroom_over" port) ~from_ ~until
 
 let breakpoints t port = Timeline.breakpoints (timeline t "breakpoints" port)
-
-(* Deprecated per-side accessors, kept as wrappers over the port-keyed API. *)
-let ingress_usage_at t i time = usage_at t (Port.Ingress i) time
-let egress_usage_at t e time = usage_at t (Port.Egress e) time
-let ingress_max_over t i ~from_ ~until = max_over t (Port.Ingress i) ~from_ ~until
-let egress_max_over t e ~from_ ~until = max_over t (Port.Egress e) ~from_ ~until
-let ingress_breakpoints t i = breakpoints t (Port.Ingress i)
-let egress_breakpoints t e = breakpoints t (Port.Egress e)
 
 let within_capacity t =
   let ok = ref true in

@@ -7,9 +7,7 @@
     capacity.  Capacity checks allow a relative [1e-9] slack to absorb
     float accumulation.
 
-    Ports are addressed with {!Port.t}; the historical per-side accessor
-    pairs ([ingress_usage_at]/[egress_usage_at], ...) remain as deprecated
-    wrappers. *)
+    Ports are addressed with {!Port.t}. *)
 
 type t
 
@@ -69,23 +67,11 @@ val headroom_over : t -> Port.t -> from_:float -> until:float -> float
 val breakpoints : t -> Port.t -> float list
 (** Sorted times where the port's reserved bandwidth changes. *)
 
-val ingress_usage_at : t -> int -> float -> float
-  [@@ocaml.deprecated "use Ledger.usage_at with Port.Ingress"]
-
-val egress_usage_at : t -> int -> float -> float
-  [@@ocaml.deprecated "use Ledger.usage_at with Port.Egress"]
-
-val ingress_max_over : t -> int -> from_:float -> until:float -> float
-  [@@ocaml.deprecated "use Ledger.max_over with Port.Ingress"]
-
-val egress_max_over : t -> int -> from_:float -> until:float -> float
-  [@@ocaml.deprecated "use Ledger.max_over with Port.Egress"]
-
-val ingress_breakpoints : t -> int -> float list
-  [@@ocaml.deprecated "use Ledger.breakpoints with Port.Ingress"]
-
-val egress_breakpoints : t -> int -> float list
-  [@@ocaml.deprecated "use Ledger.breakpoints with Port.Egress"]
+val probe_count : t -> int
+(** Running count of timeline range probes ({!max_over}, {!argmax_over},
+    {!headroom_over}; two per {!fits_interval}) since creation.  The
+    batch schedulers report the delta per decision through the telemetry
+    histogram [ledger_probes_per_decision]. *)
 
 val within_capacity : t -> bool
 (** Global invariant check: every port's peak usage is within its

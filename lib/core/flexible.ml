@@ -3,6 +3,8 @@ module Request = Gridbw_request.Request
 module Allocation = Gridbw_alloc.Allocation
 module Ledger = Gridbw_alloc.Ledger
 module Port = Gridbw_alloc.Port
+module Obs = Gridbw_obs.Obs
+module Event = Gridbw_obs.Event
 
 let check_routing fabric requests =
   List.iter
@@ -11,14 +13,15 @@ let check_routing fabric requests =
         invalid_arg (Printf.sprintf "Flexible: request %d routed on unknown port" r.id))
     requests
 
-let arrival_order =
-  List.sort (fun (a : Request.t) (b : Request.t) ->
-      match Float.compare a.ts b.ts with
-      | 0 -> (
-          match Float.compare (Request.min_rate a) (Request.min_rate b) with
-          | 0 -> Int.compare a.id b.id
-          | c -> c)
+let arrival_compare (a : Request.t) (b : Request.t) =
+  match Float.compare a.ts b.ts with
+  | 0 -> (
+      match Float.compare (Request.min_rate a) (Request.min_rate b) with
+      | 0 -> Int.compare a.id b.id
       | c -> c)
+  | c -> c
+
+let arrival_order requests = List.sort arrival_compare requests
 
 let collect all decisions =
   let accepted = ref [] and rejected = ref [] in
@@ -30,13 +33,16 @@ let collect all decisions =
     decisions;
   { Types.all; accepted = List.rev !accepted; rejected = List.rev !rejected }
 
-let greedy fabric policy requests =
+let greedy ?(obs = Obs.disabled) fabric policy requests =
   check_routing fabric requests;
   Policy.validate policy;
   let ctl = Online.create fabric in
+  let seqs = if Obs.tracing obs then Emit.seq_table requests else Hashtbl.create 1 in
   let decisions =
     List.map
-      (fun (r : Request.t) -> (r, Online.try_admit ctl policy r ~at:r.ts))
+      (fun (r : Request.t) ->
+        if Obs.tracing obs then Emit.emit_arrival obs seqs r;
+        (r, Online.try_admit ~obs ctl policy r ~at:r.ts))
       (arrival_order requests)
   in
   collect requests decisions
@@ -70,14 +76,41 @@ type candidate = {
 (* One WINDOW batch against a shared ledger — Algorithm 3's inner loop.
    Exposed so the fault subsystem can re-pack residual requests with the
    exact same kernel; capacities are read from the ledger's current
-   fabric, which may have been revised mid-run. *)
-let pack_batch policy ledger ~decide batch =
+   fabric, which may have been revised mid-run.
+
+   [now] stamps the batch's trace events (the batch-boundary decision
+   instant); it defaults to the latest arrival in the batch. *)
+let pack_batch ?(obs = Obs.disabled) ?now policy ledger ~decide batch =
   let fabric = Ledger.fabric ledger in
+  let now =
+    match now with
+    | Some t -> t
+    | None -> List.fold_left (fun acc (r : Request.t) -> Float.max acc r.ts) neg_infinity batch
+  in
+  let last_probes = ref (Ledger.probe_count ledger) in
+  let record ?blocked r d =
+    (if obs.Obs.enabled then begin
+       let p = Ledger.probe_count ledger in
+       Obs.observe obs "ledger_probes_per_decision" (float_of_int (p - !last_probes));
+       last_probes := p
+     end);
+    Emit.emit_decision obs ~time:now ?blocked r d;
+    decide r d
+  in
   let cost c =
     Float.max
       ((c.use_in +. c.cbw) /. Fabric.ingress_capacity fabric c.creq.Request.ingress)
       ((c.use_out +. c.cbw) /. Fabric.egress_capacity fabric c.creq.Request.egress)
   in
+  (* The saturated side of a candidate, from its cached usage counters. *)
+  let sat_info c =
+    let cap_in = Fabric.ingress_capacity fabric c.creq.Request.ingress in
+    let cap_out = Fabric.egress_capacity fabric c.creq.Request.egress in
+    if (c.use_in +. c.cbw) /. cap_in >= (c.use_out +. c.cbw) /. cap_out then
+      Some ((Event.Ingress, c.creq.Request.ingress), cap_in -. c.use_in)
+    else Some ((Event.Egress, c.creq.Request.egress), cap_out -. c.use_out)
+  in
+  Obs.span obs "pack_batch" @@ fun () ->
   (* Every candidate keeps its arrival start, so the policy rate is the
      one of section 5.1 (MinRate or f x MaxRate at ts) and is always
      defined. *)
@@ -95,7 +128,7 @@ let pack_batch policy ledger ~decide batch =
                 alive = true;
               }
         | None ->
-            decide r (Types.Rejected Types.Deadline_unreachable);
+            record r (Types.Rejected Types.Deadline_unreachable);
             None)
       batch
     |> Array.of_list
@@ -124,7 +157,7 @@ let pack_batch policy ledger ~decide batch =
             (fun c ->
               if c.alive then begin
                 c.alive <- false;
-                decide c.creq (Types.Rejected Types.Port_saturated)
+                record ?blocked:(sat_info c) c.creq (Types.Rejected Types.Port_saturated)
               end)
             candidates;
           remaining := 0
@@ -134,7 +167,7 @@ let pack_batch policy ledger ~decide batch =
           let a = Allocation.make ~request:r ~bw:c.cbw ~sigma:r.Request.ts in
           if Ledger.fits ledger a then begin
             Ledger.reserve ledger a;
-            decide r (Types.Accepted a);
+            record r (Types.Accepted a);
             (* Refresh the cached usage of batch mates whose start falls
                inside the accepted transmission interval. *)
             Array.iter
@@ -153,27 +186,33 @@ let pack_batch policy ledger ~decide batch =
           else
             (* Instantaneously cheap but blocked by a reservation spike
                later in its transmission interval. *)
-            decide r (Types.Rejected Types.Port_saturated);
+            record ?blocked:(Emit.spike_port obs ledger a) r (Types.Rejected Types.Port_saturated);
           c.alive <- false;
           decr remaining
         end
   done
 
-let window fabric policy ~step requests =
+let window ?(obs = Obs.disabled) fabric policy ~step requests =
   if step <= 0. || not (Float.is_finite step) then
     invalid_arg "Flexible.window: step must be positive and finite";
   check_routing fabric requests;
   Policy.validate policy;
   let ledger = Ledger.create fabric in
+  let seqs = if Obs.tracing obs then Emit.seq_table requests else Hashtbl.create 1 in
   let decisions = ref [] in
   let decide r d = decisions := (r, d) :: !decisions in
-  List.iter (fun (_, batch) -> pack_batch policy ledger ~decide batch) (batches ~step requests);
+  List.iter
+    (fun (k, batch) ->
+      Emit.emit_arrivals obs seqs batch;
+      pack_batch ~obs ~now:(float_of_int (k + 1) *. step) policy ledger ~decide batch)
+    (batches ~step requests);
   collect requests (List.rev !decisions)
 
-let book_ahead fabric policy ~announce requests =
+let book_ahead ?(obs = Obs.disabled) fabric policy ~announce requests =
   check_routing fabric requests;
   Policy.validate policy;
   let ledger = Ledger.create fabric in
+  let seqs = if Obs.tracing obs then Emit.seq_table requests else Hashtbl.create 1 in
   let order =
     List.map
       (fun (r : Request.t) ->
@@ -187,31 +226,57 @@ let book_ahead fabric policy ~announce requests =
   in
   let decisions =
     List.map
-      (fun (_, (r : Request.t)) ->
-        match Policy.assign policy r ~now:r.ts with
-        | None -> (r, Types.Rejected Types.Deadline_unreachable)
-        | Some bw ->
-            let a = Allocation.make ~request:r ~bw ~sigma:r.ts in
-            if Ledger.fits ledger a then begin
-              Ledger.reserve ledger a;
-              (r, Types.Accepted a)
-            end
-            else (r, Types.Rejected Types.Port_saturated))
+      (fun (announce_at, (r : Request.t)) ->
+        (* Trace stamp is the announce instant — the moment the decision is
+           actually taken under book-ahead. *)
+        if Obs.tracing obs then
+          Obs.event obs (fun () ->
+              Event.Arrival
+                {
+                  time = announce_at;
+                  seq = (match Hashtbl.find_opt seqs r.id with Some s -> s | None -> -1);
+                  id = r.id;
+                  ingress = r.ingress;
+                  egress = r.egress;
+                  volume = r.volume;
+                  ts = r.ts;
+                  tf = r.tf;
+                  max_rate = r.max_rate;
+                });
+        let d, blocked =
+          match Policy.assign policy r ~now:r.ts with
+          | None -> (Types.Rejected Types.Deadline_unreachable, None)
+          | Some bw ->
+              let a = Allocation.make ~request:r ~bw ~sigma:r.ts in
+              if Ledger.fits ledger a then begin
+                Ledger.reserve ledger a;
+                (Types.Accepted a, None)
+              end
+              else (Types.Rejected Types.Port_saturated, Emit.spike_port obs ledger a)
+        in
+        Emit.emit_decision obs ~time:announce_at ?blocked r d;
+        (r, d))
       order
   in
   collect requests decisions
 
-let window_deferred fabric policy ~step requests =
+let window_deferred ?(obs = Obs.disabled) fabric policy ~step requests =
   if step <= 0. || not (Float.is_finite step) then
     invalid_arg "Flexible.window_deferred: step must be positive and finite";
   check_routing fabric requests;
   Policy.validate policy;
   let ctl = Online.create fabric in
+  let seqs = if Obs.tracing obs then Emit.seq_table requests else Hashtbl.create 1 in
   let decisions = ref [] in
   let decide r d = decisions := (r, d) :: !decisions in
+  (* Rejections decided by the batch loop itself (the cut and the deadline
+     filter) are traced here; admissions go through [Online.try_admit],
+     which traces them itself. *)
+  let reject_at time r reason = Emit.emit_decision obs ~time r (Types.Rejected reason) in
   List.iter
     (fun (k, batch) ->
       let decision_time = float_of_int (k + 1) *. step in
+      Emit.emit_arrivals obs seqs batch;
       Online.advance_to ctl decision_time;
       (* Candidates that can still meet their deadline after the delay. *)
       let candidates =
@@ -219,6 +284,7 @@ let window_deferred fabric policy ~step requests =
           (fun (r : Request.t) ->
             match Online.peek_cost ctl policy r ~at:decision_time with
             | None ->
+                reject_at decision_time r Types.Deadline_unreachable;
                 decide r (Types.Rejected Types.Deadline_unreachable);
                 false
             | Some _ -> true)
@@ -247,9 +313,13 @@ let window_deferred fabric policy ~step requests =
                     (first, first_cost) rest
                 in
                 if best_cost > 1. +. 1e-9 then
-                  List.iter (fun (r, _) -> decide r (Types.Rejected Types.Port_saturated)) scored
+                  List.iter
+                    (fun (r, _) ->
+                      reject_at decision_time r Types.Port_saturated;
+                      decide r (Types.Rejected Types.Port_saturated))
+                    scored
                 else begin
-                  decide best (Online.try_admit ctl policy best ~at:decision_time);
+                  decide best (Online.try_admit ~obs ctl policy best ~at:decision_time);
                   pack (List.filter (fun r -> not (Request.equal r best)) remaining)
                 end)
       in
@@ -262,8 +332,8 @@ let heuristic_name = function
   | `Window step -> Printf.sprintf "window(%g)" step
   | `Window_deferred step -> Printf.sprintf "window-deferred(%g)" step
 
-let run kind fabric policy requests =
+let run ?obs kind fabric policy requests =
   match kind with
-  | `Greedy -> greedy fabric policy requests
-  | `Window step -> window fabric policy ~step requests
-  | `Window_deferred step -> window_deferred fabric policy ~step requests
+  | `Greedy -> greedy ?obs fabric policy requests
+  | `Window step -> window ?obs fabric policy ~step requests
+  | `Window_deferred step -> window_deferred ?obs fabric policy ~step requests

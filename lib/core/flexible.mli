@@ -12,12 +12,17 @@
     cannot start before its batch is decided; see DESIGN.md (ablation A1). *)
 
 val greedy :
-  Gridbw_topology.Fabric.t -> Policy.t -> Gridbw_request.Request.t list -> Types.result
+  ?obs:Gridbw_obs.Obs.ctx ->
+  Gridbw_topology.Fabric.t ->
+  Policy.t ->
+  Gridbw_request.Request.t list ->
+  Types.result
 (** Algorithm 2.  Requests are processed in arrival order ([ts], ties by
     smaller [MinRate] then id, as in section 5.1); each is granted the
     policy rate at [sigma = ts] iff both its ports currently have room. *)
 
 val window :
+  ?obs:Gridbw_obs.Obs.ctx ->
   Gridbw_topology.Fabric.t ->
   Policy.t ->
   step:float ->
@@ -34,6 +39,7 @@ val window :
     Accepted requests transmit on [\[ts, ts + vol/bw)). *)
 
 val window_deferred :
+  ?obs:Gridbw_obs.Obs.ctx ->
   Gridbw_topology.Fabric.t ->
   Policy.t ->
   step:float ->
@@ -49,6 +55,7 @@ val window_deferred :
     WINDOW gain is knowledge versus batching. *)
 
 val book_ahead :
+  ?obs:Gridbw_obs.Obs.ctx ->
   Gridbw_topology.Fabric.t ->
   Policy.t ->
   announce:(Gridbw_request.Request.t -> float) ->
@@ -81,6 +88,8 @@ val batches :
     interval order, each batch in arrival order. *)
 
 val pack_batch :
+  ?obs:Gridbw_obs.Obs.ctx ->
+  ?now:float ->
   Policy.t ->
   Gridbw_alloc.Ledger.t ->
   decide:(Gridbw_request.Request.t -> Types.decision -> unit) ->
@@ -88,7 +97,14 @@ val pack_batch :
   unit
 (** Pack one batch against the ledger (min-cost order, Algorithm 3's cut),
     calling [decide] once per request.  Capacities are read from the
-    ledger's {e current} fabric. *)
+    ledger's {e current} fabric.
+
+    With [obs], the pack runs under the ["pack_batch"] profiling span,
+    every decision feeds the admission counters and the
+    [ledger_probes_per_decision] histogram (the delta of
+    {!Gridbw_alloc.Ledger.probe_count} since the previous decision), and
+    trace events are stamped at [now] — the batch's decision instant,
+    defaulting to the latest arrival in the batch. *)
 
 val collect :
   Gridbw_request.Request.t list ->
@@ -101,6 +117,7 @@ val heuristic_name : [ `Greedy | `Window of float | `Window_deferred of float ] 
 (** "greedy", "window(400)" or "window-deferred(400)". *)
 
 val run :
+  ?obs:Gridbw_obs.Obs.ctx ->
   [ `Greedy | `Window of float | `Window_deferred of float ] ->
   Gridbw_topology.Fabric.t ->
   Policy.t ->

@@ -3,6 +3,8 @@ module Request = Gridbw_request.Request
 module Allocation = Gridbw_alloc.Allocation
 module Live = Gridbw_alloc.Live
 module Event_queue = Gridbw_sim.Event_queue
+module Obs = Gridbw_obs.Obs
+module Event = Gridbw_obs.Event
 
 type t = {
   live : Live.t;
@@ -48,19 +50,41 @@ let advance_to t time =
   in
   drain ()
 
-let try_admit t policy (r : Request.t) ~at =
+(* The port that could not fit the request, with its spare bandwidth at
+   decision time — the "why" recorded on a Port_saturated trace event.
+   When both ports are short, report the tighter one. *)
+let blocking_port t (r : Request.t) =
+  let fabric = Live.fabric t.live in
+  let head_in = Fabric.ingress_capacity fabric r.ingress -. Live.ingress_used t.live r.ingress in
+  let head_out = Fabric.egress_capacity fabric r.egress -. Live.egress_used t.live r.egress in
+  if head_in <= head_out then ((Event.Ingress, r.ingress), head_in)
+  else ((Event.Egress, r.egress), head_out)
+
+let try_admit ?(obs = Obs.disabled) t policy (r : Request.t) ~at =
   let at = clamp_past t at in
   advance_to t at;
-  match Policy.assign policy r ~now:at with
-  | None -> Types.Rejected Types.Deadline_unreachable
-  | Some bw ->
-      if Live.try_grab t.live ~ingress:r.ingress ~egress:r.egress ~bw then begin
-        let a = Allocation.make ~request:r ~bw ~sigma:(Float.max at r.ts) in
-        Event_queue.push t.releases ~time:a.Allocation.tau a;
-        t.active <- a :: t.active;
-        Types.Accepted a
-      end
-      else Types.Rejected Types.Port_saturated
+  let blocked = ref None in
+  let decide () =
+    match Policy.assign policy r ~now:at with
+    | None -> Types.Rejected Types.Deadline_unreachable
+    | Some bw ->
+        if Live.try_grab t.live ~ingress:r.ingress ~egress:r.egress ~bw then begin
+          let a = Allocation.make ~request:r ~bw ~sigma:(Float.max at r.ts) in
+          Event_queue.push t.releases ~time:a.Allocation.tau a;
+          t.active <- a :: t.active;
+          Types.Accepted a
+        end
+        else begin
+          if obs.Obs.enabled then blocked := Some (blocking_port t r);
+          Types.Rejected Types.Port_saturated
+        end
+  in
+  if not obs.Obs.enabled then decide ()
+  else begin
+    let decision = Obs.span obs "admit" decide in
+    Emit.emit_decision obs ~time:at ?blocked:!blocked r decision;
+    decision
+  end
 
 let peek_cost t policy (r : Request.t) ~at =
   let at = clamp_past t at in
@@ -69,11 +93,17 @@ let peek_cost t policy (r : Request.t) ~at =
   | None -> None
   | Some bw -> Some (bw, Live.saturation t.live ~ingress:r.ingress ~egress:r.egress ~bw)
 
-let preempt t (a : Allocation.t) =
+let preempt ?(obs = Obs.disabled) t (a : Allocation.t) =
   if is_active t a then begin
     Live.release t.live ~ingress:a.Allocation.request.Request.ingress
       ~egress:a.Allocation.request.Request.egress ~bw:a.Allocation.bw;
     remove_active t a;
+    if obs.Obs.enabled then begin
+      Obs.count obs "preempted_total";
+      Obs.event obs (fun () ->
+          Event.Preempt
+            { time = t.clock; id = a.Allocation.request.Request.id; bw = a.Allocation.bw })
+    end;
     true
   end
   else false
@@ -86,7 +116,3 @@ let used t port =
   match (port : Gridbw_alloc.Port.t) with
   | Gridbw_alloc.Port.Ingress i -> Live.ingress_used t.live i
   | Gridbw_alloc.Port.Egress e -> Live.egress_used t.live e
-
-(* Deprecated per-side accessors, kept as wrappers over the port-keyed API. *)
-let ingress_used t i = used t (Gridbw_alloc.Port.Ingress i)
-let egress_used t e = used t (Gridbw_alloc.Port.Egress e)

@@ -21,12 +21,24 @@ val advance_to : t -> float -> unit
     (event-handler float jitter must not crash a run); a genuinely past
     [time] raises [Invalid_argument]. *)
 
-val try_admit : t -> Policy.t -> Gridbw_request.Request.t -> at:float -> Types.decision
+val try_admit :
+  ?obs:Gridbw_obs.Obs.ctx ->
+  t ->
+  Policy.t ->
+  Gridbw_request.Request.t ->
+  at:float ->
+  Types.decision
 (** Decide request [r] at time [at] (implicitly {!advance_to} [at] first).
     The policy fixes the rate; admission succeeds iff both ports have room
     at that rate.  On success the allocation starts at
     [sigma = max at ts(r)] and its bandwidth is held until {!advance_to}
-    passes its [tau]. *)
+    passes its [tau].
+
+    With [obs]: the decision runs under the ["admit"] profiling span,
+    bumps [admit_requests_total] / [admit_accepted_total] /
+    [admit_rejected_total], and (when tracing) emits an [Accept] or
+    [Reject] event — saturated rejects carry the tighter port and its
+    headroom at decision time. *)
 
 val peek_cost : t -> Policy.t -> Gridbw_request.Request.t -> at:float -> (float * float) option
 (** [(bw, cost)] the request would get if admitted now, where [cost] is the
@@ -34,12 +46,13 @@ val peek_cost : t -> Policy.t -> Gridbw_request.Request.t -> at:float -> (float 
     (section 5.2); [None] when the deadline is no longer reachable.  Does
     not modify the controller (apart from an implicit {!advance_to}). *)
 
-val preempt : t -> Gridbw_alloc.Allocation.t -> bool
+val preempt : ?obs:Gridbw_obs.Obs.ctx -> t -> Gridbw_alloc.Allocation.t -> bool
 (** Revoke a still-held allocation (matched by physical identity),
     returning its bandwidth to both ports immediately.  Returns [false]
     if the allocation already finished or was already preempted.  The
     fault subsystem's capacity-revision path uses this to shed load after
-    a port degradation. *)
+    a port degradation.  With [obs], a successful preemption bumps
+    [preempted_total] and emits a [Preempt] event. *)
 
 val set_fabric : t -> Gridbw_topology.Fabric.t -> unit
 (** Revise port capacities mid-flight (same port counts).  Counters are
@@ -55,9 +68,3 @@ val active_count : t -> int
 val used : t -> Gridbw_alloc.Port.t -> float
 (** Bandwidth currently held through the port (the paper's [ali]/[ale]
     counter). *)
-
-val ingress_used : t -> int -> float
-  [@@ocaml.deprecated "use Online.used with Port.Ingress"]
-
-val egress_used : t -> int -> float
-  [@@ocaml.deprecated "use Online.used with Port.Egress"]

@@ -4,6 +4,7 @@ module Allocation = Gridbw_alloc.Allocation
 module Ledger = Gridbw_alloc.Ledger
 module Port = Gridbw_alloc.Port
 module Live = Gridbw_alloc.Live
+module Obs = Gridbw_obs.Obs
 
 type cost_kind = Cumulated | Min_bw | Min_vol
 
@@ -21,36 +22,43 @@ let check_routing fabric requests =
 
 let alloc_of (r : Request.t) = Allocation.make ~request:r ~bw:(Request.min_rate r) ~sigma:r.ts
 
-let fcfs fabric requests =
+(* Arrival order: by start time, ties by smaller rate then id — the same
+   order fcfs and fifo_blocking serve the queue in. *)
+let arrival_compare (a : Request.t) (b : Request.t) =
+  match Float.compare a.ts b.ts with
+  | 0 -> (
+      match Float.compare (Request.min_rate a) (Request.min_rate b) with
+      | 0 -> Int.compare a.id b.id
+      | c -> c)
+  | c -> c
+
+let fcfs ?(obs = Obs.disabled) fabric requests =
   check_routing fabric requests;
   let ledger = Ledger.create fabric in
-  let order =
-    List.sort
-      (fun (a : Request.t) (b : Request.t) ->
-        match Float.compare a.ts b.ts with
-        | 0 -> (
-            match Float.compare (Request.min_rate a) (Request.min_rate b) with
-            | 0 -> Int.compare a.id b.id
-            | c -> c)
-        | c -> c)
-      requests
-  in
+  let seqs = if Obs.tracing obs then Emit.seq_table requests else Hashtbl.create 1 in
+  let order = List.sort arrival_compare requests in
   let accepted = ref [] and rejected = ref [] in
   List.iter
-    (fun r ->
+    (fun (r : Request.t) ->
+      if Obs.tracing obs then Emit.emit_arrival obs seqs r;
       let a = alloc_of r in
       if Ledger.fits ledger a then begin
         Ledger.reserve ledger a;
+        Emit.emit_decision obs ~time:r.ts r (Types.Accepted a);
         accepted := a :: !accepted
       end
-      else rejected := (r, Types.Port_saturated) :: !rejected)
+      else begin
+        Emit.emit_decision obs ~time:r.ts ?blocked:(Emit.spike_port obs ledger a) r
+          (Types.Rejected Types.Port_saturated);
+        rejected := (r, Types.Port_saturated) :: !rejected
+      end)
     order;
   { Types.all = requests; accepted = List.rev !accepted; rejected = List.rev !rejected }
 
 (* Per-request scheduling state during the slice sweep of Algorithm 1. *)
 type state = Alive of { held_before : bool } | Dead of Types.reason
 
-let slots ~cost fabric requests =
+let slots ?(obs = Obs.disabled) ~cost fabric requests =
   check_routing fabric requests;
   let arr = Array.of_list requests in
   let n = Array.length arr in
@@ -111,13 +119,25 @@ let slots ~cost fabric requests =
         sweep rest
     | [ _ ] | [] -> ()
   in
-  sweep breakpoints;
+  Obs.span obs "rigid_sweep" (fun () -> sweep breakpoints);
+  (* Outcomes are only final once the whole sweep has run, so decisions
+     are stamped at the last slice boundary, after the batch arrivals. *)
+  (if Obs.tracing obs then begin
+     let seqs = Emit.seq_table requests in
+     List.iter (fun r -> Emit.emit_arrival obs seqs r) (List.sort arrival_compare requests)
+   end);
+  let sweep_end = List.fold_left (fun acc t -> Float.max acc t) 0.0 breakpoints in
   let accepted = ref [] and rejected = ref [] in
   Array.iteri
     (fun i r ->
       match state.(i) with
-      | Alive _ -> accepted := alloc_of r :: !accepted
-      | Dead reason -> rejected := (r, reason) :: !rejected)
+      | Alive _ ->
+          let a = alloc_of r in
+          Emit.emit_decision obs ~time:sweep_end r (Types.Accepted a);
+          accepted := a :: !accepted
+      | Dead reason ->
+          Emit.emit_decision obs ~time:sweep_end r (Types.Rejected reason);
+          rejected := (r, reason) :: !rejected)
     arr;
   { Types.all = requests; accepted = List.rev !accepted; rejected = List.rev !rejected }
 
@@ -126,20 +146,11 @@ let slots ~cost fabric requests =
    free; a head request that does not fit at its start time keeps the
    scheduler busy until the bandwidth it wanted frees up (earliest instant
    both ports could have carried it), and only then is it dropped. *)
-let fifo_blocking fabric requests =
+let fifo_blocking ?(obs = Obs.disabled) fabric requests =
   check_routing fabric requests;
   let ledger = Ledger.create fabric in
-  let order =
-    List.sort
-      (fun (a : Request.t) (b : Request.t) ->
-        match Float.compare a.ts b.ts with
-        | 0 -> (
-            match Float.compare (Request.min_rate a) (Request.min_rate b) with
-            | 0 -> Int.compare a.id b.id
-            | c -> c)
-        | c -> c)
-      requests
-  in
+  let seqs = if Obs.tracing obs then Emit.seq_table requests else Hashtbl.create 1 in
+  let order = List.sort arrival_compare requests in
   (* Earliest instant >= from_ at which both ports have room for [bw]:
      usage is piecewise constant, so only [from_] and later breakpoints
      need checking.  [None] if the request could never fit (bw above a
@@ -168,16 +179,23 @@ let fifo_blocking fabric requests =
   in
   let queue_time = ref neg_infinity in
   let accepted = ref [] and rejected = ref [] in
+  (* Trace decisions are stamped at the request's arrival (its queue
+     position), not at the instant the blocked head finally drops it, so
+     the event stream stays chronological. *)
   List.iter
     (fun (r : Request.t) ->
+      if Obs.tracing obs then Emit.emit_arrival obs seqs r;
       let service_time = Float.max !queue_time r.ts in
-      if service_time > r.ts then
+      if service_time > r.ts then begin
         (* The start passed while stuck behind the previous head. *)
+        Emit.emit_decision obs ~time:r.ts r (Types.Rejected Types.Port_saturated);
         rejected := (r, Types.Port_saturated) :: !rejected
+      end
       else begin
         let a = alloc_of r in
         if Ledger.fits ledger a then begin
           Ledger.reserve ledger a;
+          Emit.emit_decision obs ~time:r.ts r (Types.Accepted a);
           accepted := a :: !accepted
         end
         else begin
@@ -185,13 +203,19 @@ let fifo_blocking fabric requests =
           (match earliest_fit r ~from_:r.ts with
           | Some t -> queue_time := Float.max !queue_time t
           | None -> ());
+          Emit.emit_decision obs ~time:r.ts ?blocked:(Emit.spike_port obs ledger a) r
+            (Types.Rejected Types.Port_saturated);
           rejected := (r, Types.Port_saturated) :: !rejected
         end
       end)
     order;
   { Types.all = requests; accepted = List.rev !accepted; rejected = List.rev !rejected }
 
-let run = function `Fcfs -> fcfs | `Fifo_blocking -> fifo_blocking | `Slots cost -> slots ~cost
+let run ?obs kind fabric requests =
+  match kind with
+  | `Fcfs -> fcfs ?obs fabric requests
+  | `Fifo_blocking -> fifo_blocking ?obs fabric requests
+  | `Slots cost -> slots ?obs ~cost fabric requests
 
 let heuristic_name = function
   | `Fcfs -> "fcfs"

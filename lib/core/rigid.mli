@@ -17,14 +17,22 @@ type cost_kind =
 val cost_name : cost_kind -> string
 (** "cumulated-slots", "minbw-slots", "minvol-slots". *)
 
-val fcfs : Gridbw_topology.Fabric.t -> Gridbw_request.Request.t list -> Types.result
+val fcfs :
+  ?obs:Gridbw_obs.Obs.ctx ->
+  Gridbw_topology.Fabric.t ->
+  Gridbw_request.Request.t list ->
+  Types.result
 (** The §4.1 FCFS baseline: requests are considered in order of their
     starting time (ties: smaller bandwidth first, then id) and accepted iff
     their whole window fits on both ports given earlier acceptances.
     Accepted requests are never revoked, but rejections are instantaneous —
     a rejected request does not delay the queue. *)
 
-val fifo_blocking : Gridbw_topology.Fabric.t -> Gridbw_request.Request.t list -> Types.result
+val fifo_blocking :
+  ?obs:Gridbw_obs.Obs.ctx ->
+  Gridbw_topology.Fabric.t ->
+  Gridbw_request.Request.t list ->
+  Types.result
 (** The catastrophic FIFO of Figure 4 ("FIFO lets requests block each
     other", §4.4): one scheduler serves the queue strictly in order with
     head-of-line blocking.  When the head request does not fit at its start
@@ -34,7 +42,11 @@ val fifo_blocking : Gridbw_topology.Fabric.t -> Gridbw_request.Request.t list ->
     behaviour selective rejection (fcfs and the slot heuristics) fixes. *)
 
 val slots :
-  cost:cost_kind -> Gridbw_topology.Fabric.t -> Gridbw_request.Request.t list -> Types.result
+  ?obs:Gridbw_obs.Obs.ctx ->
+  cost:cost_kind ->
+  Gridbw_topology.Fabric.t ->
+  Gridbw_request.Request.t list ->
+  Types.result
 (** Algorithm 1 (time-window decomposition).  Time is sliced at every
     request start and finish; within each slice the still-alive active
     requests are sorted by non-decreasing cost and packed greedily against
@@ -43,8 +55,17 @@ val slots :
     earlier slice, [Revoked] otherwise).  Requests alive through all their
     slices are accepted at [bw = MinRate], [sigma = ts]. *)
 
-val run : [ `Fcfs | `Fifo_blocking | `Slots of cost_kind ] ->
-  Gridbw_topology.Fabric.t -> Gridbw_request.Request.t list -> Types.result
+val run :
+  ?obs:Gridbw_obs.Obs.ctx ->
+  [ `Fcfs | `Fifo_blocking | `Slots of cost_kind ] ->
+  Gridbw_topology.Fabric.t ->
+  Gridbw_request.Request.t list ->
+  Types.result
+(** With [obs]: every decision feeds the admission counters and (when
+    tracing) the event stream.  Slot-sweep outcomes are only final after
+    the whole sweep, so their trace events are stamped at the last slice
+    boundary; [fifo_blocking] stamps decisions at the request's arrival
+    so the stream stays chronological. *)
 
 val heuristic_name : [ `Fcfs | `Fifo_blocking | `Slots of cost_kind ] -> string
 (** "fcfs", "fifo-blocking", "cumulated-slots", ... *)

@@ -12,19 +12,37 @@ module type S = sig
   val name : string
   (** Stable label used in tables, CSV columns and the CLI. *)
 
-  val run : Gridbw_workload.Spec.t -> Gridbw_request.Request.t list -> Types.result
+  val run :
+    ?obs:Gridbw_obs.Obs.ctx ->
+    Gridbw_workload.Spec.t ->
+    Gridbw_request.Request.t list ->
+    Types.result
   (** Decide every request of the trace against the spec's fabric.  The
       trace is normally drawn from the same spec ({!Gridbw_workload.Gen}),
       but only [spec.fabric] (and, for batch heuristics, timing derived
-      from the requests themselves) is consulted. *)
+      from the requests themselves) is consulted.  [obs] is the telemetry
+      context: decisions feed its admission counters and, when a trace
+      sink is attached, its event stream. *)
 end
 
 type t = (module S)
 
 val name : t -> string
-val run : t -> Gridbw_workload.Spec.t -> Gridbw_request.Request.t list -> Types.result
 
-val make : name:string -> (Gridbw_workload.Spec.t -> Gridbw_request.Request.t list -> Types.result) -> t
+val run :
+  ?obs:Gridbw_obs.Obs.ctx ->
+  t ->
+  Gridbw_workload.Spec.t ->
+  Gridbw_request.Request.t list ->
+  Types.result
+
+val make :
+  name:string ->
+  (?obs:Gridbw_obs.Obs.ctx ->
+  Gridbw_workload.Spec.t ->
+  Gridbw_request.Request.t list ->
+  Types.result) ->
+  t
 (** Wrap a function as a scheduler. *)
 
 val of_rigid : [ `Fcfs | `Fifo_blocking | `Slots of Rigid.cost_kind ] -> t

@@ -10,6 +10,9 @@ module Types = Gridbw_core.Types
 module Flexible = Gridbw_core.Flexible
 module Plane = Gridbw_control.Plane
 module Resilience = Gridbw_metrics.Resilience
+module Obs = Gridbw_obs.Obs
+module Event = Gridbw_obs.Event
+module Emit = Gridbw_core.Emit
 
 type admission = Greedy | Window of float
 type recovery = No_recovery | Resubmit
@@ -143,6 +146,25 @@ let apply_restore caps side port =
 let current_capacity caps side port =
   match side with Fault.Ingress -> caps.cur_in.(port) | Fault.Egress -> caps.cur_out.(port)
 
+let event_side = function Fault.Ingress -> Event.Ingress | Fault.Egress -> Event.Egress
+
+(* Capacity-revision trace record, emitted whenever a degrade or restore
+   rewrites a port's capacity. *)
+let emit_capacity obs ~time side port caps =
+  if obs.Obs.enabled then begin
+    Obs.count obs "capacity_revisions_total";
+    Obs.event obs (fun () ->
+        Event.Capacity
+          { time; side = event_side side; port; capacity = current_capacity caps side port })
+  end
+
+let emit_shed obs ~time side port ~excess ~victims =
+  if obs.Obs.enabled then begin
+    Obs.count_n obs "shed_victims_total" victims;
+    Obs.event obs (fun () ->
+        Event.Shed { time; side = event_side side; port; excess; victims })
+  end
+
 let within_current used cap = used <= (cap *. (1. +. tol)) +. tol
 
 let on_port side port (a : Allocation.t) =
@@ -178,10 +200,10 @@ let validate_inputs fabric cfg events requests =
    decision stream — and therefore every summary metric — is bit-identical.
    Faults interleave as engine events; at equal timestamps arrivals decide
    before faults strike (both before any renegotiation scheduled then). *)
-let run_greedy fabric cfg events requests =
+let run_greedy ?(obs = Obs.disabled) fabric cfg events requests =
   let ctl = Online.create fabric in
   let caps = caps_of fabric in
-  let engine = Engine.create () in
+  let engine = Engine.create ~obs () in
   let reneg = Plane.renegotiation_delay cfg.control in
   let logs = Hashtbl.create (List.length requests) in
   List.iter (fun (r : Request.t) -> Hashtbl.replace logs r.id (new_log r)) requests;
@@ -254,7 +276,7 @@ let run_greedy fabric cfg events requests =
           Request.make ~id:r.Request.id ~ingress:r.Request.ingress ~egress:r.Request.egress
             ~volume:residual ~ts:now ~tf:r.Request.tf ~max_rate:r.Request.max_rate
         in
-        match Online.try_admit ctl cfg.policy r' ~at:now with
+        match Online.try_admit ~obs ctl cfg.policy r' ~at:now with
         | Types.Accepted a' ->
             lg.violation <- lg.violation +. Float.max 0. (a'.Allocation.sigma -. down);
             lg.down_since <- None;
@@ -271,7 +293,7 @@ let run_greedy fabric cfg events requests =
   in
   let rec preempt_now engine lg (a : Allocation.t) ~recover =
     let now = Engine.now engine in
-    ignore (Online.preempt ctl a);
+    ignore (Online.preempt ~obs ctl a);
     lg.cur <- None;
     lg.preemptions <- lg.preemptions + 1;
     let served = Float.max 0. (now -. a.Allocation.sigma) in
@@ -298,6 +320,7 @@ let run_greedy fabric cfg events requests =
       | Resubmit -> sched (now +. reneg) (attempt_readmit lg)
     end
   and shed engine side port =
+    Obs.span obs "shed" @@ fun () ->
     let now = Engine.now engine in
     Online.advance_to ctl now;
     let cap = current_capacity caps side port in
@@ -310,15 +333,18 @@ let run_greedy fabric cfg events requests =
         |> List.map (fun a -> (a, residual_if_cut (log_of_alloc a) a ~now))
       in
       let victims = Victim.select cfg.victim ~need:excess candidates in
-      List.iter (fun a -> preempt_now engine (log_of_alloc a) a ~recover:true) victims
+      List.iter (fun a -> preempt_now engine (log_of_alloc a) a ~recover:true) victims;
+      emit_shed obs ~time:now side port ~excess ~victims:(List.length victims)
     end
   in
   (* Arrivals first (same order as Flexible.greedy), then fault events, so
      same-instant ties resolve arrivals-before-faults deterministically. *)
+  let seqs = if Obs.tracing obs then Emit.seq_table requests else Hashtbl.create 1 in
   List.iter
     (fun (r : Request.t) ->
       sched r.ts (fun engine ->
-          let d = Online.try_admit ctl cfg.policy r ~at:(Engine.now engine) in
+          if Obs.tracing obs then Emit.emit_arrival obs seqs r;
+          let d = Online.try_admit ~obs ctl cfg.policy r ~at:(Engine.now engine) in
           decisions := (r, d) :: !decisions;
           match d with
           | Types.Accepted a -> note_admit (Hashtbl.find logs r.id) a
@@ -330,9 +356,11 @@ let run_greedy fabric cfg events requests =
       | Fault.Degrade { side; port; factor; from_; until } ->
           sched from_ (fun engine ->
               Online.set_fabric ctl (apply_degrade caps side port ~factor);
+              emit_capacity obs ~time:(Engine.now engine) side port caps;
               shed engine side port);
           sched until (fun engine ->
               Online.set_fabric ctl (apply_restore caps side port);
+              emit_capacity obs ~time:(Engine.now engine) side port caps;
               retry_waiting engine)
       | Fault.Abort { request_id; at } ->
           sched at (fun engine ->
@@ -367,10 +395,10 @@ let run_greedy fabric cfg events requests =
    order (batch k at its boundary (k+1)·step).  Faults revise the ledger's
    fabric; shedding releases whole reserved intervals and residuals are
    re-packed at the first boundary after the renegotiation delay. *)
-let run_window fabric cfg ~step events requests =
+let run_window ?(obs = Obs.disabled) fabric cfg ~step events requests =
   let ledger = Ledger.create fabric in
   let caps = caps_of fabric in
-  let engine = Engine.create () in
+  let engine = Engine.create ~obs () in
   let reneg = Plane.renegotiation_delay cfg.control in
   let logs = Hashtbl.create (List.length requests) in
   List.iter (fun (r : Request.t) -> Hashtbl.replace logs r.id (new_log r)) requests;
@@ -449,7 +477,7 @@ let run_window fabric cfg ~step events requests =
               | None -> false)
             (List.rev !batch_ref)
         in
-        Flexible.pack_batch cfg.policy ledger
+        Flexible.pack_batch ~obs ~now:b cfg.policy ledger
           ~decide:(fun r d ->
             let lg = Hashtbl.find logs r.Request.id in
             match d with
@@ -484,6 +512,11 @@ let run_window fabric cfg ~step events requests =
     unregister a;
     lg.cur <- None;
     lg.preemptions <- lg.preemptions + 1;
+    (if obs.Obs.enabled then begin
+       Obs.count obs "preempted_total";
+       Obs.event obs (fun () ->
+           Event.Preempt { time = now; id = a.Allocation.request.Request.id; bw = a.Allocation.bw })
+     end);
     let served = Float.max 0. (Float.min now a.Allocation.tau -. a.Allocation.sigma) in
     if served > 0. then begin
       lg.delivered <- lg.delivered +. (a.Allocation.bw *. served);
@@ -515,11 +548,15 @@ let run_window fabric cfg ~step events requests =
     Ledger.argmax_over ledger (port_of side port) ~from_ ~until
   in
   let shed engine side port ~until =
+    Obs.span obs "shed" @@ fun () ->
     let now = Engine.now engine in
     let cap = current_capacity caps side port in
+    let shed_victims = ref 0 in
+    let excess0 = ref 0.0 in
     let rec loop () =
       let t_star, peak = peak_over side port ~from_:now ~until in
       if peak > cap *. (1. +. tol) then begin
+        if !shed_victims = 0 then excess0 := peak -. cap;
         let candidates =
           !registry
           |> List.filter (fun (a : Allocation.t) ->
@@ -533,18 +570,22 @@ let run_window fabric cfg ~step events requests =
         | [] -> ()
         | victims ->
             List.iter (fun a -> preempt_now engine (log_of_alloc a) a ~recover:true) victims;
+            shed_victims := !shed_victims + List.length victims;
             loop ()
       end
     in
-    loop ()
+    loop ();
+    if !shed_victims > 0 then
+      emit_shed obs ~time:now side port ~excess:!excess0 ~victims:!shed_victims
   in
   (* Arrival batches first (same order as Flexible.window), then faults. *)
+  let seqs = if Obs.tracing obs then Emit.seq_table requests else Hashtbl.create 1 in
   List.iter
     (fun (k, batch) ->
-      sched
-        (float_of_int (k + 1) *. step)
-        (fun engine ->
-          Flexible.pack_batch cfg.policy ledger
+      let boundary = float_of_int (k + 1) *. step in
+      sched boundary (fun engine ->
+          Emit.emit_arrivals obs seqs batch;
+          Flexible.pack_batch ~obs ~now:boundary cfg.policy ledger
             ~decide:(fun r d ->
               decisions := (r, d) :: !decisions;
               match d with
@@ -558,9 +599,11 @@ let run_window fabric cfg ~step events requests =
       | Fault.Degrade { side; port; factor; from_; until } ->
           sched from_ (fun engine ->
               Ledger.set_fabric ledger (apply_degrade caps side port ~factor);
+              emit_capacity obs ~time:(Engine.now engine) side port caps;
               shed engine side port ~until);
           sched until (fun engine ->
               Ledger.set_fabric ledger (apply_restore caps side port);
+              emit_capacity obs ~time:(Engine.now engine) side port caps;
               let ws =
                 List.sort (fun a b -> Int.compare a.req.Request.id b.req.Request.id) !waiting
               in
@@ -592,12 +635,12 @@ let run_window fabric cfg ~step events requests =
   Engine.run engine;
   (!decisions, logs)
 
-let run fabric cfg events requests =
+let run ?obs fabric cfg events requests =
   validate_inputs fabric cfg events requests;
   let decisions, logs =
     match cfg.admission with
-    | Greedy -> run_greedy fabric cfg events requests
-    | Window step -> run_window fabric cfg ~step events requests
+    | Greedy -> run_greedy ?obs fabric cfg events requests
+    | Window step -> run_window ?obs fabric cfg ~step events requests
   in
   let result = Flexible.collect requests (List.rev decisions) in
   (* Residuals still waiting for a renegotiation that never came: the
@@ -627,5 +670,5 @@ let scheduler cfg events : Gridbw_core.Scheduler.t =
   let name =
     Printf.sprintf "faulty-%s[%d events]" (admission_name cfg.admission) (List.length events)
   in
-  Gridbw_core.Scheduler.make ~name (fun spec requests ->
-      (run spec.Gridbw_workload.Spec.fabric cfg events requests).result)
+  Gridbw_core.Scheduler.make ~name (fun ?obs spec requests ->
+      (run ?obs spec.Gridbw_workload.Spec.fabric cfg events requests).result)

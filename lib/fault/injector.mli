@@ -54,6 +54,7 @@ type report = {
 }
 
 val run :
+  ?obs:Gridbw_obs.Obs.ctx ->
   Gridbw_topology.Fabric.t ->
   config ->
   Fault.event list ->
@@ -61,7 +62,16 @@ val run :
   report
 (** Validates the script against the fabric ({!Fault.validate}) and the
     requests against the fabric, then simulates.  Deterministic: same
-    inputs give the same report. *)
+    inputs give the same report.
+
+    With [obs]: admissions trace as under the fault-free heuristics,
+    engine pops emit [Dispatch] events, capacity revisions emit
+    [Capacity] events, each effective shed round emits a [Shed] event
+    (and runs under the ["shed"] profiling span), and preemptions emit
+    [Preempt] events.  Residual re-admissions re-use the original
+    request id, so a fault-run trace can contain several Accept records
+    for one id — [gridbw replay-trace] therefore targets plain-run
+    traces only. *)
 
 val scheduler : config -> Fault.event list -> Gridbw_core.Scheduler.t
 (** The injector as a first-class scheduler: runs the full fault

@@ -1,0 +1,80 @@
+module Event = Gridbw_obs.Event
+module Request = Gridbw_request.Request
+module Allocation = Gridbw_alloc.Allocation
+
+type t = {
+  events : Event.t list;
+  requests : Request.t list;
+  accepted : Allocation.t list;
+}
+
+let monotone events =
+  let rec go last = function
+    | [] -> true
+    | e :: rest ->
+        let t = Event.time e in
+        t >= last && go t rest
+  in
+  go neg_infinity events
+
+let request_of ~id ~ingress ~egress ~volume ~ts ~tf ~max_rate =
+  Request.make ~id ~ingress ~egress ~volume ~ts ~tf ~max_rate
+
+let of_events events =
+  try
+    (* [all] is the original input list: arrivals carry their input-list
+       position, and summary float accumulation is order-sensitive. *)
+    let requests =
+      List.filter_map
+        (function
+          | Event.Arrival { seq; id; ingress; egress; volume; ts; tf; max_rate; _ } ->
+              Some (seq, request_of ~id ~ingress ~egress ~volume ~ts ~tf ~max_rate)
+          | _ -> None)
+        events
+      |> List.stable_sort (fun (a, _) (b, _) -> compare (a : int) b)
+      |> List.map snd
+    in
+    (* [accepted] in decision order: Accept events are emitted as decisions
+       are taken, and embed the full request, so the allocation (tau
+       included) is rebuilt from the trace alone. *)
+    let accepted =
+      List.filter_map
+        (function
+          | Event.Accept { id; ingress; egress; volume; ts; tf; max_rate; bw; sigma; _ } ->
+              let request = request_of ~id ~ingress ~egress ~volume ~ts ~tf ~max_rate in
+              Some (Allocation.make ~request ~bw ~sigma)
+          | _ -> None)
+        events
+    in
+    Ok { events; requests; accepted }
+  with Invalid_argument msg -> Error ("invalid event fields: " ^ msg)
+
+let of_lines lines =
+  let rec parse n acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        if String.trim line = "" then parse (n + 1) acc rest
+        else begin
+          match Event.of_line line with
+          | Ok e -> parse (n + 1) (e :: acc) rest
+          | Error msg -> Error (Printf.sprintf "line %d: %s" n msg)
+        end
+  in
+  match parse 1 [] lines with Ok events -> of_events events | Error _ as e -> e
+
+let of_file path =
+  let ic = open_in path in
+  let lines =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line -> go (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+  in
+  of_lines lines
+
+let summary fabric t = Summary.compute fabric ~all:t.requests ~accepted:t.accepted

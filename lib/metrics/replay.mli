@@ -1,0 +1,38 @@
+(** Rebuild a run summary from a JSONL event trace.
+
+    A plain run traced with a JSONL sink ([gridbw run --trace-out]) is
+    self-contained: [Arrival] events embed the full request and their
+    input-list position, [Accept] events embed the request plus the granted
+    [bw]/[sigma].  This module parses such a trace back into the original
+    request list and decision-ordered allocations, so
+    {!Summary.compute} reproduces the live run's summary bit for bit
+    (summary float accumulation is order-sensitive, hence the care with
+    ordering).
+
+    Engine-driven traces (the fault injector) are out of scope: residual
+    re-admissions duplicate [Accept] ids and [Dispatch] interleaving breaks
+    chronology — see {!Gridbw_fault.Injector.run}. *)
+
+type t = {
+  events : Gridbw_obs.Event.t list;  (** every parsed event, stream order *)
+  requests : Gridbw_request.Request.t list;
+      (** arrivals restored to input-list order (by [Arrival.seq]) *)
+  accepted : Gridbw_alloc.Allocation.t list;
+      (** accepts in decision (stream) order *)
+}
+
+val of_lines : string list -> (t, string) result
+(** Parse trace lines (blank lines skipped).  [Error] names the first
+    offending line (1-based) or the invalid event field. *)
+
+val of_file : string -> (t, string) result
+(** {!of_lines} over a JSONL file. *)
+
+val of_events : Gridbw_obs.Event.t list -> (t, string) result
+
+val monotone : Gridbw_obs.Event.t list -> bool
+(** Timestamps are non-decreasing in stream order — guaranteed for plain
+    (non-engine) runs of every heuristic. *)
+
+val summary : Gridbw_topology.Fabric.t -> t -> Summary.t
+(** The live run's summary, recomputed from the trace alone. *)

@@ -1,0 +1,31 @@
+(** Minimal JSON values, just enough for the telemetry trace format.
+
+    Floats print with ["%.17g"] so every finite [float] round-trips
+    bit-exactly through a trace file — the replay-equals-live check in
+    [gridbw replay-trace] depends on this.  Non-finite floats are not
+    representable (RFC 8259) and raise on output. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering (no whitespace). *)
+
+val num_to_string : float -> string
+(** The number rendering [to_string] uses; raises on non-finite input. *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON document; trailing garbage is an error.  The error
+    string names the offending character position. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on other constructors. *)
+
+val to_float : t -> float option
+val to_int : t -> int option
+val to_str : t -> string option

@@ -1,0 +1,54 @@
+(** Telemetry context threaded through the scheduler stack.
+
+    A [ctx] bundles an event sink and a metrics registry.  Instrumented
+    code takes [?obs:Obs.ctx] defaulting to {!disabled}; with the default,
+    every helper below short-circuits on one boolean, so uninstrumented
+    callers pay essentially nothing.
+
+    Events are built lazily: [Obs.event ctx (fun () -> Event.Accept ...)]
+    only allocates the event when a trace sink is attached. *)
+
+type ctx = {
+  enabled : bool;
+  tracing : bool;  (** a real sink is attached *)
+  sink : Sink.t;
+  metrics : Metrics.t;
+}
+
+val disabled : ctx
+(** Everything off.  The default for every [?obs] argument. *)
+
+val create : ?sink:Sink.t -> ?metrics:Metrics.t -> unit -> ctx
+(** Metrics-only when [sink] is omitted; a fresh registry is made when
+    [metrics] is omitted. *)
+
+val enabled : ctx -> bool
+val tracing : ctx -> bool
+val metrics : ctx -> Metrics.t
+
+(** {2 Events} *)
+
+val event : ctx -> (unit -> Event.t) -> unit
+(** Emit to the sink; the thunk runs only when [tracing ctx]. *)
+
+val emit : ctx -> Event.t -> unit
+(** Eager variant, for call sites that already hold the event. *)
+
+val flush : ctx -> unit
+
+(** {2 Metrics shorthands}
+
+    Name-based, guarded by [enabled]; the registry lookup is a hashtable
+    probe, fine at decision granularity. *)
+
+val count : ctx -> string -> unit
+val count_n : ctx -> string -> int -> unit
+val set_gauge : ctx -> string -> float -> unit
+val observe : ctx -> string -> float -> unit
+
+(** {2 Profiling spans} *)
+
+val span : ctx -> string -> (unit -> 'a) -> 'a
+(** [span ctx name f] runs [f ()] and records its wall-clock duration in
+    nanoseconds in histogram [span_<name>_ns].  With [ctx] disabled it is
+    a direct call — no clock read. *)

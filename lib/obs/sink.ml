@@ -1,0 +1,61 @@
+type t = { emit : Event.t -> unit; flush : unit -> unit }
+
+let noop = { emit = (fun _ -> ()); flush = (fun () -> ()) }
+
+let jsonl oc =
+  {
+    emit =
+      (fun ev ->
+        output_string oc (Event.to_json ev);
+        output_char oc '\n');
+    flush = (fun () -> flush oc);
+  }
+
+let jsonl_buffer buf =
+  {
+    emit =
+      (fun ev ->
+        Buffer.add_string buf (Event.to_json ev);
+        Buffer.add_char buf '\n');
+    flush = (fun () -> ());
+  }
+
+let pretty oc =
+  let ppf = Format.formatter_of_out_channel oc in
+  {
+    emit = (fun ev -> Format.fprintf ppf "%a@." Event.pp ev);
+    flush = (fun () -> Format.pp_print_flush ppf ());
+  }
+
+let tee a b =
+  {
+    emit =
+      (fun ev ->
+        a.emit ev;
+        b.emit ev);
+    flush =
+      (fun () ->
+        a.flush ();
+        b.flush ());
+  }
+
+type ring = { capacity : int; q : Event.t Queue.t; mutable dropped : int }
+
+let ring ~capacity =
+  if capacity <= 0 then invalid_arg "Sink.ring: capacity must be positive";
+  { capacity; q = Queue.create (); dropped = 0 }
+
+let ring_sink r =
+  {
+    emit =
+      (fun ev ->
+        if Queue.length r.q >= r.capacity then begin
+          ignore (Queue.pop r.q);
+          r.dropped <- r.dropped + 1
+        end;
+        Queue.push ev r.q);
+    flush = (fun () -> ());
+  }
+
+let ring_events r = List.of_seq (Queue.to_seq r.q)
+let ring_dropped r = r.dropped

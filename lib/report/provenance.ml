@@ -1,0 +1,9 @@
+let line ?(tool = "gridbw") ~cmd fields =
+  let body = String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) fields) in
+  if body = "" then Printf.sprintf "# %s %s" tool cmd
+  else Printf.sprintf "# %s %s | %s" tool cmd body
+
+let print ?tool ~cmd fields = print_endline (line ?tool ~cmd fields)
+let seed s = ("seed", Int64.to_string s)
+let int k v = (k, string_of_int v)
+let float k v = (k, Printf.sprintf "%g" v)

@@ -1,0 +1,25 @@
+(** Reproducibility stamps for command output.
+
+    Every CLI, CSV and bench artefact opens with one comment line naming
+    the command and the knobs that determine its output — RNG seed,
+    request count, replication count, heuristic/policy — so a saved file
+    can always be regenerated:
+
+    {v # gridbw figure 4 | seed=42 count=600 reps=3 v}
+
+    The stamp deliberately excludes output-destination flags (e.g.
+    [--trace-out]): a traced run and a plain run of the same workload must
+    produce byte-identical stdout, which CI checks. *)
+
+val line : ?tool:string -> cmd:string -> (string * string) list -> string
+(** [line ~cmd fields] is ["# <tool> <cmd> | k=v ..."] (no ["|"] when
+    [fields] is empty).  [tool] defaults to ["gridbw"]. *)
+
+val print : ?tool:string -> cmd:string -> (string * string) list -> unit
+(** {!line} to stdout with a trailing newline. *)
+
+(** Field shorthands. *)
+
+val seed : int64 -> string * string
+val int : string -> int -> string * string
+val float : string -> float -> string * string

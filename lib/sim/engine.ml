@@ -1,6 +1,11 @@
-type t = { mutable clock : float; queue : (t -> unit) Event_queue.t }
+module Obs = Gridbw_obs.Obs
+module Event = Gridbw_obs.Event
 
-let create ?(start = 0.0) () = { clock = start; queue = Event_queue.create () }
+type t = { mutable clock : float; queue : (t -> unit) Event_queue.t; obs : Obs.ctx }
+
+let create ?(obs = Obs.disabled) ?(start = 0.0) () =
+  { clock = start; queue = Event_queue.create (); obs }
+
 let now t = t.clock
 
 let schedule t ~time handler =
@@ -18,6 +23,11 @@ let step t =
   | None -> false
   | Some (time, handler) ->
       t.clock <- time;
+      if t.obs.Obs.enabled then begin
+        Obs.count t.obs "engine_dispatches";
+        Obs.observe t.obs "engine_queue_depth" (float_of_int (pending t));
+        Obs.event t.obs (fun () -> Event.Dispatch { time; pending = pending t })
+      end;
       handler t;
       true
 

@@ -1,6 +1,7 @@
 open Helpers
 module Stats = Gridbw_metrics.Stats
 module Summary = Gridbw_metrics.Summary
+module Resilience = Gridbw_metrics.Resilience
 module Allocation = Gridbw_alloc.Allocation
 module Fabric = Gridbw_topology.Fabric
 module Request = Gridbw_request.Request
@@ -107,6 +108,70 @@ let feasibility_detects_rate_violation () =
   let fast = Allocation.make ~request:r ~bw:40. ~sigma:0. in
   Alcotest.(check bool) "over-max-rate flagged" false (Summary.all_feasible f [ fast ])
 
+(* --- Resilience edge cases --- *)
+
+let outcome ?(admitted = true) ?(aborted = false) ?(delivered = 0.) ?finished_at
+    ?(preemptions = 0) ?(violation_time = 0.) request =
+  { Resilience.request; admitted; aborted; delivered; finished_at; preemptions; violation_time }
+
+let resilience_empty () =
+  let t = Resilience.compute ~span:100. [] in
+  Alcotest.(check int) "total" 0 t.Resilience.total;
+  check_approx "recovered_fraction defaults to 1" 1.0 t.Resilience.recovered_fraction;
+  check_approx "guarantee_kept defaults to 1" 1.0 t.Resilience.guarantee_kept;
+  check_approx "goodput" 0.0 t.Resilience.goodput
+
+let resilience_zero_faults () =
+  (* A fault-free run: everything admitted finishes untouched, on time. *)
+  let r1 = req ~id:1 ~volume:100. ~ts:0. ~tf:10. () in
+  let r2 = req ~id:2 ~volume:300. ~ts:0. ~tf:10. () in
+  let t =
+    Resilience.compute ~span:10.
+      [ outcome ~delivered:100. ~finished_at:5. r1; outcome ~delivered:300. ~finished_at:10. r2 ]
+  in
+  Alcotest.(check int) "admitted" 2 t.Resilience.admitted;
+  Alcotest.(check int) "nothing preempted" 0 t.Resilience.preempted;
+  check_approx "recovered_fraction 1 with no preemptions" 1.0 t.Resilience.recovered_fraction;
+  check_approx "guarantee fully kept" 1.0 t.Resilience.guarantee_kept;
+  check_approx "no violation time" 0.0 t.Resilience.violation_minutes;
+  check_approx "goodput" 40.0 t.Resilience.goodput;
+  check_approx "everything promised was delivered" 1.0 t.Resilience.delivered_fraction
+
+let resilience_all_shed () =
+  (* Every admitted transfer was preempted and none came back. *)
+  let mk id = req ~id ~volume:100. ~ts:0. ~tf:10. () in
+  let t =
+    Resilience.compute ~span:10.
+      (List.map (fun id -> outcome ~preemptions:1 ~violation_time:60. (mk id)) [ 1; 2; 3 ])
+  in
+  Alcotest.(check int) "all preempted" 3 t.Resilience.preempted;
+  Alcotest.(check int) "none recovered" 0 t.Resilience.recovered;
+  check_approx "recovered_fraction 0" 0.0 t.Resilience.recovered_fraction;
+  check_approx "guarantee fully broken" 0.0 t.Resilience.guarantee_kept;
+  check_approx "violation minutes add up" 3.0 t.Resilience.violation_minutes;
+  check_approx "nothing delivered" 0.0 t.Resilience.delivered_fraction;
+  check_approx "no goodput" 0.0 t.Resilience.goodput
+
+let resilience_aborts_excluded () =
+  (* An end-host abort is not a broken network guarantee: it leaves both
+     the recovery and the guarantee ratios alone. *)
+  let r1 = req ~id:1 ~volume:100. ~ts:0. ~tf:10. () in
+  let r2 = req ~id:2 ~volume:100. ~ts:0. ~tf:10. () in
+  let t =
+    Resilience.compute ~span:10.
+      [ outcome ~aborted:true ~preemptions:2 ~delivered:30. r1;
+        outcome ~delivered:100. ~finished_at:9. r2 ]
+  in
+  Alcotest.(check int) "abort counted" 1 t.Resilience.aborted;
+  Alcotest.(check int) "aborted transfer not in preempted" 0 t.Resilience.preempted;
+  check_approx "guarantee judged on survivors only" 1.0 t.Resilience.guarantee_kept;
+  check_approx "delivered fraction counts partial bytes" 0.65 t.Resilience.delivered_fraction
+
+let resilience_zero_span () =
+  let r1 = req ~id:1 ~volume:100. ~ts:0. ~tf:10. () in
+  let t = Resilience.compute ~span:0. [ outcome ~delivered:100. ~finished_at:5. r1 ] in
+  check_approx "goodput guarded against zero span" 0.0 t.Resilience.goodput
+
 let suites =
   [
     ( "stats",
@@ -127,5 +192,13 @@ let suites =
         case "feasibility: port overload" feasibility_detects_overload;
         case "feasibility: deadline miss" feasibility_detects_deadline_miss;
         case "feasibility: rate violation" feasibility_detects_rate_violation;
+      ] );
+    ( "resilience",
+      [
+        case "empty outcome list" resilience_empty;
+        case "zero faults" resilience_zero_faults;
+        case "all transfers shed" resilience_all_shed;
+        case "aborts excluded from ratios" resilience_aborts_excluded;
+        case "zero span" resilience_zero_span;
       ] );
   ]

@@ -1,0 +1,245 @@
+open Helpers
+module Obs = Gridbw_obs.Obs
+module Event = Gridbw_obs.Event
+module Sink = Gridbw_obs.Sink
+module Metrics = Gridbw_obs.Metrics
+module Replay = Gridbw_metrics.Replay
+module Summary = Gridbw_metrics.Summary
+module Flexible = Gridbw_core.Flexible
+module Rigid = Gridbw_core.Rigid
+module Policy = Gridbw_core.Policy
+module Types = Gridbw_core.Types
+module Spec = Gridbw_workload.Spec
+module Gen = Gridbw_workload.Gen
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+(* --- metrics registry --- *)
+
+let counters_and_gauges () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "reqs" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  Alcotest.(check int) "counter accumulates" 5 (Metrics.value c);
+  Alcotest.(check int) "find-or-create shares state" 5 (Metrics.value (Metrics.counter m "reqs"));
+  let g = Metrics.gauge m "depth" in
+  Metrics.set g 3.5;
+  Metrics.set g 2.0;
+  check_approx "gauge keeps last value" 2.0 (Metrics.gauge_value (Metrics.gauge m "depth"))
+
+let histogram_buckets () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "lat" in
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 3.0 ];
+  Alcotest.(check int) "count" 3 (Metrics.hist_count h);
+  check_approx "sum" 4.5 (Metrics.hist_sum h);
+  (* <=1 lands in the le=1 bucket; 3.0 in (2,4]. *)
+  Alcotest.(check (list (pair (float 0.) int)))
+    "buckets" [ (1.0, 2); (4.0, 1) ] (Metrics.hist_buckets h)
+
+let kind_mismatch_raises () =
+  let m = Metrics.create () in
+  ignore (Metrics.counter m "x");
+  match Metrics.histogram m "x" with
+  | _ -> Alcotest.fail "expected Invalid_argument on kind mismatch"
+  | exception Invalid_argument _ -> ()
+
+let prometheus_dump () =
+  let m = Metrics.create () in
+  Metrics.add (Metrics.counter m "accepted") 2;
+  Metrics.observe (Metrics.histogram m "lat") 3.0;
+  let text = Metrics.to_prometheus m in
+  let has s = Alcotest.(check bool) ("contains " ^ s) true (contains ~affix:s text) in
+  has "# TYPE accepted counter";
+  has "accepted 2";
+  has "# TYPE lat histogram";
+  has "lat_bucket{le=\"+Inf\"} 1";
+  has "lat_count 1";
+  Alcotest.(check string) "dump is deterministic" text (Metrics.to_prometheus m)
+
+(* --- sinks --- *)
+
+let mark i = Event.Dispatch { time = float_of_int i; pending = i }
+
+let ring_eviction () =
+  let r = Sink.ring ~capacity:3 in
+  let s = Sink.ring_sink r in
+  List.iter (fun i -> s.Sink.emit (mark i)) [ 0; 1; 2; 3; 4 ];
+  Alcotest.(check int) "dropped" 2 (Sink.ring_dropped r);
+  Alcotest.(check (list int)) "keeps most recent, oldest first" [ 2; 3; 4 ]
+    (List.map (function Event.Dispatch d -> d.pending | _ -> -1) (Sink.ring_events r))
+
+let tee_duplicates () =
+  let a = Sink.ring ~capacity:8 and b = Sink.ring ~capacity:8 in
+  let t = Sink.tee (Sink.ring_sink a) (Sink.ring_sink b) in
+  t.Sink.emit (mark 1);
+  Alcotest.(check int) "left got it" 1 (List.length (Sink.ring_events a));
+  Alcotest.(check int) "right got it" 1 (List.length (Sink.ring_events b))
+
+(* --- event JSONL round-trip --- *)
+
+let sample_events =
+  [
+    Event.Arrival
+      { time = 1.25; seq = 3; id = 7; ingress = 1; egress = 2; volume = 100.5; ts = 1.25;
+        tf = 90.0; max_rate = 33.3 };
+    Event.Accept
+      { time = 2.0; id = 7; ingress = 1; egress = 2; volume = 100.5; ts = 1.25; tf = 90.0;
+        max_rate = 33.3; bw = 12.5; sigma = 2.0 };
+    Event.Reject
+      { time = 3.0; id = 8; reason = "port-saturated"; port = Some (Event.Ingress, 4);
+        headroom = Some 0.125 };
+    Event.Reject { time = 3.5; id = 9; reason = "deadline-unreachable"; port = None; headroom = None };
+    Event.Preempt { time = 4.0; id = 7; bw = 12.5 };
+    Event.Shed { time = 5.0; side = Event.Egress; port = 2; excess = 7.5; victims = 3 };
+    Event.Capacity { time = 6.0; side = Event.Ingress; port = 0; capacity = 50.0 };
+    Event.Dispatch { time = 7.0; pending = 4 };
+  ]
+
+let event_round_trip () =
+  List.iter
+    (fun e ->
+      match Event.of_line (Event.to_json e) with
+      | Ok e' ->
+          Alcotest.(check bool) ("round-trip " ^ Event.kind e) true (e = e')
+      | Error msg -> Alcotest.failf "%s failed to parse back: %s" (Event.kind e) msg)
+    sample_events
+
+let finite f = if Float.is_finite f then f else 1.5
+
+let float_fields_round_trip =
+  qcase ~count:200 "arbitrary float fields survive the JSONL round-trip"
+    QCheck2.Gen.(triple float float float)
+    (fun (a, b, c) ->
+      let volume = Float.abs (finite a) +. 1e-9 and ts = finite b and bw = Float.abs (finite c) +. 1e-9 in
+      let e =
+        Event.Accept
+          { time = ts; id = 0; ingress = 0; egress = 0; volume; ts; tf = ts +. 1.0;
+            max_rate = bw; bw; sigma = ts }
+      in
+      Event.of_line (Event.to_json e) = Ok e)
+
+(* --- ctx behaviour --- *)
+
+let disabled_is_inert () =
+  Obs.count Obs.disabled "inert_counter";
+  Obs.observe Obs.disabled "inert_hist" 1.0;
+  Obs.event Obs.disabled (fun () -> Alcotest.fail "thunk must not run");
+  let dump = Metrics.to_prometheus (Obs.metrics Obs.disabled) in
+  Alcotest.(check bool) "registry untouched" false (contains ~affix:"inert" dump)
+
+let span_records_and_returns () =
+  let obs = Obs.create () in
+  Alcotest.(check int) "span returns f's value" 42 (Obs.span obs "unit_test" (fun () -> 42));
+  let h = Metrics.histogram (Obs.metrics obs) "span_unit_test_ns" in
+  Alcotest.(check int) "one observation" 1 (Metrics.hist_count h);
+  (match Obs.span obs "unit_test" (fun () -> failwith "boom") with
+  | _ -> Alcotest.fail "exception must propagate"
+  | exception Failure _ -> ());
+  Alcotest.(check int) "failed span still observed" 2 (Metrics.hist_count h)
+
+let decision_signature (r : Types.result) =
+  List.map
+    (fun (a : Gridbw_alloc.Allocation.t) ->
+      (a.Gridbw_alloc.Allocation.request.Request.id, a.Gridbw_alloc.Allocation.bw,
+       a.Gridbw_alloc.Allocation.sigma))
+    r.Types.accepted
+
+let tracing_does_not_change_decisions () =
+  let f = fabric2 () in
+  let reqs = random_requests ~seed:5L ~n:60 f in
+  let plain = Flexible.run `Greedy f (Policy.Fraction_of_max 0.8) reqs in
+  let buf = Buffer.create 1024 in
+  let obs = Obs.create ~sink:(Sink.jsonl_buffer buf) () in
+  let traced = Flexible.run ~obs `Greedy f (Policy.Fraction_of_max 0.8) reqs in
+  Alcotest.(check bool) "identical accept stream" true
+    (decision_signature plain = decision_signature traced);
+  Alcotest.(check int) "identical reject count" (List.length plain.Types.rejected)
+    (List.length traced.Types.rejected)
+
+(* --- trace replay --- *)
+
+let check_summary_exact (live : Summary.t) (replayed : Summary.t) =
+  Alcotest.(check int) "total" live.Summary.total replayed.Summary.total;
+  Alcotest.(check int) "accepted" live.Summary.accepted replayed.Summary.accepted;
+  let exact name a b =
+    if not (Float.equal a b) then Alcotest.failf "%s: live %.17g, replayed %.17g" name a b
+  in
+  exact "accept_rate" live.Summary.accept_rate replayed.Summary.accept_rate;
+  exact "utilization" live.Summary.utilization replayed.Summary.utilization;
+  exact "raw_utilization" live.Summary.raw_utilization replayed.Summary.raw_utilization;
+  exact "volume_accept_rate" live.Summary.volume_accept_rate replayed.Summary.volume_accept_rate;
+  exact "mean_bw" live.Summary.mean_bw replayed.Summary.mean_bw;
+  exact "mean_speedup" live.Summary.mean_speedup replayed.Summary.mean_speedup;
+  exact "mean_start_delay" live.Summary.mean_start_delay replayed.Summary.mean_start_delay;
+  exact "span" live.Summary.span replayed.Summary.span
+
+(* Live summary vs the summary rebuilt from the JSONL trace alone must be
+   bit-identical (the summary's float folds are order-sensitive, so this
+   also pins arrival/decision ordering in the trace). *)
+let replay_trace run_traced requests fabric =
+  let buf = Buffer.create 4096 in
+  let obs = Obs.create ~sink:(Sink.jsonl_buffer buf) () in
+  let result = run_traced obs in
+  let live = Summary.compute fabric ~all:requests ~accepted:result.Types.accepted in
+  match Replay.of_lines (String.split_on_char '\n' (Buffer.contents buf)) with
+  | Error msg -> Alcotest.failf "trace did not parse: %s" msg
+  | Ok r ->
+      Alcotest.(check bool) "timestamps monotone" true (Replay.monotone r.Replay.events);
+      Alcotest.(check (list int)) "input order restored"
+        (List.map (fun (q : Request.t) -> q.Request.id) requests)
+        (List.map (fun (q : Request.t) -> q.Request.id) r.Replay.requests);
+      check_summary_exact live (Replay.summary fabric r)
+
+let flexible_replay kind seed () =
+  let spec = Spec.paper_flexible ~count:200 ~mean_interarrival:1.0 () in
+  let requests = Gen.generate (rng ~seed ()) spec in
+  let fabric = spec.Spec.fabric in
+  replay_trace
+    (fun obs -> Flexible.run ~obs kind fabric (Policy.Fraction_of_max 0.8) requests)
+    requests fabric
+
+let rigid_replay seed () =
+  let spec = Spec.paper_rigid ~count:150 ~load:1.2 () in
+  let requests = Gen.generate (rng ~seed ()) spec in
+  let fabric = spec.Spec.fabric in
+  replay_trace (fun obs -> Rigid.run ~obs (`Slots Rigid.Min_bw) fabric requests) requests fabric
+
+let replay_reports_bad_line () =
+  match Replay.of_lines [ Event.to_json (mark 0); "{not json" ] with
+  | Error msg -> Alcotest.(check bool) "names line 2" true (contains ~affix:"line 2" msg)
+  | Ok _ -> Alcotest.fail "expected a parse error"
+
+let suites =
+  [
+    ( "obs.metrics",
+      [
+        case "counters and gauges" counters_and_gauges;
+        case "histogram log2 buckets" histogram_buckets;
+        case "kind mismatch raises" kind_mismatch_raises;
+        case "prometheus dump" prometheus_dump;
+      ] );
+    ( "obs.sink",
+      [ case "ring keeps most recent" ring_eviction; case "tee duplicates" tee_duplicates ] );
+    ( "obs.event",
+      [ case "every variant round-trips" event_round_trip; float_fields_round_trip ] );
+    ( "obs.ctx",
+      [
+        case "disabled ctx is inert" disabled_is_inert;
+        case "span records and returns" span_records_and_returns;
+        case "tracing does not change decisions" tracing_does_not_change_decisions;
+      ] );
+    ( "obs.replay",
+      [
+        case "greedy trace replays bit-identically (seed 11)" (flexible_replay `Greedy 11L);
+        case "greedy trace replays bit-identically (seed 23)" (flexible_replay `Greedy 23L);
+        case "window trace replays bit-identically (seed 11)" (flexible_replay (`Window 400.) 11L);
+        case "window trace replays bit-identically (seed 23)" (flexible_replay (`Window 400.) 23L);
+        case "slots trace replays bit-identically" (rigid_replay 5L);
+        case "parse errors name the line" replay_reports_bad_line;
+      ] );
+  ]

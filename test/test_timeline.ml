@@ -191,41 +191,23 @@ let ledger_headroom_consistent () =
   check_approx "negative headroom" (-10.)
     (Ledger.headroom_over l (Port.Ingress 0) ~from_:0. ~until:10.)
 
-(* The wrappers exist for out-of-tree callers; exercising them is the
-   point of this module, hence the local alert opt-out. *)
-module Wrappers = struct
-  [@@@alert "-deprecated"]
-  [@@@warning "-3"]
-
-  let ingress_usage_at = Ledger.ingress_usage_at
-  let egress_usage_at = Ledger.egress_usage_at
-  let ingress_max_over = Ledger.ingress_max_over
-  let egress_max_over = Ledger.egress_max_over
-  let ingress_breakpoints = Ledger.ingress_breakpoints
-  let egress_breakpoints = Ledger.egress_breakpoints
-end
-
-let deprecated_wrappers_agree () =
+let probe_count_tracks_range_queries () =
   let fabric = fabric2 () in
   let l = Ledger.create fabric in
+  Alcotest.(check int) "fresh ledger has no probes" 0 (Ledger.probe_count l);
   Ledger.reserve_interval l ~ingress:0 ~egress:1 ~bw:35. ~from_:1. ~until:7.;
-  Ledger.reserve_interval l ~ingress:0 ~egress:0 ~bw:20. ~from_:4. ~until:9.;
-  check_approx "usage_at" (Ledger.usage_at l (Port.Ingress 0) 5.) (Wrappers.ingress_usage_at l 0 5.);
-  check_approx "egress usage_at"
-    (Ledger.usage_at l (Port.Egress 1) 5.)
-    (Wrappers.egress_usage_at l 1 5.);
-  check_approx "max_over"
-    (Ledger.max_over l (Port.Ingress 0) ~from_:0. ~until:10.)
-    (Wrappers.ingress_max_over l 0 ~from_:0. ~until:10.);
-  check_approx "egress max_over"
-    (Ledger.max_over l (Port.Egress 0) ~from_:0. ~until:10.)
-    (Wrappers.egress_max_over l 0 ~from_:0. ~until:10.);
-  Alcotest.(check (list (float 0.))) "breakpoints"
-    (Ledger.breakpoints l (Port.Ingress 0))
-    (Wrappers.ingress_breakpoints l 0);
-  Alcotest.(check (list (float 0.))) "egress breakpoints"
-    (Ledger.breakpoints l (Port.Egress 1))
-    (Wrappers.egress_breakpoints l 1)
+  Alcotest.(check int) "unchecked reserve does not probe" 0 (Ledger.probe_count l);
+  ignore (Ledger.max_over l (Port.Ingress 0) ~from_:0. ~until:10.);
+  Alcotest.(check int) "max_over is one probe" 1 (Ledger.probe_count l);
+  ignore (Ledger.argmax_over l (Port.Ingress 0) ~from_:0. ~until:10.);
+  ignore (Ledger.headroom_over l (Port.Egress 1) ~from_:0. ~until:10.);
+  Alcotest.(check int) "argmax/headroom are one probe each" 3 (Ledger.probe_count l);
+  ignore (Ledger.fits_interval l ~ingress:0 ~egress:1 ~bw:10. ~from_:0. ~until:10.);
+  Alcotest.(check int) "fits_interval is two probes" 5 (Ledger.probe_count l);
+  (* Point queries and breakpoint dumps are not range probes. *)
+  ignore (Ledger.usage_at l (Port.Ingress 0) 5.);
+  ignore (Ledger.breakpoints l (Port.Ingress 0));
+  Alcotest.(check int) "usage_at/breakpoints do not probe" 5 (Ledger.probe_count l)
 
 (* --- scheduler interface vs direct heuristic calls --- *)
 
@@ -268,7 +250,7 @@ let suites =
       [
         case "within_capacity on random workload" ledger_within_capacity_random;
         case "headroom_over is capacity minus max" ledger_headroom_consistent;
-        case "deprecated wrappers match port API" deprecated_wrappers_agree;
+        case "probe_count tracks range queries" probe_count_tracks_range_queries;
         case "scheduler dispatch matches direct call" scheduler_matches_direct;
       ] );
   ]
