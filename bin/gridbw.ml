@@ -362,13 +362,116 @@ let replay_trace_cmd =
         Provenance.print ~cmd:"replay-trace" [ ("trace", trace) ];
         if not (Replay.monotone r.Replay.events) then
           prerr_endline "warning: trace timestamps are not monotone (engine-driven trace?)";
-        let fabric = Gridbw_topology.Fabric.paper_default () in
+        (* Bundle traces open with Capacity events describing their own
+           fabric; plain --trace-out traces fall back to the paper one. *)
+        let fabric = Replay.fabric ~default:(Gridbw_topology.Fabric.paper_default ()) r in
         Format.printf "%a@." Summary.pp (Replay.summary fabric r)
   in
   Cmd.v
     (Cmd.info "replay-trace"
        ~doc:"Rebuild a run's summary from its JSONL event trace alone.")
     Term.(const run $ trace_t)
+
+(* --- fuzz command --- *)
+
+module Scenario = Gridbw_check.Scenario
+module Harness = Gridbw_check.Harness
+module Fuzz = Gridbw_check.Fuzz
+
+let fuzz_cmd =
+  let budget_t =
+    Arg.(value & opt int 200
+         & info [ "budget" ] ~docv:"N" ~doc:"Scenarios to generate and check.")
+  in
+  let engine_t =
+    Arg.(value & opt_all string []
+         & info [ "engine" ] ~docv:"E"
+             ~doc:"Restrict the sweep to the named engine (repeatable; default: every \
+                   shipped scheduler plus the fault-injector and long-lived checks).")
+  in
+  let family_t =
+    Arg.(value & opt_all string []
+         & info [ "family" ] ~docv:"F"
+             ~doc:"Scenario families to rotate through (repeatable): hotspot-skew, \
+                   deadline-tight, near-rigid, revision-storm or mixed.")
+  in
+  let out_t =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"Write each minimized counterexample as a replayable bundle under \
+                   $(docv)/case-<i>/.")
+  in
+  let min_size_t =
+    Arg.(value & opt (some int) None
+         & info [ "min-size" ] ~docv:"N" ~doc:"Smallest scenario size (requests).")
+  in
+  let max_size_t =
+    Arg.(value & opt (some int) None
+         & info [ "max-size" ] ~docv:"N" ~doc:"Largest scenario size (requests).")
+  in
+  let run budget seed engine_names family_names out min_size max_size =
+    let seed = Option.value ~default:42L seed in
+    let engines =
+      match engine_names with
+      | [] -> None
+      | names ->
+          let pool = Scheduler.shipped ~step:Harness.default_step () in
+          Some
+            (List.map
+               (fun n ->
+                 match Scheduler.find pool n with
+                 | Some e -> e
+                 | None ->
+                     Printf.eprintf "fuzz: unknown engine %s (known: %s)\n" n
+                       (String.concat ", "
+                          (List.map Scheduler.name pool));
+                     exit 2)
+               names)
+    in
+    let families =
+      match family_names with
+      | [] -> None
+      | names ->
+          Some
+            (List.map
+               (fun n ->
+                 match Scenario.family_of_name n with
+                 | Some f -> f
+                 | None ->
+                     Printf.eprintf "fuzz: unknown family %s (known: %s)\n" n
+                       (String.concat ", " (List.map Scenario.family_name Scenario.families));
+                     exit 2)
+               names)
+    in
+    Provenance.print ~cmd:"fuzz"
+      (Provenance.seed seed :: Provenance.int "budget" budget
+      :: (if engine_names = [] then [] else [ ("engines", String.concat "+" engine_names) ])
+      @ (if family_names = [] then [] else [ ("families", String.concat "+" family_names) ]));
+    let outcome =
+      Fuzz.run ?engines ?families ?min_size ?max_size
+        ~log:(fun line -> Printf.eprintf "%s\n%!" line)
+        ~budget ~seed ()
+    in
+    Printf.printf "fuzz: %d scenarios checked, %d counterexample(s)\n" outcome.Fuzz.scenarios
+      (List.length outcome.Fuzz.failures);
+    List.iteri
+      (fun i (f : Fuzz.failure) ->
+        Format.printf "@[<v2>counterexample %d: %a@,%a@]@." i Scenario.pp f.Fuzz.scenario
+          (Format.pp_print_list Harness.pp_finding)
+          f.Fuzz.findings;
+        Option.iter
+          (fun dir ->
+            let case = Fuzz.write_bundle ?engines ~dir ~index:i f in
+            Printf.printf "wrote %s\n" case)
+          out)
+      outcome.Fuzz.failures;
+    if outcome.Fuzz.failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing: adversarial scenarios against every scheduler, \
+             cross-checked against the reference admission model.")
+    Term.(const run $ budget_t $ seed_t $ engine_t $ family_t $ out_t $ min_size_t $ max_size_t)
 
 let hotspot_cmd =
   let trace_t =
@@ -422,6 +525,7 @@ let main_cmd =
   Cmd.group
     (Cmd.info "gridbw" ~version:"1.0.0"
        ~doc:"Optimal bandwidth sharing in grid environments (HPDC'06) — reproduction toolkit.")
-    [ figure_cmd; table_cmd; all_cmd; workload_cmd; run_cmd; replay_trace_cmd; hotspot_cmd ]
+    [ figure_cmd; table_cmd; all_cmd; workload_cmd; run_cmd; replay_trace_cmd; fuzz_cmd;
+      hotspot_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,90 @@
+(** Executable reference admission model.
+
+    Theorem 1 makes MAX-REQUESTS NP-complete, so every engine in the repo
+    is a heuristic; the only mechanical correctness anchor is the paper's
+    feasibility constraint set (1).  {!Gridbw_metrics.Validate} already
+    explains violations, but it shares the {!Gridbw_alloc.Profile}
+    machinery with the production ledger.  This module re-states
+    Definition 1 from scratch — per-request window containment, rate caps,
+    route validity, and a brute-force per-port capacity sweep over
+    elementary intervals — so a schedule is judged by two {e independent}
+    formulations.  Nothing here touches the ledger, the profile trees or
+    the timeline; everything is O(n²) list walking on purpose.
+
+    Two entry points: {!audit} scores a [(trace, decisions)] pair against
+    a static fabric (the plain engines), {!audit_services} scores the
+    fault injector's delivered service intervals against the
+    {e time-varying} capacities induced by a fault script. *)
+
+type side = Gridbw_metrics.Hotspot.side
+
+type violation =
+  | Inconsistent of string
+      (** the decision set does not partition the trace: missing, duplicate
+          or unknown request ids *)
+  | Bad_route of { id : int; ingress : int; egress : int }
+  | Early_start of { id : int; sigma : float; ts : float }
+  | Rate_above_cap of { id : int; bw : float; max_rate : float }
+  | Deadline_miss of { id : int; tau : float; tf : float }
+  | Duplicate of { id : int }
+  | Port_overload of {
+      side : side;
+      port : int;
+      at : float;  (** instant of worst excess *)
+      usage : float;
+      capacity : float;
+    }
+
+val audit_allocations :
+  ?slack:float ->
+  Gridbw_topology.Fabric.t ->
+  Gridbw_alloc.Allocation.t list ->
+  violation list
+(** Constraint set (1) on a bare allocation list.  [slack] is the relative
+    tolerance on capacity / deadline / rate comparisons (default [1e-9],
+    matching the ledger).  Port overloads are reported once per port at
+    the instant of worst excess. *)
+
+val audit :
+  ?slack:float ->
+  Gridbw_topology.Fabric.t ->
+  trace:Gridbw_request.Request.t list ->
+  Gridbw_core.Types.result ->
+  violation list
+(** {!audit_allocations} plus decision-stream bookkeeping: the result's
+    [all] list must carry exactly the trace's ids, and accepted/rejected
+    must partition them. *)
+
+val capacity_at :
+  Gridbw_topology.Fabric.t ->
+  Gridbw_fault.Fault.event list ->
+  side ->
+  int ->
+  float ->
+  float
+(** Port capacity at one instant under a fault script: the nominal
+    capacity, scaled by the factor of the [Degrade] window covering the
+    instant if any, floored at the injector's residual [1e-6]. *)
+
+val audit_services :
+  ?slack:float ->
+  Gridbw_topology.Fabric.t ->
+  Gridbw_fault.Fault.event list ->
+  Gridbw_fault.Injector.service list ->
+  violation list
+(** Sweep every service / degradation endpoint: at each instant the sum of
+    delivered rates through a port must fit the {e revised} capacity.
+    This is the fault-run analogue of the port rows of {!audit} — initial
+    admissions are not statically checkable once preemption has recycled
+    their reservations. *)
+
+val same_constraint : Gridbw_metrics.Validate.violation -> violation -> bool
+(** The two oracles point at the same broken constraint (same kind, same
+    request or port) — the agreement predicate of the oracle mutation
+    tests. *)
+
+val agrees : Gridbw_metrics.Validate.violation list -> violation list -> bool
+(** Every violation of either oracle has a counterpart in the other. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+val describe : violation -> string

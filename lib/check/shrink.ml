@@ -1,0 +1,40 @@
+let remove_range items lo len =
+  List.filteri (fun i _ -> i < lo || i >= lo + len) items
+
+let shrink_list ~fails items =
+  let rec go items chunk =
+    if chunk < 1 then items
+    else
+      let n = List.length items in
+      let rec try_at lo =
+        if lo >= n then None
+        else
+          let candidate = remove_range items lo (min chunk (n - lo)) in
+          if List.length candidate < n && fails candidate then Some candidate
+          else try_at (lo + chunk)
+      in
+      match try_at 0 with
+      | Some smaller -> go smaller (min chunk (List.length smaller))
+      | None -> go items (chunk / 2)
+  in
+  go items (max 1 (List.length items / 2))
+
+let minimize ?(rounds = 3) ~fails scenario =
+  if not (fails scenario) then scenario
+  else
+    let pass sc =
+      let sc =
+        Scenario.with_requests sc
+          (shrink_list ~fails:(fun rs -> fails (Scenario.with_requests sc rs)) sc.Scenario.requests)
+      in
+      Scenario.with_faults sc
+        (shrink_list ~fails:(fun fs -> fails (Scenario.with_faults sc fs)) sc.Scenario.faults)
+    in
+    let size sc = (List.length sc.Scenario.requests, List.length sc.Scenario.faults) in
+    let rec fix sc n =
+      if n = 0 then sc
+      else
+        let sc' = pass sc in
+        if size sc' = size sc then sc' else fix sc' (n - 1)
+    in
+    fix scenario rounds

@@ -1,0 +1,17 @@
+(** Counterexample minimization.
+
+    Greedy delta-debugging over the two scenario inputs that matter — the
+    request list and the fault script: repeatedly drop contiguous chunks
+    (halves, then quarters, … down to single elements) while the failure
+    predicate keeps holding, then iterate the two passes to a fixpoint.
+    The predicate re-runs the harness, so minimization cost is bounded by
+    [rounds] full passes; failures found on 50-request scenarios typically
+    shrink to a handful of requests. *)
+
+val shrink_list : fails:('a list -> bool) -> 'a list -> 'a list
+(** Smallest sublist (by the chunk-removal walk) on which [fails] still
+    holds.  [fails] is assumed true of the input. *)
+
+val minimize : ?rounds:int -> fails:(Scenario.t -> bool) -> Scenario.t -> Scenario.t
+(** Shrink [requests] then [faults], up to [rounds] (default 3) alternating
+    passes.  Returns the input unchanged if it does not fail. *)

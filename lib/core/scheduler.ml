@@ -29,4 +29,11 @@ let of_flexible kind policy =
 
 let rigid_all = List.map of_rigid [ `Fcfs; `Fifo_blocking; `Slots Rigid.Cumulated; `Slots Rigid.Min_bw; `Slots Rigid.Min_vol ]
 
+let flexible_all ?(policy = Policy.Min_rate) ?(step = 400.) () =
+  List.map (fun kind -> of_flexible kind policy) [ `Greedy; `Window step; `Window_deferred step ]
+
+let shipped ?(step = 400.) () =
+  rigid_all @ flexible_all ~step ()
+  @ flexible_all ~policy:(Policy.Fraction_of_max 0.8) ~step ()
+
 let find schedulers n = List.find_opt (fun s -> String.equal (name s) n) schedulers

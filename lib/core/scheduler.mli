@@ -55,5 +55,17 @@ val of_flexible : [ `Greedy | `Window of float | `Window_deferred of float ] -> 
 val rigid_all : t list
 (** All five rigid schedulers, in the paper's presentation order. *)
 
+val flexible_all : ?policy:Policy.t -> ?step:float -> unit -> t list
+(** The three flexible schedulers (GREEDY, WINDOW, WINDOW-deferred) under
+    one policy (default [Min_rate]) and batching step (default 400 s, the
+    paper's setting). *)
+
+val shipped : ?step:float -> unit -> t list
+(** Every registered engine a conformance sweep should drive: the five
+    rigid heuristics plus the flexible family under [Min_rate] and
+    [Fraction_of_max 0.8].  The fault injector's degraded-fabric variants
+    are script-dependent and enumerated by the caller
+    ({!Gridbw_fault.Injector.scheduler}). *)
+
 val find : t list -> string -> t option
 (** First scheduler with the given {!name}, if any. *)

@@ -77,4 +77,29 @@ let of_file path =
   in
   of_lines lines
 
+let fabric ~default t =
+  let rec leading acc = function
+    | Event.Capacity { side; port; capacity; _ } :: rest ->
+        leading ((side, port, capacity) :: acc) rest
+    | _ -> acc
+  in
+  match leading [] t.events with
+  | [] -> default
+  | caps ->
+      let dim side =
+        List.fold_left (fun m (s, p, _) -> if s = side then max m (p + 1) else m) 0 caps
+      in
+      let side_caps side n =
+        let a = Array.make n 0.0 in
+        (* [caps] is reversed stream order, so the first write per port wins:
+           the latest leading event for a revised port sticks. *)
+        List.iter (fun (s, p, c) -> if s = side && a.(p) = 0.0 then a.(p) <- c) caps;
+        a
+      in
+      let ingress = side_caps Event.Ingress (dim Event.Ingress) in
+      let egress = side_caps Event.Egress (dim Event.Egress) in
+      let usable a = Array.length a > 0 && Array.for_all (fun c -> Float.is_finite c && c > 0.) a in
+      if usable ingress && usable egress then Gridbw_topology.Fabric.make ~ingress ~egress
+      else default
+
 let summary fabric t = Summary.compute fabric ~all:t.requests ~accepted:t.accepted

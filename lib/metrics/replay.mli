@@ -34,5 +34,13 @@ val monotone : Gridbw_obs.Event.t list -> bool
 (** Timestamps are non-decreasing in stream order — guaranteed for plain
     (non-engine) runs of every heuristic. *)
 
+val fabric : default:Gridbw_topology.Fabric.t -> t -> Gridbw_topology.Fabric.t
+(** The fabric described by the trace's {e leading} [Capacity] events (the
+    prefix before any other event kind) — counterexample bundles written by
+    the fuzzer open with one such event per port, making the trace fully
+    self-contained.  Falls back to [default] when the prefix is absent or
+    does not describe a valid fabric (e.g. a plain [run --trace-out]
+    trace, which starts directly with arrivals). *)
+
 val summary : Gridbw_topology.Fabric.t -> t -> Summary.t
 (** The live run's summary, recomputed from the trace alone. *)

@@ -1,43 +1,5 @@
-(* Shared helpers for the gridbw test suite. *)
+(* Shared helpers for the gridbw test suite — now provided by the
+   reusable gridbw_testkit library (test/testkit), which the fuzzer smoke
+   tests and the examples consume too. *)
 
-module Rng = Gridbw_prng.Rng
-module Fabric = Gridbw_topology.Fabric
-module Request = Gridbw_request.Request
-module Allocation = Gridbw_alloc.Allocation
-
-let approx ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
-
-let check_approx ?(eps = 1e-9) msg expected actual =
-  if not (approx ~eps expected actual) then
-    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
-
-let rng ?(seed = 42L) () = Rng.create ~seed ()
-
-(* A small 2-ingress / 2-egress fabric with 100 MB/s ports. *)
-let fabric2 () = Fabric.uniform ~ingress_count:2 ~egress_count:2 ~capacity:100.0
-
-let req ?(id = 0) ?(ingress = 0) ?(egress = 0) ?(volume = 100.) ?(ts = 0.) ?(tf = 10.)
-    ?max_rate () =
-  let max_rate = match max_rate with Some m -> m | None -> volume /. (tf -. ts) in
-  Request.make ~id ~ingress ~egress ~volume ~ts ~tf ~max_rate
-
-(* Random request valid on [fabric], window within [0, 100]. *)
-let random_request rng fabric id =
-  let ingress = Rng.int rng (Fabric.ingress_count fabric) in
-  let egress = Rng.int rng (Fabric.egress_count fabric) in
-  let ts = Rng.float_in rng 0. 50. in
-  let dur = Rng.float_in rng 1. 50. in
-  let min_rate = Rng.float_in rng 1. 100. in
-  let slack = Rng.float_in rng 1. 4. in
-  Request.make ~id ~ingress ~egress ~volume:(min_rate *. dur) ~ts ~tf:(ts +. dur)
-    ~max_rate:(min_rate *. slack)
-
-let random_requests ?(seed = 7L) ?(n = 40) fabric =
-  let r = Rng.create ~seed () in
-  List.init n (random_request r fabric)
-
-let case name f = Alcotest.test_case name `Quick f
-let slow_case name f = Alcotest.test_case name `Slow f
-
-let qcase ?(count = 100) name gen prop =
-  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+include Gridbw_testkit.Testkit

@@ -1,0 +1,250 @@
+(* Conformance & fuzzing subsystem: mutation tests for the two oracles
+   (each Validate constructor induced by a hand-built infeasible schedule
+   and flagged identically by the reference model), shrinker units,
+   scenario determinism, a fuzz smoke pass over every shipped engine, and
+   the off-by-one headroom mutant being caught, shrunk and replayed
+   bit-identically from its counterexample bundle. *)
+
+open Helpers
+module Fabric = Gridbw_topology.Fabric
+module Request = Gridbw_request.Request
+module Allocation = Gridbw_alloc.Allocation
+module Validate = Gridbw_metrics.Validate
+module Replay = Gridbw_metrics.Replay
+module Summary = Gridbw_metrics.Summary
+module Types = Gridbw_core.Types
+module Scheduler = Gridbw_core.Scheduler
+module Spec = Gridbw_workload.Spec
+module Scenario = Gridbw_check.Scenario
+module Reference = Gridbw_check.Reference
+module Harness = Gridbw_check.Harness
+module Shrink = Gridbw_check.Shrink
+module Fuzz = Gridbw_check.Fuzz
+module Mutant = Gridbw_testkit.Mutant
+
+let alloc ?(id = 0) ?(ingress = 0) ?(egress = 0) ~bw ~sigma ~tau ?tf ?max_rate () =
+  let tf = Option.value tf ~default:tau in
+  let max_rate = Option.value max_rate ~default:bw in
+  let r =
+    Request.make ~id ~ingress ~egress ~volume:(bw *. (tau -. sigma)) ~ts:sigma ~tf ~max_rate
+  in
+  Allocation.make ~request:r ~bw ~sigma
+
+(* --- oracle mutation tests ---
+
+   For each Validate constructor, build a schedule that violates exactly
+   that constraint.  Validate.check must flag it and nothing else, the
+   reference model must report the same constraint on the same
+   request/port, and [Reference.agrees] must hold in both directions. *)
+
+let expect_exactly label allocs matches =
+  let fabric = fabric2 () in
+  let val_vs = Validate.check fabric allocs in
+  let ref_vs = Reference.audit_allocations fabric allocs in
+  let show_v vs =
+    String.concat "; " (List.map (fun v -> Format.asprintf "%a" Validate.pp_violation v) vs)
+  in
+  (match val_vs with
+  | [ v ] when matches v -> ()
+  | vs -> Alcotest.failf "%s: Validate flagged [%s]" label (show_v vs));
+  (match ref_vs with
+  | [ _ ] -> ()
+  | vs ->
+      Alcotest.failf "%s: reference flagged %d violation(s): %s" label (List.length vs)
+        (String.concat "; " (List.map Reference.describe vs)));
+  Alcotest.(check bool) (label ^ ": oracles agree") true (Reference.agrees val_vs ref_vs)
+
+let test_inject_port_overload () =
+  (* Two 60 MB/s transfers overlap on ingress 0 of a 100 MB/s port; their
+     egress ports differ so only one constraint breaks. *)
+  expect_exactly "port overload"
+    [ alloc ~id:0 ~egress:0 ~bw:60. ~sigma:0. ~tau:10. ();
+      alloc ~id:1 ~egress:1 ~bw:60. ~sigma:5. ~tau:15. () ]
+    (function Validate.Port_overload { side = Gridbw_metrics.Hotspot.Ingress; port = 0; _ } -> true | _ -> false)
+
+let test_inject_deadline_miss () =
+  (* 100 MB at 5 MB/s takes 20 s, but the window closes at t=10. *)
+  let r = Request.make ~id:3 ~ingress:0 ~egress:0 ~volume:100. ~ts:0. ~tf:10. ~max_rate:100. in
+  expect_exactly "deadline miss"
+    [ Allocation.make ~request:r ~bw:5. ~sigma:0. ]
+    (function Validate.Deadline_miss { request_id = 3; _ } -> true | _ -> false)
+
+let test_inject_rate_above_max () =
+  (* Granted 50 MB/s against a 5 MB/s host cap. *)
+  let r = Request.make ~id:4 ~ingress:0 ~egress:0 ~volume:100. ~ts:0. ~tf:30. ~max_rate:5. in
+  expect_exactly "rate above max"
+    [ Allocation.make ~request:r ~bw:50. ~sigma:0. ]
+    (function Validate.Rate_above_max { request_id = 4; _ } -> true | _ -> false)
+
+let test_inject_bad_route () =
+  (* Ingress 5 does not exist on the 2x2 fabric. *)
+  expect_exactly "bad route"
+    [ alloc ~id:5 ~ingress:5 ~bw:10. ~sigma:0. ~tau:10. () ]
+    (function Validate.Bad_route { request_id = 5; _ } -> true | _ -> false)
+
+let test_inject_duplicate () =
+  let a = alloc ~id:6 ~bw:10. ~sigma:0. ~tau:10. () in
+  expect_exactly "duplicate request" [ a; a ]
+    (function Validate.Duplicate_request { request_id = 6 } -> true | _ -> false)
+
+let test_early_start_unreachable () =
+  (* Start_before_request cannot be built through the public API:
+     [Allocation.t] is private and the smart constructor rejects
+     sigma < ts, so the constructor is only reachable through a corrupted
+     trace.  Pin the guard that makes it unreachable. *)
+  let r = Request.make ~id:7 ~ingress:0 ~egress:0 ~volume:100. ~ts:5. ~tf:30. ~max_rate:50. in
+  match Allocation.make ~request:r ~bw:10. ~sigma:2. with
+  | _ -> Alcotest.fail "Allocation.make accepted sigma < ts"
+  | exception Invalid_argument _ -> ()
+
+let test_clean_schedule_passes () =
+  let allocs =
+    [ alloc ~id:0 ~egress:0 ~bw:60. ~sigma:0. ~tau:10. ();
+      alloc ~id:1 ~egress:1 ~bw:40. ~sigma:5. ~tau:15. () ]
+  in
+  Alcotest.(check int) "validate" 0 (List.length (Validate.check (fabric2 ()) allocs));
+  Alcotest.(check int) "reference" 0
+    (List.length (Reference.audit_allocations (fabric2 ()) allocs))
+
+(* --- shrinker --- *)
+
+let test_shrink_list_minimizes () =
+  let items = List.init 20 Fun.id in
+  (* "Fails" whenever both 3 and 11 survive: the 1-minimal list is [3; 11]. *)
+  let fails l = List.mem 3 l && List.mem 11 l in
+  Alcotest.(check (list int)) "1-minimal" [ 3; 11 ] (Shrink.shrink_list ~fails items)
+
+let test_shrink_preserves_failure () =
+  let fails l = List.length l >= 3 in
+  let out = Shrink.shrink_list ~fails (List.init 50 Fun.id) in
+  Alcotest.(check int) "minimal failing size" 3 (List.length out)
+
+(* --- scenario generation --- *)
+
+let test_scenario_deterministic () =
+  let a = Scenario.generate ~family:Scenario.Mixed ~seed:99L ~size:25 in
+  let b = Scenario.generate ~family:Scenario.Mixed ~seed:99L ~size:25 in
+  Alcotest.(check bool) "same requests" true (a.Scenario.requests = b.Scenario.requests);
+  Alcotest.(check bool) "same fabric" true (Fabric.equal a.Scenario.fabric b.Scenario.fabric)
+
+let test_fault_script_json_roundtrip () =
+  let sc = Scenario.generate ~family:Scenario.Revision_storm ~seed:12L ~size:30 in
+  Alcotest.(check bool) "storm script non-empty" true (sc.Scenario.faults <> []);
+  match Scenario.faults_of_json (Scenario.faults_to_json sc.Scenario.faults) with
+  | Ok back -> Alcotest.(check bool) "bit-exact round-trip" true (back = sc.Scenario.faults)
+  | Error msg -> Alcotest.failf "fault script did not round-trip: %s" msg
+
+let test_replay_hints () =
+  let check name expected = Alcotest.(check (option string)) name expected (Fuzz.replay_hint name) in
+  Alcotest.(check (option string)) "fcfs"
+    (Some "gridbw run --trace workload.csv --heuristic fcfs")
+    (Fuzz.replay_hint "fcfs");
+  Alcotest.(check (option string)) "window"
+    (Some "gridbw run --trace workload.csv --heuristic window --step 11 --policy 0.80")
+    (Fuzz.replay_hint "window(11)/f=0.80");
+  Alcotest.(check (option string)) "greedy"
+    (Some "gridbw run --trace workload.csv --heuristic greedy --policy minrate")
+    (Fuzz.replay_hint "greedy/minrate");
+  check "faulty-greedy[3 events]" None;
+  check "mutant-greedy" None
+
+(* --- fuzzing --- *)
+
+let fuzz_smoke () =
+  (* Every shipped engine, every family, small budget: the default suite's
+     quick conformance pass.  Must stay well under a second. *)
+  let outcome = Fuzz.run ~budget:25 ~seed:11L () in
+  Alcotest.(check int) "scenarios checked" 25 outcome.Fuzz.scenarios;
+  match outcome.Fuzz.failures with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "unexpected counterexample: %s"
+        (String.concat "; "
+           (List.map (fun x -> Format.asprintf "%a" Harness.pp_finding x) f.Fuzz.findings))
+
+let mutant_families = [ Scenario.Hotspot_skew; Scenario.Mixed ]
+
+(* Shared between the two mutant tests: one 500-scenario hunt. *)
+let mutant_outcome =
+  lazy (Fuzz.run ~engines:[ Mutant.greedy ] ~families:mutant_families ~budget:500 ~seed:5L ())
+
+let test_mutant_caught () =
+  match (Lazy.force mutant_outcome).Fuzz.failures with
+  | [] -> Alcotest.fail "off-by-one headroom mutant survived 500 scenarios"
+  | f :: _ ->
+      let sc = f.Fuzz.scenario in
+      Alcotest.(check bool) "shrunk small" true (List.length sc.Scenario.requests <= 8);
+      Alcotest.(check bool) "findings survive on the minimized scenario" true
+        (f.Fuzz.findings <> [])
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let test_mutant_bundle_replays () =
+  match (Lazy.force mutant_outcome).Fuzz.failures with
+  | [] -> Alcotest.fail "off-by-one headroom mutant survived 500 scenarios"
+  | f :: _ ->
+      let dir = Filename.temp_file "gridbw-bundle" "" in
+      Sys.remove dir;
+      Fun.protect
+        ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+        (fun () ->
+          let case = Fuzz.write_bundle ~engines:[ Mutant.greedy ] ~dir ~index:0 f in
+          List.iter
+            (fun file ->
+              Alcotest.(check bool) (file ^ " written") true
+                (Sys.file_exists (Filename.concat case file)))
+            [ "workload.csv"; "events.jsonl"; "meta.json" ];
+          let sc = f.Fuzz.scenario in
+          match Replay.of_file (Filename.concat case "events.jsonl") with
+          | Error msg -> Alcotest.failf "bundle trace does not parse: %s" msg
+          | Ok r ->
+              (* The leading Capacity events carry the scenario fabric. *)
+              let fabric = Replay.fabric ~default:(Fabric.paper_default ()) r in
+              Alcotest.(check bool) "fabric reconstructed from the trace" true
+                (Fabric.equal fabric sc.Scenario.fabric);
+              let result =
+                Scheduler.run Mutant.greedy (Spec.for_replay sc.Scenario.fabric)
+                  sc.Scenario.requests
+              in
+              let live =
+                Summary.compute sc.Scenario.fabric ~all:sc.Scenario.requests
+                  ~accepted:result.Types.accepted
+              in
+              let replayed = Replay.summary fabric r in
+              if live <> replayed then
+                Alcotest.failf "replay not bit-identical:@.live %a@.replay %a" Summary.pp live
+                  Summary.pp replayed)
+
+let prop_harness_clean_on_random_scenarios =
+  qcase ~count:15 "harness: shipped engines conform on random scenarios"
+    (Gridbw_testkit.Arbitrary.scenario ~max_size:20 ())
+    (fun sc -> Harness.check sc = [])
+
+let suites =
+  [
+    ( "conformance",
+      [
+        case "oracle mutation: port overload" test_inject_port_overload;
+        case "oracle mutation: deadline miss" test_inject_deadline_miss;
+        case "oracle mutation: rate above max" test_inject_rate_above_max;
+        case "oracle mutation: bad route" test_inject_bad_route;
+        case "oracle mutation: duplicate" test_inject_duplicate;
+        case "oracle mutation: early start unreachable via constructor"
+          test_early_start_unreachable;
+        case "oracles pass a clean schedule" test_clean_schedule_passes;
+        case "shrink: finds the 1-minimal sublist" test_shrink_list_minimizes;
+        case "shrink: preserves the failure" test_shrink_preserves_failure;
+        case "scenario: deterministic in (family, seed, size)" test_scenario_deterministic;
+        case "scenario: fault script round-trips through json" test_fault_script_json_roundtrip;
+        case "bundle: replay hints name the CLI spelling" test_replay_hints;
+        case "fuzz smoke: shipped engines conform (budget 25)" fuzz_smoke;
+        slow_case "fuzz: off-by-one mutant caught and shrunk" test_mutant_caught;
+        slow_case "fuzz: mutant bundle replays bit-identically" test_mutant_bundle_replays;
+        prop_harness_clean_on_random_scenarios;
+      ] );
+  ]

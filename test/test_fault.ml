@@ -19,14 +19,7 @@ module Fault = Gridbw_fault.Fault
 module Victim = Gridbw_fault.Victim
 module Injector = Gridbw_fault.Injector
 
-let seed_gen = QCheck2.Gen.int_range 0 1_000_000
-
-let workload_of_seed ?(n = 40) seed =
-  let spec =
-    Spec.make ~fabric:(fabric2 ()) ~volumes:(Spec.Uniform_volume { lo = 50.; hi = 3000. })
-      ~rate_lo:5. ~rate_hi:100. ~count:n ~mean_interarrival:1.5 ()
-  in
-  Gen.generate (Rng.create ~seed:(Int64.of_int seed) ()) spec
+(* seed_gen / workload_of_seed come from Helpers (gridbw_testkit). *)
 
 let zero_latency_config ?(admission = Injector.Greedy) ?(victim = Victim.Smallest_residual) () =
   {
@@ -210,55 +203,9 @@ let script_of_seed fabric seed reqs =
 
 (* Post-hoc audit (greedy mode): at every instant, the delivered service
    intervals must fit under the fabric's *current* capacity as revised by
-   the script. *)
-let audit_services fabric script (services : Injector.service list) =
-  let cap side port t =
-    let nominal =
-      match side with
-      | Fault.Ingress -> Fabric.ingress_capacity fabric port
-      | Fault.Egress -> Fabric.egress_capacity fabric port
-    in
-    List.fold_left
-      (fun cap ev ->
-        match ev with
-        | Fault.Degrade { side = s; port = p; factor; from_; until }
-          when s = side && p = port && from_ <= t && t < until ->
-            Float.max (factor *. nominal) 1e-6
-        | _ -> cap)
-      nominal script
-  in
-  let probes =
-    List.concat_map (fun (s : Injector.service) -> [ s.Injector.s_from; s.Injector.s_until ]) services
-    @ List.concat_map
-        (function
-          | Fault.Degrade { from_; until; _ } -> [ from_; until ] | _ -> [])
-        script
-    |> List.sort_uniq Float.compare
-  in
-  let usage pick t =
-    List.fold_left
-      (fun acc (s : Injector.service) ->
-        if s.Injector.s_from <= t && t < s.Injector.s_until then acc +. pick s else acc)
-      0.0 services
-  in
-  List.for_all
-    (fun t ->
-      let ok side count pick port_of =
-        List.for_all
-          (fun port ->
-            let u =
-              usage (fun s -> if port_of s = port then pick s else 0.) t
-            in
-            u <= (cap side port t *. (1. +. 1e-6)) +. 1e-6)
-          (List.init count Fun.id)
-      in
-      ok Fault.Ingress (Fabric.ingress_count fabric)
-        (fun (s : Injector.service) -> s.Injector.s_bw)
-        (fun s -> s.Injector.s_ingress)
-      && ok Fault.Egress (Fabric.egress_count fabric)
-           (fun (s : Injector.service) -> s.Injector.s_bw)
-           (fun s -> s.Injector.s_egress))
-    probes
+   the script.  Shared with the conformance harness. *)
+let audit_services fabric script services =
+  Gridbw_check.Reference.audit_services ~slack:1e-6 fabric script services = []
 
 let prop_capacity_never_exceeded_greedy =
   qcase ~count:40 "injector: greedy never exceeds revised capacities" seed_gen (fun seed ->

@@ -209,6 +209,49 @@ let rigid_replay seed () =
   let fabric = spec.Spec.fabric in
   replay_trace (fun obs -> Rigid.run ~obs (`Slots Rigid.Min_bw) fabric requests) requests fabric
 
+(* --- json string escaping --- *)
+
+module Json = Gridbw_obs.Json
+
+(* Arbitrary byte strings, control characters and high bytes included:
+   the escaper must keep every one of the 256 byte values reversible. *)
+let byte_string_gen =
+  QCheck2.Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 30))
+
+let json_str_round_trip =
+  qcase ~count:500 "json: arbitrary byte strings round-trip through Str" byte_string_gen
+    (fun s -> Json.parse (Json.to_string (Json.Str s)) = Ok (Json.Str s))
+
+let json_obj_key_round_trip =
+  qcase ~count:500 "json: arbitrary byte strings round-trip as Obj keys" byte_string_gen
+    (fun s ->
+      let doc = Json.Obj [ (s, Json.Num 1.0) ] in
+      Json.parse (Json.to_string doc) = Ok doc)
+
+let json_escapes_are_ascii () =
+  (* Control characters come out as standard escapes, never raw. *)
+  let out = Json.to_string (Json.Str "a\"b\\c\nd\te\rf\x00g\x1fh") in
+  Alcotest.(check string) "escaped rendering"
+    {|"a\"b\\c\nd\te\rf\u0000g\u001fh"|} out;
+  String.iter
+    (fun c -> if Char.code c < 0x20 then Alcotest.failf "raw control byte %#x in output" (Char.code c))
+    out
+
+let json_standard_escapes_parse () =
+  (* Escapes the printer never emits must still parse (foreign traces). *)
+  List.iter
+    (fun (input, expected) ->
+      match Json.parse input with
+      | Ok (Json.Str s) -> Alcotest.(check string) input expected s
+      | Ok _ -> Alcotest.failf "%s: parsed to a non-string" input
+      | Error msg -> Alcotest.failf "%s: %s" input msg)
+    [
+      ({|"\/"|}, "/");
+      ({|"\b\f"|}, "\b\x0c");
+      ({|"A"|}, "A");
+      ({|"é"|}, "\xc3\xa9") (* é as UTF-8 *);
+    ]
+
 let replay_reports_bad_line () =
   match Replay.of_lines [ Event.to_json (mark 0); "{not json" ] with
   | Error msg -> Alcotest.(check bool) "names line 2" true (contains ~affix:"line 2" msg)
@@ -227,6 +270,13 @@ let suites =
       [ case "ring keeps most recent" ring_eviction; case "tee duplicates" tee_duplicates ] );
     ( "obs.event",
       [ case "every variant round-trips" event_round_trip; float_fields_round_trip ] );
+    ( "obs.json",
+      [
+        json_str_round_trip;
+        json_obj_key_round_trip;
+        case "control characters render as escapes" json_escapes_are_ascii;
+        case "foreign escape forms parse" json_standard_escapes_parse;
+      ] );
     ( "obs.ctx",
       [
         case "disabled ctx is inert" disabled_is_inert;

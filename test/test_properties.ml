@@ -17,14 +17,7 @@ module Types = Gridbw_core.Types
 module Maxmin = Gridbw_baseline.Maxmin
 module Rng = Gridbw_prng.Rng
 
-let seed_gen = QCheck2.Gen.int_range 0 1_000_000
-
-let workload_of_seed ?(n = 40) seed =
-  let spec =
-    Spec.make ~fabric:(fabric2 ()) ~volumes:(Spec.Uniform_volume { lo = 50.; hi = 3000. })
-      ~rate_lo:5. ~rate_hi:100. ~count:n ~mean_interarrival:1.5 ()
-  in
-  Gen.generate (Rng.create ~seed:(Int64.of_int seed) ()) spec
+(* seed_gen / workload_of_seed come from Helpers (gridbw_testkit). *)
 
 let prop_trace_roundtrip =
   qcase ~count:50 "trace: random workloads round-trip exactly" seed_gen (fun seed ->

@@ -1,0 +1,26 @@
+(* QCheck2 arbitraries layered over the fuzzer's deterministic scenario
+   generation: property tests draw from exactly the space the fuzzer
+   explores, and a shrunk counterexample is always expressible as a
+   (family, seed, size) triple. *)
+
+module QGen = QCheck2.Gen
+module Scenario = Gridbw_check.Scenario
+
+let seed64 = QGen.map Int64.of_int (QGen.int_range 0 0x3FFFFFFF)
+let family = QGen.oneofl Scenario.families
+
+let scenario ?(families = Scenario.families) ?(min_size = 2) ?(max_size = 30) () =
+  let open QGen in
+  let* family = oneofl families in
+  let* seed = seed64 in
+  let* size = int_range min_size max_size in
+  return (Scenario.generate ~family ~seed ~size)
+
+let print_scenario sc = Format.asprintf "%a" Scenario.pp sc
+
+(* Requests of one random scenario, for properties that only need a
+   workload (no fault script): the fabric comes with them. *)
+let workload ?families ?min_size ?max_size () =
+  QGen.map
+    (fun (sc : Scenario.t) -> (sc.Scenario.fabric, sc.Scenario.requests))
+    (scenario ?families ?min_size ?max_size ())
