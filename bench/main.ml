@@ -38,6 +38,8 @@ module Table = Gridbw_report.Table
 module Provenance = Gridbw_report.Provenance
 module Obs = Gridbw_obs.Obs
 module Sink = Gridbw_obs.Sink
+module Store = Gridbw_store.Store
+module Wal = Gridbw_store.Wal
 
 (* --- part 1: regenerate every figure and table --- *)
 
@@ -216,6 +218,73 @@ let obs_tests =
              fabric policy ~step:400. flexible_workload));
   ]
 
+(* --- durable store benchmarks ---
+
+   The same GREEDY admission kernel with the write-ahead journal off and
+   on (group commit at the default batch=64 and the worst-case batch=1),
+   plus recovery replay of a full journal.  BENCH_store.json records
+   these; README "Durability" quotes the group-commit claim: the journal
+   overhead at batch=64 (wal-batch64 minus wal-off) must stay under 10%
+   of the fsync-per-record overhead (wal-batch1 minus wal-off) — group
+   commit amortises the fsync, it cannot make durability free.  Each
+   iteration journals one run into a fresh directory: reusing one store
+   would grow its mirror ledger and event history across iterations and
+   skew the time-boxed runs unevenly. *)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let store_tests =
+  let policy = Policy.Fraction_of_max 0.8 in
+  let root =
+    let dir = Filename.temp_file "gridbw-bench-store" "" in
+    Sys.remove dir;
+    Sys.mkdir dir 0o755;
+    at_exit (fun () -> if Sys.file_exists dir then rm_rf dir);
+    dir
+  in
+  let store_at ~batch name =
+    Store.create
+      ~config:
+        { Store.default_config with
+          wal = { Wal.default_config with Wal.batch };
+          snapshot_bytes = max_int }
+      ~dir:(Filename.concat root name) fabric
+  in
+  let seq = ref 0 in
+  let journaled_run ~batch () =
+    incr seq;
+    let name = Printf.sprintf "wal%d-%d" batch !seq in
+    let s = store_at ~batch name in
+    let r = Flexible.greedy ~store:s fabric policy flexible_workload in
+    Store.close s;
+    rm_rf (Filename.concat root name);
+    r
+  in
+  let recover_dir = Filename.concat root "recover" in
+  let seeded =
+    lazy
+      (let s = store_at ~batch:64 "recover" in
+       ignore (Flexible.greedy ~store:s fabric policy flexible_workload);
+       Store.close s)
+  in
+  [
+    Test.make ~name:"store:greedy-wal-off"
+      (Staged.stage (fun () -> Flexible.greedy fabric policy flexible_workload));
+    Test.make ~name:"store:greedy-wal-batch64" (Staged.stage (journaled_run ~batch:64));
+    Test.make ~name:"store:greedy-wal-batch1" (Staged.stage (journaled_run ~batch:1));
+    Test.make ~name:"store:recover-full-journal"
+      (Staged.stage (fun () ->
+           Lazy.force seeded;
+           match Store.recover ~dir:recover_dir () with
+           | Ok r -> Store.close r.Store.store
+           | Error msg -> failwith msg));
+  ]
+
 let admission_tests =
   [
     Test.make ~name:"admission:window-x10"
@@ -319,7 +388,7 @@ let base_tests =
     ]
 
 let tests =
-  let all = base_tests @ admission_tests @ obs_tests in
+  let all = base_tests @ admission_tests @ obs_tests @ store_tests in
   let selected =
     match only_filter with
     | None -> all

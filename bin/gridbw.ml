@@ -20,6 +20,9 @@ module Provenance = Gridbw_report.Provenance
 module Replay = Gridbw_metrics.Replay
 module Obs = Gridbw_obs.Obs
 module Sink = Gridbw_obs.Sink
+module Event = Gridbw_obs.Event
+module Store = Gridbw_store.Store
+module Wal = Gridbw_store.Wal
 
 (* --- shared options --- *)
 
@@ -307,18 +310,82 @@ let run_cmd =
          & info [ "metrics-out" ] ~docv:"FILE"
              ~doc:"Dump the telemetry registry (Prometheus text format) to $(docv).")
   in
-  let run trace heuristic policy step trace_out metrics_out =
+  let store_dir_t =
+    Arg.(value & opt (some string) None
+         & info [ "store-dir" ] ~docv:"DIR"
+             ~doc:"Journal the run durably into $(docv) (WAL + snapshots).  If $(docv) already \
+                   holds a store, recover it and resume the interrupted run (greedy only); the \
+                   resumed stdout is byte-identical to an uninterrupted run.")
+  in
+  let store_batch_t =
+    Arg.(value & opt int Wal.default_config.Wal.batch
+         & info [ "store-batch" ] ~docv:"N" ~doc:"Group commit: fsync the WAL every $(docv) records.")
+  in
+  let store_kill_t =
+    Arg.(value & opt (some int) None
+         & info [ "store-kill-after" ] ~docv:"N"
+             ~doc:"Crash drill: SIGKILL the process mid-append of WAL record $(docv), leaving a \
+                   torn record on disk (testing aid).")
+  in
+  let run trace heuristic policy step trace_out metrics_out store_dir store_batch store_kill =
     let requests = Trace.of_file trace in
     let fabric = Gridbw_topology.Fabric.paper_default () in
     let sched = scheduler_of heuristic policy ~step in
     Provenance.print ~cmd:"run" (replay_fields trace heuristic policy step);
     let trace_oc = Option.map open_out trace_out in
     let obs =
-      match (trace_oc, metrics_out) with
-      | None, None -> None
+      match (trace_oc, metrics_out, store_dir) with
+      | None, None, None -> None
       | _ -> Some (Obs.create ?sink:(Option.map Sink.jsonl trace_oc) ())
     in
-    let result = Scheduler.run ?obs sched (Spec.for_replay fabric) requests in
+    let store_config =
+      { Store.default_config with
+        wal = { Wal.default_config with Wal.batch = store_batch };
+        kill_after = store_kill }
+    in
+    let result =
+      match store_dir with
+      | None -> Scheduler.run ?obs sched (Spec.for_replay fabric) requests
+      | Some dir when not (Store.exists ~dir) ->
+          (* Fresh journal: stamp the capacity prefix at/before the first
+             arrival so the event stream stays monotone. *)
+          let t0 =
+            List.fold_left
+              (fun t (r : Gridbw_request.Request.t) -> Float.min t r.Gridbw_request.Request.ts)
+              0.0 requests
+          in
+          let store = Store.create ~config:store_config ?obs ~time:t0 ~dir fabric in
+          let obs = Store.attach store (Option.value obs ~default:Obs.disabled) in
+          let result = Scheduler.run ~obs sched (Spec.for_replay fabric) requests in
+          Store.close store;
+          Printf.eprintf "journaled %d records to %s\n%!" (Store.records store) dir;
+          result
+      | Some dir -> (
+          (match heuristic with
+          | `Greedy -> ()
+          | _ ->
+              prerr_endline "error: resuming a store supports --heuristic greedy only";
+              exit 2);
+          match Store.recover ~config:store_config ?obs ~dir () with
+          | Error msg ->
+              Printf.eprintf "error: cannot recover %s: %s\n" dir msg;
+              exit 1
+          | Ok r ->
+              Printf.eprintf
+                "recovered %s: %d records (%d from snapshot, %d replayed), %d torn bytes \
+                 discarded\n\
+                 %!"
+                dir (Store.records r.Store.store) r.Store.snapshot_cursor r.Store.replayed
+                r.Store.truncated_bytes;
+              let result =
+                Gridbw_core.Flexible.greedy_resume ?obs ~store:r.Store.store
+                  r.Store.initial_fabric policy ~restored:r.Store.accepted
+                  ~decided:r.Store.decided ~arrived:r.Store.arrived requests
+              in
+              Store.close r.Store.store;
+              Printf.eprintf "journaled %d records to %s\n%!" (Store.records r.Store.store) dir;
+              result)
+    in
     Option.iter Obs.flush obs;
     Option.iter close_out trace_oc;
     (* Side artefacts are reported on stderr: stdout stays identical to a
@@ -344,7 +411,9 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one heuristic on a workload trace and print its summary.")
-    Term.(const run $ trace_t $ heuristic_t $ policy_t $ step_t $ trace_out_t $ metrics_out_t)
+    Term.(
+      const run $ trace_t $ heuristic_t $ policy_t $ step_t $ trace_out_t $ metrics_out_t
+      $ store_dir_t $ store_batch_t $ store_kill_t)
 
 (* --- replay-trace command --- *)
 
@@ -363,14 +432,108 @@ let replay_trace_cmd =
         if not (Replay.monotone r.Replay.events) then
           prerr_endline "warning: trace timestamps are not monotone (engine-driven trace?)";
         (* Bundle traces open with Capacity events describing their own
-           fabric; plain --trace-out traces fall back to the paper one. *)
-        let fabric = Replay.fabric ~default:(Gridbw_topology.Fabric.paper_default ()) r in
-        Format.printf "%a@." Summary.pp (Replay.summary fabric r)
+           fabric; plain --trace-out traces fall back to the paper one.
+           A present-but-broken prefix is an error, not a fallback. *)
+        (match Replay.fabric r with
+        | Ok fabric -> Format.printf "%a@." Summary.pp (Replay.summary fabric r)
+        | Error `No_prefix ->
+            prerr_endline "note: no capacity prefix in trace; using the paper fabric";
+            let fabric = Gridbw_topology.Fabric.paper_default () in
+            Format.printf "%a@." Summary.pp (Replay.summary fabric r)
+        | Error (`Invalid msg) ->
+            Printf.eprintf "error: torn capacity prefix: %s\n" msg;
+            exit 1)
   in
   Cmd.v
     (Cmd.info "replay-trace"
        ~doc:"Rebuild a run's summary from its JSONL event trace alone.")
     Term.(const run $ trace_t)
+
+(* --- recover command --- *)
+
+let recover_cmd =
+  let dir_t =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"DIR" ~doc:"Store directory written by run --store-dir.")
+  in
+  let metrics_out_t =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Dump the telemetry registry (recovery counters included) to $(docv).")
+  in
+  let run dir metrics_out =
+    let obs = Obs.create () in
+    match Store.recover ~obs ~dir () with
+    | Error msg ->
+        Printf.eprintf "recover: %s\n" msg;
+        exit 1
+    | Ok r ->
+        Provenance.print ~cmd:"recover" [ ("dir", dir) ];
+        Printf.eprintf
+          "recovered %d records (%d from snapshot, %d replayed), %d torn bytes discarded\n%!"
+          (Store.records r.Store.store) r.Store.snapshot_cursor r.Store.replayed
+          r.Store.truncated_bytes;
+        (* The surviving journal is a self-contained trace: its leading
+           Capacity prefix names the fabric, so the journaled run's summary
+           is rebuilt from the log alone. *)
+        (match Replay.of_events r.Store.events with
+        | Error msg ->
+            Printf.eprintf "recover: surviving history does not replay: %s\n" msg;
+            exit 1
+        | Ok t -> (
+            match Replay.fabric t with
+            | Error (`No_prefix | `Invalid _) ->
+                (* unreachable: recover already validated the prefix *)
+                prerr_endline "recover: recovered journal lost its capacity prefix";
+                exit 1
+            | Ok fabric -> Format.printf "%a@." Summary.pp (Replay.summary fabric t)));
+        (* Audit the recovered state before anyone serves from it.  An
+           engine-driven journal (faults: capacity revisions past the
+           prefix, preemptions, sheds) books and releases over time, so the
+           whole-interval reference audit does not apply. *)
+        let rec split_prefix = function
+          | Event.Capacity _ :: rest -> split_prefix rest
+          | rest -> rest
+        in
+        let engine_driven =
+          List.exists
+            (function Event.Capacity _ | Event.Preempt _ | Event.Shed _ -> true | _ -> false)
+            (split_prefix r.Store.events)
+        in
+        if engine_driven then
+          prerr_endline "note: engine-driven journal (faults); reference audit skipped"
+        else begin
+          let allocs = List.map snd r.Store.accepted in
+          let violations =
+            Gridbw_check.Reference.audit_allocations r.Store.initial_fabric allocs
+          in
+          let ledger_ok = Gridbw_alloc.Ledger.within_capacity (Store.ledger r.Store.store) in
+          match (violations, ledger_ok) with
+          | [], true ->
+              Printf.eprintf "audit clean: %d recovered allocations within capacity\n%!"
+                (List.length allocs)
+          | vs, ok ->
+              List.iter
+                (fun v -> Printf.eprintf "audit: %s\n" (Gridbw_check.Reference.describe v))
+                vs;
+              if not ok then prerr_endline "audit: recovered ledger exceeds capacity";
+              exit 1
+        end;
+        Store.close r.Store.store;
+        Option.iter
+          (fun path ->
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> output_string oc (Gridbw_obs.Metrics.to_prometheus (Obs.metrics obs)));
+            Printf.eprintf "wrote %s\n%!" path)
+          metrics_out
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Recover a durable store: truncate the torn WAL tail, rebuild and audit the \
+             journaled admission state, print the journaled run's summary.")
+    Term.(const run $ dir_t $ metrics_out_t)
 
 (* --- fuzz command --- *)
 
@@ -525,7 +688,7 @@ let main_cmd =
   Cmd.group
     (Cmd.info "gridbw" ~version:"1.0.0"
        ~doc:"Optimal bandwidth sharing in grid environments (HPDC'06) — reproduction toolkit.")
-    [ figure_cmd; table_cmd; all_cmd; workload_cmd; run_cmd; replay_trace_cmd; fuzz_cmd;
-      hotspot_cmd ]
+    [ figure_cmd; table_cmd; all_cmd; workload_cmd; run_cmd; replay_trace_cmd; recover_cmd;
+      fuzz_cmd; hotspot_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -80,3 +80,28 @@ val within_capacity : t -> bool
 val reserved_volume : t -> float
 (** Σ over ingress ports of ∫ usage dt — total MB of reserved ingress
     capacity (each request counted once). *)
+
+(** {2 Snapshot serialization}
+
+    The durable store ({!Gridbw_store.Store}) snapshots the ledger as the
+    per-port list of maximal constant non-zero segments read off
+    {!Timeline.fold_segments}.  The pair is a semantic round-trip:
+    [restore fabric (dump t)] answers every query with the same levels as
+    [t], up to the {!Timeline} caveat that subtree sums are associated by
+    tree shape (exact on exactly-representable levels, last-ulp otherwise
+    — well inside the ledger's [1e-9] admission slack). *)
+
+type segment = { seg_from : float; seg_until : float; seg_level : float }
+
+type dump = { dump_ingress : segment list array; dump_egress : segment list array }
+
+val dump : t -> dump
+(** Per-port non-zero constant segments, in increasing time order.
+    Segments are disjoint, finite, and carry the port's exact usage level
+    over their span. *)
+
+val restore : Gridbw_topology.Fabric.t -> dump -> t
+(** Rebuild a ledger from a dump.  The fabric supplies port counts and
+    capacities; raises [Invalid_argument] when the dump's port counts do
+    not match or a segment is malformed (non-finite or empty span).  The
+    probe counter restarts at 0. *)

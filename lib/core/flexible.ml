@@ -33,7 +33,8 @@ let collect all decisions =
     decisions;
   { Types.all; accepted = List.rev !accepted; rejected = List.rev !rejected }
 
-let greedy ?(obs = Obs.disabled) fabric policy requests =
+let greedy ?(obs = Obs.disabled) ?store fabric policy requests =
+  let obs = Emit.with_store ?store obs in
   check_routing fabric requests;
   Policy.validate policy;
   let ctl = Online.create fabric in
@@ -46,6 +47,41 @@ let greedy ?(obs = Obs.disabled) fabric policy requests =
       (arrival_order requests)
   in
   collect requests decisions
+
+(* Continue a GREEDY run recovered from a durable store.  [restored] are
+   the journaled accepted allocations with their decision times, in
+   decision order; [decided]/[arrived] answer whether a request id already
+   has a journaled decision/arrival.  Because GREEDY journals decisions in
+   its processing order, a recovered journal prefix is exactly "the same
+   run stopped after k decisions": re-booking [restored] in order rebuilds
+   the controller's float state bit-for-bit, and the remaining requests
+   re-decide identically to the uninterrupted run.
+
+   The result's [accepted] is the full run (restored ++ resumed, decision
+   order); [rejected] only covers post-crash decisions — journaled
+   rejections carry no state and are not reconstructed into reasons. *)
+let greedy_resume ?(obs = Obs.disabled) ?store fabric policy ~restored ~decided
+    ?(arrived = fun _ -> false) requests =
+  let obs = Emit.with_store ?store obs in
+  check_routing fabric requests;
+  Policy.validate policy;
+  let ctl = Online.create fabric in
+  List.iter (fun (at, a) -> Online.restore ctl a ~at) restored;
+  let seqs = if Obs.tracing obs then Emit.seq_table requests else Hashtbl.create 1 in
+  let decisions =
+    List.filter_map
+      (fun (r : Request.t) ->
+        if decided r.id then None
+        else begin
+          (* A request whose arrival was journaled but whose decision was
+             lost must not arrive twice in the journal. *)
+          if Obs.tracing obs && not (arrived r.id) then Emit.emit_arrival obs seqs r;
+          Some (r, Online.try_admit ~obs ctl policy r ~at:r.ts)
+        end)
+      (arrival_order requests)
+  in
+  let res = collect requests decisions in
+  { res with Types.accepted = List.map snd restored @ res.Types.accepted }
 
 (* Group requests by the [step]-interval their arrival falls into, in
    interval order, each batch in arrival order. *)
@@ -192,7 +228,8 @@ let pack_batch ?(obs = Obs.disabled) ?now policy ledger ~decide batch =
         end
   done
 
-let window ?(obs = Obs.disabled) fabric policy ~step requests =
+let window ?(obs = Obs.disabled) ?store fabric policy ~step requests =
+  let obs = Emit.with_store ?store obs in
   if step <= 0. || not (Float.is_finite step) then
     invalid_arg "Flexible.window: step must be positive and finite";
   check_routing fabric requests;
@@ -260,7 +297,8 @@ let book_ahead ?(obs = Obs.disabled) fabric policy ~announce requests =
   in
   collect requests decisions
 
-let window_deferred ?(obs = Obs.disabled) fabric policy ~step requests =
+let window_deferred ?(obs = Obs.disabled) ?store fabric policy ~step requests =
+  let obs = Emit.with_store ?store obs in
   if step <= 0. || not (Float.is_finite step) then
     invalid_arg "Flexible.window_deferred: step must be positive and finite";
   check_routing fabric requests;
@@ -332,8 +370,8 @@ let heuristic_name = function
   | `Window step -> Printf.sprintf "window(%g)" step
   | `Window_deferred step -> Printf.sprintf "window-deferred(%g)" step
 
-let run ?obs kind fabric policy requests =
+let run ?obs ?store kind fabric policy requests =
   match kind with
-  | `Greedy -> greedy ?obs fabric policy requests
-  | `Window step -> window ?obs fabric policy ~step requests
-  | `Window_deferred step -> window_deferred ?obs fabric policy ~step requests
+  | `Greedy -> greedy ?obs ?store fabric policy requests
+  | `Window step -> window ?obs ?store fabric policy ~step requests
+  | `Window_deferred step -> window_deferred ?obs ?store fabric policy ~step requests

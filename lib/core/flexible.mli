@@ -13,16 +13,45 @@
 
 val greedy :
   ?obs:Gridbw_obs.Obs.ctx ->
+  ?store:Gridbw_store.Store.t ->
   Gridbw_topology.Fabric.t ->
   Policy.t ->
   Gridbw_request.Request.t list ->
   Types.result
 (** Algorithm 2.  Requests are processed in arrival order ([ts], ties by
     smaller [MinRate] then id, as in section 5.1); each is granted the
-    policy rate at [sigma = ts] iff both its ports currently have room. *)
+    policy rate at [sigma = ts] iff both its ports currently have room.
+    With [store], every arrival and decision is journaled to the durable
+    store (in processing order — the property {!greedy_resume} relies
+    on). *)
+
+val greedy_resume :
+  ?obs:Gridbw_obs.Obs.ctx ->
+  ?store:Gridbw_store.Store.t ->
+  Gridbw_topology.Fabric.t ->
+  Policy.t ->
+  restored:(float * Gridbw_alloc.Allocation.t) list ->
+  decided:(int -> bool) ->
+  ?arrived:(int -> bool) ->
+  Gridbw_request.Request.t list ->
+  Types.result
+(** Continue a GREEDY run recovered from a durable store
+    ({!Gridbw_store.Store.recover}).  [restored] re-books the journaled
+    accepted allocations with their decision times, in decision order —
+    rebuilding the controller's float accumulators bit-for-bit — then the
+    requests without a journaled decision are processed exactly as
+    {!greedy} would have.  Because GREEDY journals in processing order,
+    the journal's surviving prefix is the same run stopped early, so the
+    combined result's [accepted] (restored ++ resumed, decision order)
+    and its summary are bit-identical to the uninterrupted run's.
+    [arrived] suppresses duplicate [Arrival] events for requests whose
+    arrival survived but whose decision did not.  [rejected] only covers
+    post-crash decisions.  Passing the recovering [store] journals the
+    resumed decisions into the same log. *)
 
 val window :
   ?obs:Gridbw_obs.Obs.ctx ->
+  ?store:Gridbw_store.Store.t ->
   Gridbw_topology.Fabric.t ->
   Policy.t ->
   step:float ->
@@ -40,6 +69,7 @@ val window :
 
 val window_deferred :
   ?obs:Gridbw_obs.Obs.ctx ->
+  ?store:Gridbw_store.Store.t ->
   Gridbw_topology.Fabric.t ->
   Policy.t ->
   step:float ->
@@ -118,6 +148,7 @@ val heuristic_name : [ `Greedy | `Window of float | `Window_deferred of float ] 
 
 val run :
   ?obs:Gridbw_obs.Obs.ctx ->
+  ?store:Gridbw_store.Store.t ->
   [ `Greedy | `Window of float | `Window_deferred of float ] ->
   Gridbw_topology.Fabric.t ->
   Policy.t ->

@@ -60,7 +60,8 @@ let blocking_port t (r : Request.t) =
   if head_in <= head_out then ((Event.Ingress, r.ingress), head_in)
   else ((Event.Egress, r.egress), head_out)
 
-let try_admit ?(obs = Obs.disabled) t policy (r : Request.t) ~at =
+let try_admit ?(obs = Obs.disabled) ?store t policy (r : Request.t) ~at =
+  let obs = Emit.with_store ?store obs in
   let at = clamp_past t at in
   advance_to t at;
   let blocked = ref None in
@@ -93,7 +94,29 @@ let peek_cost t policy (r : Request.t) ~at =
   | None -> None
   | Some bw -> Some (bw, Live.saturation t.live ~ingress:r.ingress ~egress:r.egress ~bw)
 
-let preempt ?(obs = Obs.disabled) t (a : Allocation.t) =
+(* Rebuild the controller state of a recovered run.  Allocations must be
+   fed in their original decision order: the counters are float
+   accumulators, so bit-identical resumed decisions require replaying the
+   exact grab/release sequence of the original run — including
+   allocations that already finished (their grab and release both
+   happened, in order, and [(u +. a) -. a] is not always [u] if the
+   surrounding operations reorder). *)
+let restore t (a : Allocation.t) ~at =
+  let at = clamp_past t at in
+  advance_to t at;
+  if
+    not
+      (Live.try_grab t.live ~ingress:a.Allocation.request.Request.ingress
+         ~egress:a.Allocation.request.Request.egress ~bw:a.Allocation.bw)
+  then
+    invalid_arg
+      (Printf.sprintf "Online.restore: recovered allocation %d does not fit"
+         a.Allocation.request.Request.id);
+  Event_queue.push t.releases ~time:a.Allocation.tau a;
+  t.active <- a :: t.active
+
+let preempt ?(obs = Obs.disabled) ?store t (a : Allocation.t) =
+  let obs = Emit.with_store ?store obs in
   if is_active t a then begin
     Live.release t.live ~ingress:a.Allocation.request.Request.ingress
       ~egress:a.Allocation.request.Request.egress ~bw:a.Allocation.bw;

@@ -23,6 +23,7 @@ val advance_to : t -> float -> unit
 
 val try_admit :
   ?obs:Gridbw_obs.Obs.ctx ->
+  ?store:Gridbw_store.Store.t ->
   t ->
   Policy.t ->
   Gridbw_request.Request.t ->
@@ -38,7 +39,21 @@ val try_admit :
     bumps [admit_requests_total] / [admit_accepted_total] /
     [admit_rejected_total], and (when tracing) emits an [Accept] or
     [Reject] event — saturated rejects carry the tighter port and its
-    headroom at decision time. *)
+    headroom at decision time.
+
+    With [store], the decision is also journaled to the durable store
+    (the store's sink is merged into [obs]). *)
+
+val restore : t -> Gridbw_alloc.Allocation.t -> at:float -> unit
+(** Re-book a recovered allocation exactly as {!try_admit} booked it at
+    decision time [at]: advance to [at], grab its bandwidth, queue its
+    release at [tau].  Call once per recovered allocation {e in original
+    decision order} — the port counters are float accumulators, so
+    bit-identical resumed decisions need the original grab/release
+    sequence replayed in order (finished allocations included: their
+    release is drained by the interleaved {!advance_to} calls just as it
+    was live).  Raises [Invalid_argument] if the allocation does not fit,
+    which on a faithfully recovered journal cannot happen. *)
 
 val peek_cost : t -> Policy.t -> Gridbw_request.Request.t -> at:float -> (float * float) option
 (** [(bw, cost)] the request would get if admitted now, where [cost] is the
@@ -46,7 +61,8 @@ val peek_cost : t -> Policy.t -> Gridbw_request.Request.t -> at:float -> (float 
     (section 5.2); [None] when the deadline is no longer reachable.  Does
     not modify the controller (apart from an implicit {!advance_to}). *)
 
-val preempt : ?obs:Gridbw_obs.Obs.ctx -> t -> Gridbw_alloc.Allocation.t -> bool
+val preempt :
+  ?obs:Gridbw_obs.Obs.ctx -> ?store:Gridbw_store.Store.t -> t -> Gridbw_alloc.Allocation.t -> bool
 (** Revoke a still-held allocation (matched by physical identity),
     returning its bandwidth to both ports immediately.  Returns [false]
     if the allocation already finished or was already preempted.  The

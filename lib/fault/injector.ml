@@ -635,7 +635,12 @@ let run_window ?(obs = Obs.disabled) fabric cfg ~step events requests =
   Engine.run engine;
   (!decisions, logs)
 
-let run ?obs fabric cfg events requests =
+let run ?obs ?store fabric cfg events requests =
+  let obs =
+    match store with
+    | None -> obs
+    | Some s -> Some (Gridbw_store.Store.attach s (Option.value obs ~default:Obs.disabled))
+  in
   validate_inputs fabric cfg events requests;
   let decisions, logs =
     match cfg.admission with

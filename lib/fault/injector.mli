@@ -55,6 +55,7 @@ type report = {
 
 val run :
   ?obs:Gridbw_obs.Obs.ctx ->
+  ?store:Gridbw_store.Store.t ->
   Gridbw_topology.Fabric.t ->
   config ->
   Fault.event list ->
@@ -71,7 +72,12 @@ val run :
     [Preempt] events.  Residual re-admissions re-use the original
     request id, so a fault-run trace can contain several Accept records
     for one id — [gridbw replay-trace] therefore targets plain-run
-    traces only. *)
+    traces only.
+
+    With [store], the same event stream is journaled durably.  Recovery
+    of an engine-driven journal restores its bookings and mirror ledger,
+    but resuming mid-run is only supported for plain GREEDY journals
+    ({!Gridbw_core.Flexible.greedy_resume}). *)
 
 val scheduler : config -> Fault.event list -> Gridbw_core.Scheduler.t
 (** The injector as a first-class scheduler: runs the full fault

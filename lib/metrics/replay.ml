@@ -77,29 +77,50 @@ let of_file path =
   in
   of_lines lines
 
-let fabric ~default t =
+let fabric t =
   let rec leading acc = function
     | Event.Capacity { side; port; capacity; _ } :: rest ->
         leading ((side, port, capacity) :: acc) rest
     | _ -> acc
   in
   match leading [] t.events with
-  | [] -> default
+  | [] -> Error `No_prefix
   | caps ->
       let dim side =
         List.fold_left (fun m (s, p, _) -> if s = side then max m (p + 1) else m) 0 caps
       in
       let side_caps side n =
-        let a = Array.make n 0.0 in
+        let a = Array.make n Float.nan in
         (* [caps] is reversed stream order, so the first write per port wins:
            the latest leading event for a revised port sticks. *)
-        List.iter (fun (s, p, c) -> if s = side && a.(p) = 0.0 then a.(p) <- c) caps;
+        List.iter
+          (fun (s, p, c) -> if s = side && Float.is_nan a.(p) then a.(p) <- c)
+          caps;
         a
       in
-      let ingress = side_caps Event.Ingress (dim Event.Ingress) in
-      let egress = side_caps Event.Egress (dim Event.Egress) in
-      let usable a = Array.length a > 0 && Array.for_all (fun c -> Float.is_finite c && c > 0.) a in
-      if usable ingress && usable egress then Gridbw_topology.Fabric.make ~ingress ~egress
-      else default
+      let side_name = function Event.Ingress -> "ingress" | Event.Egress -> "egress" in
+      let check side a =
+        if Array.length a = 0 then
+          Error (`Invalid (Printf.sprintf "no %s port in capacity prefix" (side_name side)))
+        else
+          let bad = ref None in
+          Array.iteri
+            (fun p c ->
+              if !bad = None then
+                if Float.is_nan c then
+                  bad :=
+                    Some
+                      (Printf.sprintf "%s port %d missing from capacity prefix" (side_name side) p)
+                else if not (Float.is_finite c && c > 0.) then
+                  bad :=
+                    Some
+                      (Printf.sprintf "%s port %d has invalid capacity %g" (side_name side) p c))
+            a;
+          match !bad with None -> Ok a | Some msg -> Error (`Invalid msg)
+      in
+      let ( let* ) = Result.bind in
+      let* ingress = check Event.Ingress (side_caps Event.Ingress (dim Event.Ingress)) in
+      let* egress = check Event.Egress (side_caps Event.Egress (dim Event.Egress)) in
+      Ok (Gridbw_topology.Fabric.make ~ingress ~egress)
 
 let summary fabric t = Summary.compute fabric ~all:t.requests ~accepted:t.accepted

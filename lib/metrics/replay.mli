@@ -34,13 +34,18 @@ val monotone : Gridbw_obs.Event.t list -> bool
 (** Timestamps are non-decreasing in stream order — guaranteed for plain
     (non-engine) runs of every heuristic. *)
 
-val fabric : default:Gridbw_topology.Fabric.t -> t -> Gridbw_topology.Fabric.t
+val fabric :
+  t -> (Gridbw_topology.Fabric.t, [ `No_prefix | `Invalid of string ]) result
 (** The fabric described by the trace's {e leading} [Capacity] events (the
     prefix before any other event kind) — counterexample bundles written by
-    the fuzzer open with one such event per port, making the trace fully
-    self-contained.  Falls back to [default] when the prefix is absent or
-    does not describe a valid fabric (e.g. a plain [run --trace-out]
-    trace, which starts directly with arrivals). *)
+    the fuzzer and durable stores open with one such event per port, making
+    the trace fully self-contained.  [Error `No_prefix] when the trace has
+    no leading capacity events at all (e.g. a plain [run --trace-out]
+    trace, which starts directly with arrivals) — the caller decides the
+    fallback.  [Error (`Invalid _)] when a prefix is present but does not
+    describe a complete valid fabric (a port with no event, a non-finite
+    or non-positive capacity, an empty side) — such a trace must not be
+    summarised against a silently substituted fabric. *)
 
 val summary : Gridbw_topology.Fabric.t -> t -> Summary.t
 (** The live run's summary, recomputed from the trace alone. *)

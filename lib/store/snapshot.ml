@@ -1,0 +1,150 @@
+module Json = Gridbw_obs.Json
+module Event = Gridbw_obs.Event
+module Ledger = Gridbw_alloc.Ledger
+
+type t = { cursor : int; events : Event.t list; ledger : Ledger.dump }
+
+let name cursor = Printf.sprintf "snap-%010d.json" cursor
+
+let snap_cursor file =
+  if
+    String.length file = 20
+    && String.sub file 0 5 = "snap-"
+    && Filename.check_suffix file ".json"
+  then int_of_string_opt (String.sub file 5 10)
+  else None
+
+(* --- ledger dump codec --- *)
+
+let segments_json segs =
+  Json.List
+    (List.map
+       (fun (s : Ledger.segment) ->
+         Json.List [ Json.Num s.seg_from; Json.Num s.seg_until; Json.Num s.seg_level ])
+       segs)
+
+let ledger_json (d : Ledger.dump) =
+  Json.Obj
+    [
+      ("ledger", Json.Num 1.);
+      ("ingress", Json.List (Array.to_list (Array.map segments_json d.dump_ingress)));
+      ("egress", Json.List (Array.to_list (Array.map segments_json d.dump_egress)));
+    ]
+
+let ( let* ) = Option.bind
+
+let segment_of_json = function
+  | Json.List [ a; b; c ] ->
+      let* seg_from = Json.to_float a in
+      let* seg_until = Json.to_float b in
+      let* seg_level = Json.to_float c in
+      Some { Ledger.seg_from; seg_until; seg_level }
+  | _ -> None
+
+let side_of_json j =
+  match j with
+  | Json.List ports ->
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | Json.List segs :: rest ->
+            let* segs =
+              List.fold_left
+                (fun acc s ->
+                  let* acc = acc in
+                  let* s = segment_of_json s in
+                  Some (s :: acc))
+                (Some []) segs
+            in
+            go (List.rev segs :: acc) rest
+        | _ -> None
+      in
+      let* sides = go [] ports in
+      Some (Array.of_list sides)
+  | _ -> None
+
+let ledger_of_json j =
+  let* _ = Json.member "ledger" j in
+  let* ing = Json.member "ingress" j in
+  let* egr = Json.member "egress" j in
+  let* dump_ingress = side_of_json ing in
+  let* dump_egress = side_of_json egr in
+  Some { Ledger.dump_ingress; dump_egress }
+
+(* --- write --- *)
+
+let write ~dir ~cursor ~events ~ledger =
+  let final = Filename.concat dir (name cursor) in
+  let tmp = Filename.concat dir ("." ^ name cursor ^ ".tmp") in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let meta =
+        Json.Obj
+          [
+            ("snap", Json.Num 1.);
+            ("cursor", Json.Num (float_of_int cursor));
+            ("events", Json.Num (float_of_int (List.length events)));
+          ]
+      in
+      output_string oc (Json.to_string meta ^ "\n");
+      List.iter (fun e -> output_string oc (Event.to_json e ^ "\n")) events;
+      output_string oc (Json.to_string (ledger_json ledger) ^ "\n");
+      flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc));
+  Sys.rename tmp final;
+  (* Persist the rename itself; not every filesystem allows fsync on a
+     directory fd, hence best-effort. *)
+  try
+    let fd = Unix.openfile dir [ Unix.O_RDONLY ] 0 in
+    Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> Unix.fsync fd)
+  with Unix.Unix_error _ -> ()
+
+(* --- load --- *)
+
+let read_lines path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let load path cursor =
+  match read_lines path with
+  | [] | [ _ ] -> None
+  | meta :: rest -> (
+      let* meta = Result.to_option (Json.parse meta) in
+      let* c = Option.bind (Json.member "cursor" meta) Json.to_int in
+      let* n = Option.bind (Json.member "events" meta) Json.to_int in
+      if c <> cursor || n <> List.length rest - 1 then None
+      else
+        let rec split acc = function
+          | [ last ] -> Some (List.rev acc, last)
+          | e :: rest -> split (e :: acc) rest
+          | [] -> None
+        in
+        let* event_lines, ledger_line = split [] rest in
+        let* events =
+          List.fold_left
+            (fun acc line ->
+              let* acc = acc in
+              let* e = Result.to_option (Event.of_line line) in
+              Some (e :: acc))
+            (Some []) event_lines
+        in
+        let* ledger = Option.bind (Result.to_option (Json.parse ledger_line)) ledger_of_json in
+        Some { cursor; events = List.rev events; ledger })
+
+let load_latest ~dir ~max_cursor =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter_map (fun f ->
+         match snap_cursor f with
+         | Some c when c <= max_cursor -> Some (c, Filename.concat dir f)
+         | _ -> None)
+  |> List.sort (fun a b -> compare b a)
+  |> List.find_map (fun (c, path) -> load path c)

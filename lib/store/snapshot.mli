@@ -1,0 +1,27 @@
+(** Atomic JSONL snapshots of the store's state.
+
+    A snapshot [snap-<cursor>.json] captures everything up to WAL record
+    [cursor]: a meta line, the event history (one JSONL event per line —
+    the same codec as the WAL payloads), and a final line with the
+    {!Gridbw_alloc.Ledger.dump} image.  It is written to a dot-prefixed
+    temp file, fsynced, then renamed into place, so a crash mid-write
+    leaves at worst an ignorable temp file.
+
+    Recovery loads the newest snapshot whose cursor does not exceed the
+    number of valid WAL records (the store syncs the WAL before
+    snapshotting, but a torn tail can still cut below a cursor); anything
+    unparseable or too new is skipped in favour of an older snapshot or a
+    full WAL replay. *)
+
+type t = {
+  cursor : int;  (** WAL records covered by this snapshot *)
+  events : Gridbw_obs.Event.t list;  (** event history, log order *)
+  ledger : Gridbw_alloc.Ledger.dump;
+}
+
+val write :
+  dir:string -> cursor:int -> events:Gridbw_obs.Event.t list -> ledger:Gridbw_alloc.Ledger.dump ->
+  unit
+
+val load_latest : dir:string -> max_cursor:int -> t option
+(** Newest parseable snapshot with [cursor <= max_cursor]. *)

@@ -1,0 +1,327 @@
+module Json = Gridbw_obs.Json
+module Event = Gridbw_obs.Event
+module Obs = Gridbw_obs.Obs
+module Sink = Gridbw_obs.Sink
+module Fabric = Gridbw_topology.Fabric
+module Request = Gridbw_request.Request
+module Allocation = Gridbw_alloc.Allocation
+module Ledger = Gridbw_alloc.Ledger
+
+type config = { wal : Wal.config; snapshot_bytes : int; kill_after : int option }
+
+let default_config = { wal = Wal.default_config; snapshot_bytes = 4 * 1024 * 1024; kill_after = None }
+
+type t = {
+  dir : string;
+  config : config;
+  obs : Obs.ctx;
+  writer : Wal.writer;
+  mutable fabric : Fabric.t;
+  mutable mirror : Ledger.t;
+  mutable rev_events : Event.t list;
+  accepted_tbl : (int, Allocation.t) Hashtbl.t;
+  decided_tbl : (int, unit) Hashtbl.t;
+  arrived_tbl : (int, unit) Hashtbl.t;
+  mutable rev_accepted : (float * Allocation.t) list;
+  mutable last_snapshot_bytes : int;
+}
+
+let header_file dir = Filename.concat dir "store.json"
+let exists ~dir = Sys.file_exists (header_file dir)
+let dir t = t.dir
+let records t = t.writer.Wal.records
+let fabric t = t.fabric
+let ledger t = t.mirror
+
+(* --- event application (shared by the live path and recovery) --- *)
+
+let request_of ~id ~ingress ~egress ~volume ~ts ~tf ~max_rate =
+  Request.make ~id ~ingress ~egress ~volume ~ts ~tf ~max_rate
+
+(* [ledger_effects:false] replays history whose ledger image came from a
+   snapshot: tables and fabric still update, reservations do not. *)
+let apply ?(ledger_effects = true) t ev =
+  t.rev_events <- ev :: t.rev_events;
+  match ev with
+  | Event.Arrival { id; _ } -> Hashtbl.replace t.arrived_tbl id ()
+  | Event.Reject { id; _ } -> Hashtbl.replace t.decided_tbl id ()
+  | Event.Accept { time; id; ingress; egress; volume; ts; tf; max_rate; bw; sigma } ->
+      let request = request_of ~id ~ingress ~egress ~volume ~ts ~tf ~max_rate in
+      let a = Allocation.make ~request ~bw ~sigma in
+      Hashtbl.replace t.decided_tbl id ();
+      Hashtbl.replace t.accepted_tbl id a;
+      t.rev_accepted <- (time, a) :: t.rev_accepted;
+      if ledger_effects then
+        Ledger.reserve_interval t.mirror ~ingress ~egress ~bw ~from_:sigma
+          ~until:a.Allocation.tau
+  | Event.Preempt { time; id; _ } -> (
+      match Hashtbl.find_opt t.accepted_tbl id with
+      | Some a when ledger_effects ->
+          let from_ = Float.max time a.Allocation.sigma in
+          if from_ < a.Allocation.tau then
+            Ledger.release_interval t.mirror
+              ~ingress:a.Allocation.request.Request.ingress
+              ~egress:a.Allocation.request.Request.egress ~bw:a.Allocation.bw ~from_
+              ~until:a.Allocation.tau
+      | _ -> ())
+  | Event.Shed _ -> ()
+  | Event.Capacity { side; port; capacity; _ } ->
+      let fabric =
+        match side with
+        | Event.Ingress -> Fabric.with_ingress_capacity t.fabric port capacity
+        | Event.Egress -> Fabric.with_egress_capacity t.fabric port capacity
+      in
+      t.fabric <- fabric;
+      Ledger.set_fabric t.mirror fabric
+  | Event.Dispatch _ -> ()
+
+(* --- live journaling --- *)
+
+let maybe_snapshot t =
+  if t.writer.Wal.total_bytes - t.last_snapshot_bytes >= t.config.snapshot_bytes then begin
+    (* The snapshot must never reference records that could be lost from
+       an unsynced WAL tail: commit the tail first, so a surviving
+       snapshot's cursor always points into durable log. *)
+    Wal.sync t.writer;
+    let cursor = t.writer.Wal.records in
+    Snapshot.write ~dir:t.dir ~cursor ~events:(List.rev t.rev_events)
+      ~ledger:(Ledger.dump t.mirror);
+    t.last_snapshot_bytes <- t.writer.Wal.total_bytes;
+    Obs.count t.obs "store_snapshots_total"
+  end
+
+let relevant = function Event.Dispatch _ -> false | _ -> true
+
+let log t ev =
+  if relevant ev then begin
+    apply t ev;
+    Wal.append t.writer (Event.to_json ev);
+    Obs.count t.obs "store_wal_records_total";
+    maybe_snapshot t
+  end
+
+let sync t = Wal.sync t.writer
+let close t = Wal.close t.writer
+
+let attach t obs =
+  let sink = { Sink.emit = (fun e -> log t e); flush = (fun () -> sync t) } in
+  if Obs.tracing obs then { obs with Obs.sink = Sink.tee sink obs.Obs.sink }
+  else if Obs.enabled obs then { obs with Obs.sink = sink; tracing = true }
+  else { t.obs with Obs.sink = sink; enabled = true; tracing = true }
+
+(* --- creation --- *)
+
+let mkdir_p dir =
+  let rec go d =
+    if not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+    end
+  in
+  go dir
+
+let write_header ~dir fabric =
+  let path = header_file dir in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let j =
+        Json.Obj
+          [
+            ("gridbw_store", Json.Num 1.);
+            ("ingress", Json.Num (float_of_int (Fabric.ingress_count fabric)));
+            ("egress", Json.Num (float_of_int (Fabric.egress_count fabric)));
+          ]
+      in
+      output_string oc (Json.to_string j ^ "\n");
+      flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc))
+
+let read_header ~dir =
+  let path = header_file dir in
+  if not (Sys.file_exists path) then Error "not a gridbw store (missing store.json)"
+  else begin
+    let ic = open_in_bin path in
+    let line =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> try input_line ic with End_of_file -> "")
+    in
+    match Json.parse line with
+    | Error msg -> Error ("corrupt store header: " ^ msg)
+    | Ok j -> (
+        match
+          ( Option.bind (Json.member "gridbw_store" j) Json.to_int,
+            Option.bind (Json.member "ingress" j) Json.to_int,
+            Option.bind (Json.member "egress" j) Json.to_int )
+        with
+        | Some 1, Some n_in, Some n_out when n_in > 0 && n_out > 0 -> Ok (n_in, n_out)
+        | Some v, _, _ when v <> 1 -> Error (Printf.sprintf "unsupported store version %d" v)
+        | _ -> Error "corrupt store header: missing fields")
+  end
+
+let fresh ~dir ~config ~obs ~fabric ~writer =
+  {
+    dir;
+    config;
+    obs;
+    writer;
+    fabric;
+    mirror = Ledger.create fabric;
+    rev_events = [];
+    accepted_tbl = Hashtbl.create 64;
+    decided_tbl = Hashtbl.create 64;
+    arrived_tbl = Hashtbl.create 64;
+    rev_accepted = [];
+    last_snapshot_bytes = 0;
+  }
+
+let create ?(config = default_config) ?obs ?(time = 0.) ~dir fabric =
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  if exists ~dir then invalid_arg ("Store.create: " ^ dir ^ " is already a store");
+  mkdir_p dir;
+  write_header ~dir fabric;
+  let writer =
+    Wal.create ~config:config.wal ?kill_after:config.kill_after
+      ~on_sync:(fun n ->
+        Obs.count obs "store_fsync_total";
+        Obs.observe obs "store_fsync_batch_size" (float_of_int n))
+      ~dir ()
+  in
+  let t = fresh ~dir ~config ~obs ~fabric ~writer in
+  (* The capacity prefix: one Capacity event per port, making the journal
+     self-contained (same convention as the fuzzer's bundles). *)
+  for i = 0 to Fabric.ingress_count fabric - 1 do
+    log t
+      (Event.Capacity
+         { time; side = Event.Ingress; port = i; capacity = Fabric.ingress_capacity fabric i })
+  done;
+  for e = 0 to Fabric.egress_count fabric - 1 do
+    log t
+      (Event.Capacity
+         { time; side = Event.Egress; port = e; capacity = Fabric.egress_capacity fabric e })
+  done;
+  t
+
+(* --- recovery --- *)
+
+type recovered = {
+  store : t;
+  initial_fabric : Fabric.t;
+  events : Event.t list;
+  accepted : (float * Allocation.t) list;
+  decided : int -> bool;
+  arrived : int -> bool;
+  snapshot_cursor : int;
+  replayed : int;
+  truncated_bytes : int;
+}
+
+(* The fabric described by the leading Capacity events, strict: the prefix
+   must cover every header-declared port with a finite positive capacity —
+   a shorter prefix means the journal was torn before the store finished
+   initializing, and there is nothing to recover against. *)
+let fabric_of_prefix ~n_in ~n_out events =
+  let ingress = Array.make n_in nan and egress = Array.make n_out nan in
+  let rec leading = function
+    | Event.Capacity { side; port; capacity; _ } :: rest ->
+        let a, n = match side with Event.Ingress -> (ingress, n_in) | Event.Egress -> (egress, n_out) in
+        if port < 0 || port >= n then Error (Printf.sprintf "capacity prefix: port %d out of range" port)
+        else begin
+          a.(port) <- capacity;
+          leading rest
+        end
+    | _ -> Ok ()
+  in
+  match leading events with
+  | Error _ as e -> e
+  | Ok () ->
+      let check side a =
+        let bad = ref None in
+        Array.iteri
+          (fun p c ->
+            if !bad = None && not (Float.is_finite c && c > 0.) then
+              bad := Some (Printf.sprintf "torn capacity prefix: no usable capacity for %s port %d" side p))
+          a;
+        !bad
+      in
+      (match (check "ingress" ingress, check "egress" egress) with
+      | Some msg, _ | None, Some msg -> Error msg
+      | None, None -> Ok (Fabric.make ~ingress ~egress))
+
+let recover ?(config = default_config) ?obs ~dir () =
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  match read_header ~dir with
+  | Error _ as e -> e
+  | Ok (n_in, n_out) -> (
+      let s = Wal.scan ~dir in
+      (* A CRC-valid record that fails event parsing cuts the log exactly
+         like a CRC failure would. *)
+      let rec parse acc = function
+        | [] -> (List.rev acc, None)
+        | (r : Wal.record) :: rest -> (
+            match Event.of_line r.Wal.payload with
+            | Ok e -> parse (e :: acc) rest
+            | Error _ -> (List.rev acc, Some r.Wal.index))
+      in
+      let wal_events, parse_cut = parse [] s.Wal.records in
+      let keep = match parse_cut with Some k -> k | None -> s.Wal.valid in
+      let kept_bytes =
+        List.fold_left
+          (fun acc (r : Wal.record) -> if r.Wal.index < keep then acc + r.Wal.bytes else acc)
+          0 s.Wal.records
+      in
+      let snapshot = Snapshot.load_latest ~dir ~max_cursor:keep in
+      let base_events, tail_events, snapshot_cursor, snap_ledger =
+        match snapshot with
+        | Some snap when List.length snap.Snapshot.events = snap.Snapshot.cursor ->
+            ( snap.Snapshot.events,
+              List.filteri (fun i _ -> i >= snap.Snapshot.cursor) wal_events,
+              snap.Snapshot.cursor,
+              Some snap.Snapshot.ledger )
+        | _ -> ([], wal_events, 0, None)
+      in
+      let all_events = base_events @ tail_events in
+      match fabric_of_prefix ~n_in ~n_out all_events with
+      | Error _ as e -> e
+      | Ok initial_fabric -> (
+          let restore_ledger () =
+            match snap_ledger with
+            | None -> Ok (Ledger.create initial_fabric)
+            | Some d -> (
+                try Ok (Ledger.restore initial_fabric d)
+                with Invalid_argument msg -> Error ("corrupt snapshot ledger: " ^ msg))
+          in
+          match restore_ledger () with
+          | Error _ as e -> e
+          | Ok mirror ->
+              (* Physically drop the torn tail before reopening for append. *)
+              Wal.truncate ~dir s ~keep;
+              let writer =
+                Wal.reopen ~config:config.wal ?kill_after:config.kill_after
+                  ~on_sync:(fun n ->
+                    Obs.count obs "store_fsync_total";
+                    Obs.observe obs "store_fsync_batch_size" (float_of_int n))
+                  ~dir ~records:keep ()
+              in
+              let t = fresh ~dir ~config ~obs ~fabric:initial_fabric ~writer in
+              t.mirror <- mirror;
+              t.last_snapshot_bytes <- writer.Wal.total_bytes;
+              (* Snapshot history carries no ledger effects (the dump is
+                 the ledger image); the WAL tail replays in full. *)
+              List.iter (fun e -> apply ~ledger_effects:false t e) base_events;
+              List.iter (fun e -> apply t e) tail_events;
+              Obs.count_n obs "store_recovery_records" (List.length tail_events);
+              Ok
+                {
+                  store = t;
+                  initial_fabric;
+                  events = List.rev t.rev_events;
+                  accepted = List.rev t.rev_accepted;
+                  decided = (fun id -> Hashtbl.mem t.decided_tbl id);
+                  arrived = (fun id -> Hashtbl.mem t.arrived_tbl id);
+                  snapshot_cursor;
+                  replayed = List.length tail_events;
+                  truncated_bytes = s.Wal.disk_bytes - kept_bytes;
+                }))

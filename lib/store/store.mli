@@ -1,0 +1,102 @@
+(** Durable admission journal with crash recovery.
+
+    A store directory holds a header ([store.json], written and fsynced at
+    creation), a CRC-framed {!Wal} of admission-relevant events
+    (arrival/accept/reject/preempt/shed/capacity-revision — the
+    {!Gridbw_obs.Event} JSONL codec is the record format), and atomic
+    {!Snapshot}s triggered by accumulated log size.
+
+    The store plugs into the telemetry plane: {!attach} wraps an
+    {!Gridbw_obs.Obs.ctx} so every event the instrumented admission path
+    emits is also applied to the store's in-memory state and appended to
+    the WAL (tee'd with any existing trace sink).  The store's own
+    counters — [store_wal_records_total], [store_fsync_total], the
+    [store_fsync_batch_size] histogram, [store_snapshots_total],
+    [store_recovery_records] — land in the registry the store was created
+    with, so a run's [--metrics-out] Prometheus dump includes them.
+
+    Recovery invariant: a plain GREEDY run journals its decisions in
+    processing order, so {e any} valid WAL prefix is the journal of the
+    same run stopped after its first [k] records.  Recovery therefore
+    truncates at the first torn/CRC-failing record, rebuilds state from
+    the newest usable snapshot plus the WAL tail, and a resumed run
+    ({!Gridbw_core.Flexible.greedy_resume}) re-decides the lost suffix
+    bit-identically — the recovered-plus-resumed summary equals the
+    uninterrupted run's, byte for byte. *)
+
+type config = {
+  wal : Wal.config;
+  snapshot_bytes : int;  (** write a snapshot after this many WAL bytes since the last one *)
+  kill_after : int option;  (** crash-drill hook, see {!Wal.create} *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?config:config -> ?obs:Gridbw_obs.Obs.ctx -> ?time:float -> dir:string ->
+  Gridbw_topology.Fabric.t -> t
+(** Initialize [dir] (created if missing) as a store for [fabric]: write
+    and fsync the header, then journal one [Capacity] event per port
+    stamped [time] (default 0; pass a value at or before the first
+    arrival to keep the event stream monotone).  The capacity prefix
+    makes the journal self-contained: [gridbw replay-trace] and recovery
+    read the fabric from the log itself.  [obs] supplies the metrics
+    registry (its sink is not used).  Raises [Invalid_argument] if [dir]
+    is already a store. *)
+
+val exists : dir:string -> bool
+(** [dir] has a store header. *)
+
+val attach : t -> Gridbw_obs.Obs.ctx -> Gridbw_obs.Obs.ctx
+(** A context that journals every emitted event into the store and tees
+    to [ctx]'s sink when one is attached.  Always enabled and tracing.
+    Flushing the returned context {!sync}s the store. *)
+
+val log : t -> Gridbw_obs.Event.t -> unit
+(** Apply and append one event directly (what {!attach}'s sink does).
+    [Dispatch] events are not admission state and are skipped. *)
+
+val sync : t -> unit
+(** Force the group commit: flush and fsync the WAL tail now. *)
+
+val close : t -> unit
+(** {!sync} and close the WAL. *)
+
+val dir : t -> string
+
+val records : t -> int
+(** WAL records appended so far (global index). *)
+
+val fabric : t -> Gridbw_topology.Fabric.t
+(** Current fabric, after any journaled capacity revisions. *)
+
+val ledger : t -> Gridbw_alloc.Ledger.t
+(** The mirror ledger tracking every journaled booking — the recovered
+    state that is audited before serving. *)
+
+(** {2 Recovery} *)
+
+type recovered = {
+  store : t;  (** reopened for append, torn tail already truncated *)
+  initial_fabric : Gridbw_topology.Fabric.t;  (** from the capacity prefix *)
+  events : Gridbw_obs.Event.t list;  (** surviving event history, log order *)
+  accepted : (float * Gridbw_alloc.Allocation.t) list;
+      (** surviving bookings with their decision times, decision order *)
+  decided : int -> bool;  (** request id has a journaled decision *)
+  arrived : int -> bool;  (** request id has a journaled arrival *)
+  snapshot_cursor : int;  (** records restored from a snapshot; 0 = full WAL replay *)
+  replayed : int;  (** WAL records replayed beyond the snapshot *)
+  truncated_bytes : int;  (** torn/corrupt tail bytes discarded *)
+}
+
+val recover :
+  ?config:config -> ?obs:Gridbw_obs.Obs.ctx -> dir:string -> unit -> (recovered, string) result
+(** Open the latest usable snapshot, replay the WAL tail, truncate at the
+    first torn/CRC-failing record (later segments included), and reopen
+    the log for append.  [Error] when [dir] is not a store or the log is
+    cut inside the capacity prefix (no fabric to recover against).
+    Callers are expected to audit [store]'s {!ledger} / [accepted]
+    against {!Gridbw_check.Reference} before serving — [gridbw recover]
+    does. *)

@@ -1,0 +1,267 @@
+(* CRC32-framed JSONL write-ahead log.  See wal.mli for the format. *)
+
+(* IEEE 802.3 CRC32 (reflected, the zlib polynomial), table-driven.  The
+   state fits in a native [int] (63-bit on every supported platform), so
+   the per-byte loop runs unboxed; only the API surface is [int32]. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 <> 0 then c := 0xEDB88320 lxor (!c lsr 1) else c := !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  for i = 0 to String.length s - 1 do
+    c := Array.unsafe_get table ((!c lxor Char.code (String.unsafe_get s i)) land 0xff)
+         lxor (!c lsr 8)
+  done;
+  Int32.of_int (!c lxor 0xFFFFFFFF)
+
+let hex = "0123456789abcdef"
+
+let frame payload =
+  if String.contains payload '\n' then invalid_arg "Wal.append: payload contains a newline";
+  let crc = Int32.to_int (crc32 payload) land 0xFFFFFFFF in
+  let len = string_of_int (String.length payload) in
+  let b = Buffer.create (String.length payload + String.length len + 10) in
+  for i = 7 downto 0 do
+    Buffer.add_char b hex.[(crc lsr (4 * i)) land 0xf]
+  done;
+  Buffer.add_char b ' ';
+  Buffer.add_string b len;
+  Buffer.add_char b ' ';
+  Buffer.add_string b payload;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+(* [line] is one record without its trailing newline. *)
+let parse_frame line =
+  match String.index_opt line ' ' with
+  | None -> Error "missing crc field"
+  | Some i -> (
+      match String.index_from_opt line (i + 1) ' ' with
+      | None -> Error "missing length field"
+      | Some j -> (
+          let crc_hex = String.sub line 0 i in
+          let len_s = String.sub line (i + 1) (j - i - 1) in
+          match (Int32.of_string_opt ("0x" ^ crc_hex), int_of_string_opt len_s) with
+          | None, _ -> Error "malformed crc"
+          | _, None -> Error "malformed length"
+          | Some crc, Some len ->
+              let start = j + 1 in
+              if String.length line - start <> len then Error "length mismatch"
+              else
+                let payload = String.sub line start len in
+                if crc32 payload <> crc then Error "crc mismatch" else Ok payload))
+
+type config = { batch : int; delay : float; segment_bytes : int }
+
+let default_config = { batch = 64; delay = 0.05; segment_bytes = 4 * 1024 * 1024 }
+
+let validate_config c =
+  if c.batch < 1 then invalid_arg "Wal: batch must be >= 1";
+  if c.delay < 0. || not (Float.is_finite c.delay) then
+    invalid_arg "Wal: delay must be non-negative and finite";
+  if c.segment_bytes < 1 then invalid_arg "Wal: segment_bytes must be >= 1"
+
+type writer = {
+  dir : string;
+  config : config;
+  on_sync : int -> unit;
+  kill_after : int option;
+  mutable oc : out_channel;
+  mutable seg_path : string;
+  mutable seg_bytes : int;
+  mutable records : int;
+  mutable total_bytes : int;
+  mutable appended : int;
+  mutable unsynced : int;
+  mutable oldest_unsynced : float;
+}
+
+let seg_name idx = Printf.sprintf "wal-%010d.log" idx
+
+let seg_index name =
+  if
+    String.length name = 18
+    && String.sub name 0 4 = "wal-"
+    && Filename.check_suffix name ".log"
+  then int_of_string_opt (String.sub name 4 10)
+  else None
+
+(* Segments in log order: (first record index, path). *)
+let segments dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter_map (fun f ->
+         match seg_index f with Some i -> Some (i, Filename.concat dir f) | None -> None)
+  |> List.sort compare
+
+let open_segment path =
+  open_out_gen [ Open_wronly; Open_creat; Open_append; Open_binary ] 0o644 path
+
+let make_writer ?(config = default_config) ?kill_after ?(on_sync = fun _ -> ()) ~dir ~records
+    ~total_bytes ~seg_path ~seg_bytes () =
+  validate_config config;
+  {
+    dir;
+    config;
+    on_sync;
+    kill_after;
+    oc = open_segment seg_path;
+    seg_path;
+    seg_bytes;
+    records;
+    total_bytes;
+    appended = 0;
+    unsynced = 0;
+    oldest_unsynced = 0.;
+  }
+
+let create ?config ?kill_after ?on_sync ~dir () =
+  let seg_path = Filename.concat dir (seg_name 0) in
+  make_writer ?config ?kill_after ?on_sync ~dir ~records:0 ~total_bytes:0 ~seg_path ~seg_bytes:0 ()
+
+let reopen ?config ?kill_after ?on_sync ~dir ~records () =
+  let segs = segments dir in
+  let total_bytes =
+    List.fold_left (fun acc (_, p) -> acc + (Unix.stat p).Unix.st_size) 0 segs
+  in
+  let seg_path, seg_bytes =
+    match List.rev segs with
+    | (_, p) :: _ -> (p, (Unix.stat p).Unix.st_size)
+    | [] -> (Filename.concat dir (seg_name records), 0)
+  in
+  make_writer ?config ?kill_after ?on_sync ~dir ~records ~total_bytes ~seg_path ~seg_bytes ()
+
+let sync w =
+  if w.unsynced > 0 then begin
+    flush w.oc;
+    Unix.fsync (Unix.descr_of_out_channel w.oc);
+    w.on_sync w.unsynced;
+    w.unsynced <- 0
+  end
+
+let rotate w =
+  sync w;
+  close_out w.oc;
+  let path = Filename.concat w.dir (seg_name w.records) in
+  w.oc <- open_segment path;
+  w.seg_path <- path;
+  w.seg_bytes <- 0
+
+let append w payload =
+  let framed = frame payload in
+  (match w.kill_after with
+  | Some n when w.appended + 1 >= n ->
+      (* Crash drill: leave a genuinely torn record on disk and die the
+         way a SIGKILLed writer does — no flush, no close. *)
+      output_string w.oc (String.sub framed 0 (String.length framed / 2));
+      flush w.oc;
+      Unix.kill (Unix.getpid ()) Sys.sigkill
+  | _ -> ());
+  output_string w.oc framed;
+  w.records <- w.records + 1;
+  w.appended <- w.appended + 1;
+  w.seg_bytes <- w.seg_bytes + String.length framed;
+  w.total_bytes <- w.total_bytes + String.length framed;
+  w.unsynced <- w.unsynced + 1;
+  if w.unsynced = 1 then w.oldest_unsynced <- Unix.gettimeofday ();
+  if w.unsynced >= w.config.batch || Unix.gettimeofday () -. w.oldest_unsynced >= w.config.delay
+  then sync w;
+  if w.seg_bytes >= w.config.segment_bytes then rotate w
+
+let close w =
+  sync w;
+  close_out w.oc
+
+(* --- torn-tolerant scanning --- *)
+
+type record = { index : int; seg : string; off : int; bytes : int; payload : string }
+
+type scan = {
+  records : record list;
+  valid : int;
+  cut : (string * int) option;
+  disk_bytes : int;
+  torn : string option;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let scan ~dir =
+  let segs = segments dir in
+  let disk_bytes = List.fold_left (fun acc (_, p) -> acc + (Unix.stat p).Unix.st_size) 0 segs in
+  let records = ref [] in
+  let index = ref 0 in
+  let cut = ref None in
+  let torn = ref None in
+  let stop seg off reason =
+    cut := Some (seg, off);
+    torn := Some reason
+  in
+  (try
+     List.iter
+       (fun (start, seg) ->
+         if start <> !index then begin
+           (* A gap (or an unexpected first index) orphans this and every
+              later segment. *)
+           stop seg 0 (Printf.sprintf "segment starts at record %d, expected %d" start !index);
+           raise Exit
+         end;
+         let content = read_file seg in
+         let len = String.length content in
+         let pos = ref 0 in
+         while !pos < len do
+           match String.index_from_opt content !pos '\n' with
+           | None ->
+               stop seg !pos "torn record (no trailing newline)";
+               raise Exit
+           | Some nl -> (
+               let line = String.sub content !pos (nl - !pos) in
+               match parse_frame line with
+               | Ok payload ->
+                   records :=
+                     {
+                       index = !index;
+                       seg;
+                       off = !pos;
+                       bytes = nl + 1 - !pos;
+                       payload;
+                     }
+                     :: !records;
+                   incr index;
+                   pos := nl + 1
+               | Error reason ->
+                   stop seg !pos reason;
+                   raise Exit)
+         done)
+       segs
+   with Exit -> ());
+  { records = List.rev !records; valid = !index; cut = !cut; disk_bytes; torn = !torn }
+
+let truncate_file path size =
+  if (Unix.stat path).Unix.st_size <> size then
+    if size = 0 then Sys.remove path else Unix.truncate path size
+
+let truncate ~dir s ~keep =
+  if keep > s.valid then invalid_arg "Wal.truncate: keep exceeds valid records";
+  let records = Array.of_list s.records in
+  let boundary =
+    if keep < s.valid then Some (records.(keep).seg, records.(keep).off)
+    else s.cut (* keep everything valid; only the torn tail goes *)
+  in
+  match boundary with
+  | None -> ()
+  | Some (seg, off) ->
+      List.iter
+        (fun (_, path) ->
+          if path > seg then Sys.remove path else if path = seg then truncate_file path off)
+        (segments dir)

@@ -1,0 +1,108 @@
+(** CRC32-framed write-ahead log with group commit and segment rotation.
+
+    One record per line: ["%08x %d %s\n"] — the IEEE CRC32 of the payload
+    in hex, the payload byte length, and the payload itself (a single-line
+    JSON event; the codec never emits raw newlines).  The framing makes
+    every torn or corrupted tail detectable: a record is valid iff it ends
+    in a newline, its declared length matches, and its CRC matches.
+
+    Segments are files [wal-<index>.log] named by the global index of
+    their first record, so the directory listing alone orders the log and
+    no manifest is needed.
+
+    Durability is batched (group commit): records accumulate in the
+    channel buffer and the writer [fsync]s once per [batch] records, or
+    sooner when the oldest unsynced record is older than [delay] seconds
+    (checked on the next append), or on {!sync}/{!close}. *)
+
+type config = {
+  batch : int;  (** records per fsync group; 1 = fsync every record *)
+  delay : float;  (** max seconds an unsynced record may age before the next append forces a sync *)
+  segment_bytes : int;  (** rotate to a new segment once the open one reaches this size *)
+}
+
+val default_config : config
+(** [{ batch = 64; delay = 0.05; segment_bytes = 4 MiB }] *)
+
+val crc32 : string -> int32
+(** IEEE 802.3 CRC32 (the zlib polynomial), table-driven. *)
+
+val frame : string -> string
+(** One framed record, newline included.  Raises [Invalid_argument] when
+    the payload contains a newline. *)
+
+val parse_frame : string -> (string, string) result
+(** Validate one record line (without its newline) back to its payload;
+    [Error] names what broke (missing field, malformed/mismatched length
+    or CRC). *)
+
+type writer = {
+  dir : string;
+  config : config;
+  on_sync : int -> unit;
+  kill_after : int option;
+  mutable oc : out_channel;
+  mutable seg_path : string;
+  mutable seg_bytes : int;
+  mutable records : int;  (** global count of records appended (and on disk, modulo the unsynced tail) *)
+  mutable total_bytes : int;  (** global WAL size in bytes across all segments *)
+  mutable appended : int;  (** records appended since this writer was opened *)
+  mutable unsynced : int;
+  mutable oldest_unsynced : float;
+}
+
+val create :
+  ?config:config -> ?kill_after:int -> ?on_sync:(int -> unit) -> dir:string -> unit -> writer
+(** Open a fresh log in [dir] (first segment [wal-0000000000.log]).
+    [on_sync n] is called after every fsync with the number of records in
+    the synced group.  [kill_after n] is a crash-injection hook: the [n]th
+    append writes only half of its frame, flushes, and SIGKILLs the
+    process — a deterministically torn tail for recovery drills. *)
+
+val append : writer -> string -> unit
+(** Frame and buffer one payload, then group-commit per the config.
+    The payload must not contain a newline. *)
+
+val sync : writer -> unit
+(** Flush and fsync any unsynced records now. *)
+
+val close : writer -> unit
+(** {!sync} then close the open segment. *)
+
+(** {2 Torn-tolerant scanning} *)
+
+type record = {
+  index : int;  (** global record index *)
+  seg : string;  (** segment path *)
+  off : int;  (** byte offset of the record inside its segment *)
+  bytes : int;  (** framed size including the newline *)
+  payload : string;
+}
+
+type scan = {
+  records : record list;  (** valid records, log order *)
+  valid : int;  (** [List.length records] *)
+  cut : (string * int) option;
+      (** segment path and byte offset where valid data ends, when the log
+          has a torn/corrupt tail; [None] for a clean log *)
+  disk_bytes : int;  (** total bytes currently on disk across all segments *)
+  torn : string option;  (** why scanning stopped early, when it did *)
+}
+
+val scan : dir:string -> scan
+(** Read every segment in index order and validate each frame.  Scanning
+    stops at the first invalid record (missing newline, malformed frame,
+    length or CRC mismatch, segment-index gap); everything after it —
+    including later segments — is reported beyond the cut. *)
+
+val truncate : dir:string -> scan -> keep:int -> unit
+(** Physically truncate the log so exactly the first [keep] valid records
+    remain: later segments are deleted and the cut segment is truncated in
+    place.  [keep] may be less than [scan.valid] (the store cuts earlier
+    when a CRC-valid record fails event parsing). *)
+
+val reopen :
+  ?config:config -> ?kill_after:int -> ?on_sync:(int -> unit) -> dir:string -> records:int ->
+  unit -> writer
+(** Open the (already truncated) log for append: the last remaining
+    segment is continued, [records] restates the global record count. *)

@@ -204,7 +204,12 @@ let test_mutant_bundle_replays () =
           | Error msg -> Alcotest.failf "bundle trace does not parse: %s" msg
           | Ok r ->
               (* The leading Capacity events carry the scenario fabric. *)
-              let fabric = Replay.fabric ~default:(Fabric.paper_default ()) r in
+              let fabric =
+                match Replay.fabric r with
+                | Ok f -> f
+                | Error `No_prefix -> Alcotest.fail "bundle trace has no capacity prefix"
+                | Error (`Invalid msg) -> Alcotest.failf "bundle capacity prefix invalid: %s" msg
+              in
               Alcotest.(check bool) "fabric reconstructed from the trace" true
                 (Fabric.equal fabric sc.Scenario.fabric);
               let result =
@@ -219,6 +224,60 @@ let test_mutant_bundle_replays () =
               if live <> replayed then
                 Alcotest.failf "replay not bit-identical:@.live %a@.replay %a" Summary.pp live
                   Summary.pp replayed)
+
+(* --- Replay.fabric: the capacity prefix must error cleanly, never
+   silently substitute a default fabric --- *)
+
+module Event = Gridbw_obs.Event
+
+let cap side port capacity = Event.Capacity { time = 0.; side; port; capacity }
+
+let arrival =
+  Event.Arrival
+    { time = 0.; seq = 0; id = 0; ingress = 0; egress = 0; volume = 10.; ts = 0.; tf = 10.;
+      max_rate = 10. }
+
+let replay_of events =
+  match Replay.of_events events with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "of_events rejected the fixture: %s" msg
+
+let test_replay_fabric_no_prefix () =
+  (* A plain --trace-out trace starts directly with arrivals. *)
+  match Replay.fabric (replay_of [ arrival ]) with
+  | Error `No_prefix -> ()
+  | Ok _ -> Alcotest.fail "fabric invented from a prefix-less trace"
+  | Error (`Invalid msg) -> Alcotest.failf "expected `No_prefix, got `Invalid %s" msg
+
+let test_replay_fabric_torn_prefix () =
+  (* Ingress port 1 is declared (port 2 exists) but its capacity event is
+     missing — a torn prefix must not summarise against a made-up fabric. *)
+  let torn = [ cap Event.Ingress 0 100.; cap Event.Ingress 2 100.; cap Event.Egress 0 100. ] in
+  (match Replay.fabric (replay_of (torn @ [ arrival ])) with
+  | Error (`Invalid _) -> ()
+  | Ok _ -> Alcotest.fail "fabric built from a prefix with a missing port"
+  | Error `No_prefix -> Alcotest.fail "prefix present but reported absent");
+  (* Same for a non-positive capacity. *)
+  let bad = [ cap Event.Ingress 0 0.; cap Event.Egress 0 100. ] in
+  (match Replay.fabric (replay_of (bad @ [ arrival ])) with
+  | Error (`Invalid _) -> ()
+  | _ -> Alcotest.fail "fabric built from a zero-capacity prefix");
+  (* And for a one-sided prefix. *)
+  let one_sided = [ cap Event.Ingress 0 100. ] in
+  match Replay.fabric (replay_of (one_sided @ [ arrival ])) with
+  | Error (`Invalid _) -> ()
+  | _ -> Alcotest.fail "fabric built from an ingress-only prefix"
+
+let test_replay_fabric_valid_prefix () =
+  let events =
+    [ cap Event.Ingress 0 100.; cap Event.Ingress 1 50.; cap Event.Egress 0 80.; arrival ]
+  in
+  match Replay.fabric (replay_of events) with
+  | Ok f ->
+      Alcotest.(check bool) "fabric matches the prefix" true
+        (Fabric.equal f (Fabric.make ~ingress:[| 100.; 50. |] ~egress:[| 80. |]))
+  | Error `No_prefix -> Alcotest.fail "valid prefix reported absent"
+  | Error (`Invalid msg) -> Alcotest.failf "valid prefix rejected: %s" msg
 
 let prop_harness_clean_on_random_scenarios =
   qcase ~count:15 "harness: shipped engines conform on random scenarios"
@@ -242,6 +301,10 @@ let suites =
         case "scenario: deterministic in (family, seed, size)" test_scenario_deterministic;
         case "scenario: fault script round-trips through json" test_fault_script_json_roundtrip;
         case "bundle: replay hints name the CLI spelling" test_replay_hints;
+        case "replay fabric: no capacity prefix is a clean error" test_replay_fabric_no_prefix;
+        case "replay fabric: torn prefix is a clean error" test_replay_fabric_torn_prefix;
+        case "replay fabric: valid prefix reconstructs the fabric"
+          test_replay_fabric_valid_prefix;
         case "fuzz smoke: shipped engines conform (budget 25)" fuzz_smoke;
         slow_case "fuzz: off-by-one mutant caught and shrunk" test_mutant_caught;
         slow_case "fuzz: mutant bundle replays bit-identically" test_mutant_bundle_replays;

@@ -7,4 +7,5 @@ let () =
    @ Test_baseline.suites @ Test_control.suites @ Test_distributed.suites
    @ Test_coalloc.suites @ Test_experiments.suites @ Test_properties.suites
    @ Test_extras.suites @ Test_transport.suites @ Test_validate.suites
-   @ Test_edges.suites @ Test_fault.suites @ Test_obs.suites @ Test_conformance.suites)
+   @ Test_edges.suites @ Test_fault.suites @ Test_obs.suites @ Test_conformance.suites
+   @ Test_store.suites)

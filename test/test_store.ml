@@ -1,0 +1,361 @@
+(* Durable admission journal (lib/store): WAL framing and group commit,
+   segment rotation, snapshots, and the crash matrix — a journaled GREEDY
+   run carved at every record boundary, mid-record, and with flipped
+   bytes must recover deterministically and resume to a summary
+   bit-identical to the uninterrupted baseline. *)
+
+open Helpers
+module Wal = Gridbw_store.Wal
+module Store = Gridbw_store.Store
+module Torn = Gridbw_fault.Torn
+module Flexible = Gridbw_core.Flexible
+module Policy = Gridbw_core.Policy
+module Types = Gridbw_core.Types
+module Summary = Gridbw_metrics.Summary
+module Reference = Gridbw_check.Reference
+module Ledger = Gridbw_alloc.Ledger
+module Request = Gridbw_request.Request
+module Obs = Gridbw_obs.Obs
+module Metrics = Gridbw_obs.Metrics
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "gridbw-store" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir) (fun () -> f dir)
+
+(* Deterministic WAL configs: an hour of delay so wall-clock never
+   triggers a sync mid-test. *)
+let wal_config ?(batch = 4) ?(segment_bytes = Wal.default_config.Wal.segment_bytes) () =
+  { Wal.batch; delay = 3600.; segment_bytes }
+
+let store_config ?batch ?segment_bytes ?(snapshot_bytes = max_int) () =
+  { Store.default_config with
+    wal = wal_config ?batch ?segment_bytes ();
+    snapshot_bytes }
+
+(* --- WAL unit tests --- *)
+
+let test_frame_roundtrip () =
+  let payload = {|{"ev":"accept","id":7}|} in
+  let framed = Wal.frame payload in
+  Alcotest.(check bool) "newline-terminated" true (framed.[String.length framed - 1] = '\n');
+  (match Wal.parse_frame (String.sub framed 0 (String.length framed - 1)) with
+  | Ok p -> Alcotest.(check string) "payload survives" payload p
+  | Error e -> Alcotest.failf "frame does not parse: %s" e);
+  (* Any single corrupted payload byte breaks the CRC. *)
+  let corrupt = Bytes.of_string framed in
+  Bytes.set corrupt (String.length framed - 3)
+    (Char.chr (Char.code (Bytes.get corrupt (String.length framed - 3)) lxor 1));
+  match Wal.parse_frame (Bytes.sub_string corrupt 0 (Bytes.length corrupt - 1)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corrupted frame accepted"
+
+let test_group_commit () =
+  with_tmpdir (fun dir ->
+      let syncs = ref [] in
+      let w =
+        Wal.create ~config:(wal_config ~batch:3 ()) ~on_sync:(fun n -> syncs := n :: !syncs)
+          ~dir ()
+      in
+      for i = 1 to 7 do
+        Wal.append w (Printf.sprintf "payload-%d" i)
+      done;
+      Alcotest.(check (list int)) "one fsync per full batch" [ 3; 3 ] (List.rev !syncs);
+      Wal.close w;
+      Alcotest.(check (list int)) "close flushes the remainder" [ 3; 3; 1 ] (List.rev !syncs);
+      let s = Wal.scan ~dir in
+      Alcotest.(check int) "all records valid" 7 s.Wal.valid;
+      Alcotest.(check bool) "clean tail" true (s.Wal.torn = None))
+
+let test_segment_rotation () =
+  with_tmpdir (fun dir ->
+      let w = Wal.create ~config:(wal_config ~batch:1 ~segment_bytes:64 ()) ~dir () in
+      for i = 1 to 20 do
+        Wal.append w (Printf.sprintf "record-number-%03d-padded-to-force-rotation" i)
+      done;
+      Wal.close w;
+      let segs =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".log")
+      in
+      Alcotest.(check bool) "log rotated" true (List.length segs > 1);
+      let s = Wal.scan ~dir in
+      Alcotest.(check int) "scan crosses segments" 20 s.Wal.valid;
+      Alcotest.(check bool) "clean tail" true (s.Wal.torn = None);
+      (* Reopening continues the numbering. *)
+      let w2 = Wal.reopen ~config:(wal_config ~batch:1 ~segment_bytes:64 ()) ~dir ~records:20 () in
+      Wal.append w2 "one-more";
+      Wal.close w2;
+      Alcotest.(check int) "append after reopen" 21 (Wal.scan ~dir).Wal.valid)
+
+let test_segment_gap_orphans_tail () =
+  with_tmpdir (fun dir ->
+      let w = Wal.create ~config:(wal_config ~batch:1 ~segment_bytes:64 ()) ~dir () in
+      for i = 1 to 20 do
+        Wal.append w (Printf.sprintf "record-number-%03d-padded-to-force-rotation" i)
+      done;
+      Wal.close w;
+      let segs = List.sort compare (Array.to_list (Sys.readdir dir)) in
+      (* Delete a middle segment: everything after the gap is orphaned. *)
+      (match segs with
+      | _first :: second :: _ :: _ -> Sys.remove (Filename.concat dir second)
+      | _ -> Alcotest.fail "expected at least three segments");
+      let s = Wal.scan ~dir in
+      Alcotest.(check bool) "gap detected" true (s.Wal.torn <> None);
+      Alcotest.(check bool) "only the prefix survives" true (s.Wal.valid < 20))
+
+(* --- the crash matrix ---
+
+   For a journaled GREEDY run: carve a copy of the store at every record
+   boundary and mid-record, recover, resume, and require the combined
+   summary to be bit-identical to the uninterrupted baseline.  A cut
+   inside the 4-record capacity prefix must instead fail cleanly (no
+   fabric to recover against). *)
+
+let policy = Policy.Fraction_of_max 0.8
+
+let n_prefix = 4 (* fabric2 = 2 ingress + 2 egress capacity records *)
+
+let baseline requests =
+  let result = Flexible.greedy (fabric2 ()) policy requests in
+  Summary.compute (fabric2 ()) ~all:requests ~accepted:result.Types.accepted
+
+let journal_run ?batch ?segment_bytes ?snapshot_bytes ~dir requests =
+  let t0 = List.fold_left (fun t (r : Request.t) -> Float.min t r.Request.ts) 0.0 requests in
+  let store =
+    Store.create ~config:(store_config ?batch ?segment_bytes ?snapshot_bytes ()) ~time:t0 ~dir
+      (fabric2 ())
+  in
+  let result = Flexible.greedy ~store (fabric2 ()) policy requests in
+  Store.close store;
+  result
+
+let resume_and_check ~label ~expected ~dir requests =
+  match Store.recover ~config:(store_config ()) ~dir () with
+  | Error msg -> Alcotest.failf "%s: recovery failed: %s" label msg
+  | Ok r ->
+      let result =
+        Flexible.greedy_resume ~store:r.Store.store r.Store.initial_fabric policy
+          ~restored:r.Store.accepted ~decided:r.Store.decided ~arrived:r.Store.arrived requests
+      in
+      Store.close r.Store.store;
+      let got = Summary.compute (fabric2 ()) ~all:requests ~accepted:result.Types.accepted in
+      if got <> expected then
+        Alcotest.failf "%s: resumed summary differs:@.baseline %a@.resumed %a" label Summary.pp
+          expected Summary.pp got;
+      (* The recovered bookings themselves must be a feasible schedule. *)
+      (match Reference.audit_allocations (fabric2 ()) (List.map snd r.Store.accepted) with
+      | [] -> ()
+      | vs -> Alcotest.failf "%s: %d audit violations on recovered state" label (List.length vs));
+      if not (Ledger.within_capacity (Store.ledger r.Store.store)) then
+        Alcotest.failf "%s: recovered mirror ledger exceeds capacity" label
+
+let expect_prefix_error ~label ~dir =
+  match Store.recover ~config:(store_config ()) ~dir () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s: recovery accepted a cut inside the capacity prefix" label
+
+let carve ~src ~scratch n =
+  if Sys.file_exists scratch then rm_rf scratch;
+  Torn.copy_store ~src ~dst:scratch;
+  Torn.truncate_at ~dir:scratch n;
+  scratch
+
+let crash_matrix seed () =
+  let requests = workload_of_seed ~n:30 seed in
+  let expected = baseline requests in
+  with_tmpdir (fun tmp ->
+      let src = Filename.concat tmp "src" in
+      let scratch = Filename.concat tmp "carved" in
+      ignore (journal_run ~batch:4 ~dir:src requests);
+      let boundaries, total = Torn.record_boundaries ~dir:src in
+      Alcotest.(check bool) "journal is non-trivial" true (List.length boundaries > n_prefix);
+      List.iteri
+        (fun kept boundary ->
+          (* Clean cut exactly before record [kept]... *)
+          let label = Printf.sprintf "seed %d, cut at record %d" seed kept in
+          let dir = carve ~src ~scratch boundary in
+          if kept < n_prefix then expect_prefix_error ~label ~dir
+          else resume_and_check ~label ~expected ~dir requests;
+          (* ...and a torn cut in the middle of record [kept]. *)
+          let next =
+            match List.nth_opt boundaries (kept + 1) with Some b -> b | None -> total
+          in
+          if next > boundary + 1 then begin
+            let label = Printf.sprintf "seed %d, torn inside record %d" seed kept in
+            let dir = carve ~src ~scratch (boundary + ((next - boundary) / 2)) in
+            if kept < n_prefix then expect_prefix_error ~label ~dir
+            else resume_and_check ~label ~expected ~dir requests
+          end)
+        boundaries)
+
+let test_flipped_byte_truncates () =
+  let requests = workload_of_seed ~n:30 3 in
+  let expected = baseline requests in
+  with_tmpdir (fun tmp ->
+      let src = Filename.concat tmp "src" in
+      let scratch = Filename.concat tmp "carved" in
+      ignore (journal_run ~batch:4 ~dir:src requests);
+      let boundaries, _total = Torn.record_boundaries ~dir:src in
+      (* Corrupt a byte inside a mid-log record: CRC (or the frame) breaks,
+         recovery truncates there and the resume still converges. *)
+      let target = List.nth boundaries (List.length boundaries / 2) in
+      if Sys.file_exists scratch then rm_rf scratch;
+      Torn.copy_store ~src ~dst:scratch;
+      Torn.flip_byte ~dir:scratch (target + 3);
+      resume_and_check ~label:"flipped byte" ~expected ~dir:scratch requests)
+
+let test_snapshot_recovery () =
+  let requests = workload_of_seed ~n:30 17 in
+  let expected = baseline requests in
+  with_tmpdir (fun tmp ->
+      let src = Filename.concat tmp "src" in
+      let scratch = Filename.concat tmp "carved" in
+      (* Tiny snapshot threshold: several snapshots over the run. *)
+      ignore (journal_run ~batch:4 ~snapshot_bytes:512 ~dir:src requests);
+      let snaps =
+        Sys.readdir src |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".json" && f <> "store.json")
+      in
+      Alcotest.(check bool) "snapshots were written" true (List.length snaps >= 1);
+      let _, total = Torn.record_boundaries ~dir:src in
+      let dir = carve ~src ~scratch (total - 7) in
+      (match Store.recover ~config:(store_config ()) ~dir () with
+      | Error msg -> Alcotest.failf "snapshot recovery failed: %s" msg
+      | Ok r ->
+          Alcotest.(check bool) "recovery started from a snapshot" true
+            (r.Store.snapshot_cursor > 0);
+          Store.close r.Store.store);
+      resume_and_check ~label:"snapshot + WAL tail" ~expected ~dir requests;
+      (* A corrupted newest snapshot is skipped, not fatal. *)
+      let dir = carve ~src ~scratch (total - 7) in
+      let newest = List.sort compare snaps |> List.rev |> List.hd in
+      let path = Filename.concat dir newest in
+      if Sys.file_exists path then begin
+        let oc = open_out_gen [ Open_wronly; Open_binary ] 0o644 path in
+        output_string oc "garbage";
+        close_out oc
+      end;
+      resume_and_check ~label:"corrupt snapshot skipped" ~expected ~dir requests)
+
+let test_double_crash () =
+  let requests = workload_of_seed ~n:30 3 in
+  let expected = baseline requests in
+  with_tmpdir (fun tmp ->
+      let src = Filename.concat tmp "src" in
+      let scratch = Filename.concat tmp "carved" in
+      ignore (journal_run ~batch:4 ~dir:src requests);
+      let boundaries, _ = Torn.record_boundaries ~dir:src in
+      let cut_a = List.nth boundaries (List.length boundaries / 3) in
+      let dir = carve ~src ~scratch cut_a in
+      (* First crash: recover and resume, journaling into the same store. *)
+      resume_and_check ~label:"first crash" ~expected ~dir requests;
+      (* Second crash: carve the resumed journal again, further in. *)
+      let boundaries2, _ = Torn.record_boundaries ~dir in
+      let cut_b = List.nth boundaries2 (2 * List.length boundaries2 / 3) in
+      Torn.truncate_at ~dir cut_b;
+      resume_and_check ~label:"second crash" ~expected ~dir requests)
+
+let test_store_metrics () =
+  let requests = workload_of_seed ~n:30 17 in
+  with_tmpdir (fun tmp ->
+      let dir = Filename.concat tmp "src" in
+      let obs = Obs.create () in
+      let t0 = List.fold_left (fun t (r : Request.t) -> Float.min t r.Request.ts) 0.0 requests in
+      let store =
+        Store.create ~config:(store_config ~batch:4 ()) ~obs ~time:t0 ~dir (fabric2 ())
+      in
+      ignore (Flexible.greedy ~store (fabric2 ()) policy requests);
+      Store.close store;
+      let m = Obs.metrics obs in
+      Alcotest.(check int) "wal_records_total counts every record" (Store.records store)
+        (Metrics.value (Metrics.counter m "store_wal_records_total"));
+      Alcotest.(check bool) "fsyncs happened" true
+        (Metrics.value (Metrics.counter m "store_fsync_total") > 0);
+      let h = Metrics.histogram m "store_fsync_batch_size" in
+      Alcotest.(check int) "batch histogram sums to the record count" (Store.records store)
+        (int_of_float (Metrics.hist_sum h));
+      (* Recovery counts the records it replayed. *)
+      let obs2 = Obs.create () in
+      match Store.recover ~config:(store_config ()) ~obs:obs2 ~dir () with
+      | Error msg -> Alcotest.failf "recover: %s" msg
+      | Ok r ->
+          Store.close r.Store.store;
+          Alcotest.(check int) "store_recovery_records" r.Store.replayed
+            (Metrics.value (Metrics.counter (Obs.metrics obs2) "store_recovery_records")))
+
+let test_create_refuses_existing () =
+  with_tmpdir (fun tmp ->
+      let dir = Filename.concat tmp "s" in
+      let store = Store.create ~config:(store_config ()) ~dir (fabric2 ()) in
+      Store.close store;
+      Alcotest.(check bool) "exists" true (Store.exists ~dir);
+      match Store.create ~config:(store_config ()) ~dir (fabric2 ()) with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "create over an existing store accepted")
+
+(* Random crash offsets, on top of the exhaustive boundary matrix. *)
+let prop_random_offset_recovers =
+  let requests = lazy (workload_of_seed ~n:30 3) in
+  let fixture =
+    lazy
+      (let requests = Lazy.force requests in
+       let dir = Filename.temp_file "gridbw-store-prop" "" in
+       Sys.remove dir;
+       Sys.mkdir dir 0o755;
+       ignore (journal_run ~batch:4 ~dir requests);
+       at_exit (fun () -> if Sys.file_exists dir then rm_rf dir);
+       (dir, snd (Torn.record_boundaries ~dir), baseline requests))
+  in
+  qcase ~count:25 "store: recovery converges from a random crash offset"
+    QCheck2.Gen.(int_range 0 10_000_000)
+    (fun raw ->
+      let src, total, expected = Lazy.force fixture in
+      let requests = Lazy.force requests in
+      let n = raw mod total in
+      let scratch = src ^ "-carved" in
+      let dir = carve ~src ~scratch n in
+      Fun.protect
+        ~finally:(fun () -> if Sys.file_exists scratch then rm_rf scratch)
+        (fun () ->
+          match Store.recover ~config:(store_config ()) ~dir () with
+          | Error _ ->
+              (* Only legitimate inside the capacity prefix. *)
+              let kept = (Wal.scan ~dir).Wal.valid in
+              kept < n_prefix
+          | Ok r ->
+              let result =
+                Flexible.greedy_resume ~store:r.Store.store r.Store.initial_fabric policy
+                  ~restored:r.Store.accepted ~decided:r.Store.decided ~arrived:r.Store.arrived
+                  requests
+              in
+              Store.close r.Store.store;
+              Summary.compute (fabric2 ()) ~all:requests ~accepted:result.Types.accepted
+              = expected))
+
+let suites =
+  [
+    ( "store",
+      [
+        case "wal: frame round-trip, corruption detected" test_frame_roundtrip;
+        case "wal: group commit fsyncs per batch" test_group_commit;
+        case "wal: segments rotate and reopen" test_segment_rotation;
+        case "wal: segment gap orphans the tail" test_segment_gap_orphans_tail;
+        case "store: create refuses an existing store" test_create_refuses_existing;
+        case "crash matrix: every boundary and torn record (seed 3)" (crash_matrix 3);
+        case "crash matrix: every boundary and torn record (seed 17)" (crash_matrix 17);
+        case "crash: flipped byte truncates at the CRC" test_flipped_byte_truncates;
+        case "crash: snapshot + WAL tail recovery" test_snapshot_recovery;
+        case "crash: double crash, recover twice" test_double_crash;
+        case "metrics: store counters land in the registry" test_store_metrics;
+        prop_random_offset_recovers;
+      ] );
+  ]

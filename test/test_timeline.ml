@@ -209,6 +209,51 @@ let probe_count_tracks_range_queries () =
   ignore (Ledger.breakpoints l (Port.Ingress 0));
   Alcotest.(check int) "usage_at/breakpoints do not probe" 5 (Ledger.probe_count l)
 
+(* --- Ledger.dump / restore: the durable-snapshot codec's round trip,
+   checked against the Profile_ref oracle and independent of lib/store --- *)
+
+let check_dump_roundtrip ~exact ops =
+  let fabric = fabric2 () in
+  let l = Ledger.create fabric in
+  let mirror_i = Array.init 2 (fun _ -> ref Profile_ref.empty) in
+  let mirror_e = Array.init 2 (fun _ -> ref Profile_ref.empty) in
+  (* Ports derive from the op's interval, so a cancelling removal (same
+     interval, negated bw) lands on the same ports as its add. *)
+  let ports (Add (f, u, _)) =
+    (abs (int_of_float (f *. 4.)) mod 2, abs (int_of_float (u *. 4.)) mod 2)
+  in
+  List.iter
+    (fun (Add (f, u, b) as op) ->
+      let i, e = ports op in
+      if b > 0. then Ledger.reserve_interval l ~ingress:i ~egress:e ~bw:b ~from_:f ~until:u
+      else Ledger.release_interval l ~ingress:i ~egress:e ~bw:(-.b) ~from_:f ~until:u;
+      mirror_i.(i) := Profile_ref.add !(mirror_i.(i)) ~from_:f ~until:u b;
+      mirror_e.(e) := Profile_ref.add !(mirror_e.(e)) ~from_:f ~until:u b)
+    ops;
+  let restored = Ledger.restore fabric (Ledger.dump l) in
+  let check name a b =
+    if exact then eq_exact name a b
+    else if not (approx a b) then Alcotest.failf "%s: oracle %.17g vs restored %.17g" name a b
+  in
+  List.iter
+    (fun t ->
+      for p = 0 to 1 do
+        check
+          (Printf.sprintf "ingress %d usage_at %g" p t)
+          (Profile_ref.usage_at !(mirror_i.(p)) t)
+          (Ledger.usage_at restored (Port.Ingress p) t);
+        check
+          (Printf.sprintf "egress %d usage_at %g" p t)
+          (Profile_ref.usage_at !(mirror_e.(p)) t)
+          (Ledger.usage_at restored (Port.Egress p) t)
+      done)
+    (queries ops);
+  (* On the representable grid, restore ∘ dump is a fixpoint after one
+     round: dumping the restored ledger is bit-identical. *)
+  if exact then
+    Alcotest.(check bool) "dump idempotent" true (Ledger.dump restored = Ledger.dump l);
+  true
+
 (* --- scheduler interface vs direct heuristic calls --- *)
 
 let scheduler_matches_direct () =
@@ -249,6 +294,10 @@ let suites =
     ( "ledger-port",
       [
         case "within_capacity on random workload" ledger_within_capacity_random;
+        qcase ~count:200 "dump/restore: exact round-trip on grid ops" grid_ops
+          (check_dump_roundtrip ~exact:true);
+        qcase ~count:200 "dump/restore: tolerant round-trip on float ops" float_ops
+          (check_dump_roundtrip ~exact:false);
         case "headroom_over is capacity minus max" ledger_headroom_consistent;
         case "probe_count tracks range queries" probe_count_tracks_range_queries;
         case "scheduler dispatch matches direct call" scheduler_matches_direct;
