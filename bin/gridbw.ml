@@ -23,6 +23,9 @@ module Sink = Gridbw_obs.Sink
 module Event = Gridbw_obs.Event
 module Store = Gridbw_store.Store
 module Wal = Gridbw_store.Wal
+module Json = Gridbw_obs.Json
+module Daemon = Gridbw_serve.Daemon
+module Loadgen = Gridbw_serve.Loadgen
 
 (* --- shared options --- *)
 
@@ -461,7 +464,88 @@ let recover_cmd =
          & info [ "metrics-out" ] ~docv:"FILE"
              ~doc:"Dump the telemetry registry (recovery counters included) to $(docv).")
   in
-  let run dir metrics_out =
+  let json_t =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Machine-readable output: one JSON object on stdout with the record \
+                   counts, the audit verdict, and every surviving accepted allocation \
+                   (bit-exact floats).  Exit status 1 when the audit fails.")
+  in
+  (* The machine-readable path the serve-smoke drill consumes: recover,
+     audit, and dump every surviving accepted allocation with bit-exact
+     floats so acked responses can be compared field by field. *)
+  let run_json dir =
+    let obs = Obs.create () in
+    match Store.recover ~obs ~dir () with
+    | Error msg ->
+        print_endline
+          (Json.to_string (Json.Obj [ ("ok", Json.Bool false); ("error", Json.Str msg) ]));
+        exit 1
+    | Ok r ->
+        let rec split_prefix = function
+          | Event.Capacity _ :: rest -> split_prefix rest
+          | rest -> rest
+        in
+        let body = split_prefix r.Store.events in
+        let engine_driven =
+          List.exists
+            (function Event.Capacity _ | Event.Preempt _ | Event.Shed _ -> true | _ -> false)
+            body
+        in
+        let ledger_ok = Gridbw_alloc.Ledger.within_capacity (Store.ledger r.Store.store) in
+        let violations =
+          if engine_driven then []
+          else
+            List.map Gridbw_check.Reference.describe
+              (Gridbw_check.Reference.audit_allocations r.Store.initial_fabric
+                 (List.map snd r.Store.accepted))
+        in
+        let violations =
+          if ledger_ok then violations else violations @ [ "recovered ledger exceeds capacity" ]
+        in
+        let audit =
+          if violations <> [] then "failed" else if engine_driven then "skipped" else "clean"
+        in
+        let accepted =
+          List.map
+            (fun (time, a) ->
+              let open Gridbw_alloc.Allocation in
+              Json.Obj
+                [
+                  ("id", Json.Num (float_of_int a.request.Gridbw_request.Request.id));
+                  ("bw", Json.Num a.bw);
+                  ("sigma", Json.Num a.sigma);
+                  ("tau", Json.Num a.tau);
+                  ("decided_at", Json.Num time);
+                ])
+            r.Store.accepted
+        in
+        print_endline
+          (Json.to_string
+             (Json.Obj
+                [
+                  ("ok", Json.Bool (audit <> "failed"));
+                  ("records", Json.Num (float_of_int (Store.records r.Store.store)));
+                  ("snapshot_cursor", Json.Num (float_of_int r.Store.snapshot_cursor));
+                  ("replayed", Json.Num (float_of_int r.Store.replayed));
+                  ("truncated_bytes", Json.Num (float_of_int r.Store.truncated_bytes));
+                  ("audit", Json.Str audit);
+                  ("violations", Json.List (List.map (fun v -> Json.Str v) violations));
+                  ("accepted", Json.List accepted);
+                  ("cancelled",
+                   Json.List
+                     (List.filter_map
+                        (function
+                          | Event.Preempt { id; _ } -> Some (Json.Num (float_of_int id))
+                          | _ -> None)
+                        r.Store.events));
+                ]));
+        Store.close r.Store.store;
+        if audit = "failed" then exit 1
+  in
+  let run dir json metrics_out =
+    if json then run_json dir
+    else
     let obs = Obs.create () in
     match Store.recover ~obs ~dir () with
     | Error msg ->
@@ -533,7 +617,7 @@ let recover_cmd =
     (Cmd.info "recover"
        ~doc:"Recover a durable store: truncate the torn WAL tail, rebuild and audit the \
              journaled admission state, print the journaled run's summary.")
-    Term.(const run $ dir_t $ metrics_out_t)
+    Term.(const run $ dir_t $ json_t $ metrics_out_t)
 
 (* --- fuzz command --- *)
 
@@ -684,11 +768,177 @@ let hotspot_cmd =
     (Cmd.info "hotspot" ~doc:"Per-port pressure analysis of a workload trace (section 7).")
     Term.(const run $ trace_t $ heuristic_t $ policy_t $ step_t)
 
+(* --- serve / loadgen commands --- *)
+
+let hostport_conv =
+  let parse s =
+    match String.rindex_opt s ':' with
+    | None -> Error (`Msg "expected HOST:PORT")
+    | Some i -> (
+        let host = String.sub s 0 i in
+        let port = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p > 0 && p < 65536 -> Ok (host, p)
+        | _ -> Error (`Msg ("bad port: " ^ port)))
+  in
+  Arg.conv (parse, fun ppf (h, p) -> Format.fprintf ppf "%s:%d" h p)
+
+let transport_of cmd socket tcp =
+  match (socket, tcp) with
+  | Some path, None -> Daemon.Unix_socket path
+  | None, Some (host, port) -> Daemon.Tcp (host, port)
+  | _ ->
+      Printf.eprintf "%s: exactly one of --socket or --tcp is required\n" cmd;
+      exit 2
+
+let socket_t =
+  Arg.(value & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket $(docv).")
+
+let tcp_t =
+  Arg.(value & opt (some hostport_conv) None
+       & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"TCP endpoint $(docv).")
+
+let serve_cmd =
+  let policy_t =
+    Arg.(value & opt policy_conv (Policy.Fraction_of_max 0.8)
+         & info [ "policy" ] ~docv:"P" ~doc:"minrate or a MaxRate fraction f in [0,1].")
+  in
+  let store_dir_t =
+    Arg.(value & opt (some string) None
+         & info [ "store-dir" ] ~docv:"DIR"
+             ~doc:"Journal every decision durably into $(docv) before acking it \
+                   (write-ack-after-fsync).  If $(docv) already holds a store, recover \
+                   it, audit it, and resume serving.")
+  in
+  let store_batch_t =
+    Arg.(value & opt int Wal.default_config.Wal.batch
+         & info [ "store-batch" ] ~docv:"N" ~doc:"Group commit: fsync the WAL every $(docv) records.")
+  in
+  let store_kill_t =
+    Arg.(value & opt (some int) None
+         & info [ "store-kill-after" ] ~docv:"N"
+             ~doc:"Crash drill: SIGKILL the daemon mid-append of WAL record $(docv), \
+                   leaving a torn record on disk (testing aid).")
+  in
+  let max_frame_t =
+    Arg.(value & opt int Gridbw_serve.Frame.max_frame_default
+         & info [ "max-frame" ] ~docv:"BYTES" ~doc:"Largest accepted frame payload.")
+  in
+  let run socket tcp policy store_dir store_batch store_kill max_frame =
+    let transport = transport_of "serve" socket tcp in
+    let store_config =
+      { Store.default_config with
+        wal = { Wal.default_config with Wal.batch = store_batch };
+        kill_after = store_kill }
+    in
+    let cfg =
+      { (Daemon.default_config ~policy ?store_dir transport) with
+        Daemon.store_config; max_frame }
+    in
+    match Daemon.create ~log:(fun s -> Printf.eprintf "serve: %s\n%!" s) cfg with
+    | Error e ->
+        Printf.eprintf "serve: %s\n" e;
+        exit 1
+    | Ok d ->
+        Daemon.install_signal_handlers d;
+        Daemon.run d
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the admission daemon: a durable, auditable admission service speaking \
+             the versioned JSONL protocol over a Unix or TCP socket.")
+    Term.(const run $ socket_t $ tcp_t $ policy_t $ store_dir_t $ store_batch_t
+          $ store_kill_t $ max_frame_t)
+
+let loadgen_cmd =
+  let conns_t =
+    Arg.(value & opt int 4
+         & info [ "connections" ] ~docv:"N" ~doc:"Concurrent closed-loop clients.")
+  in
+  let requests_t =
+    Arg.(value & opt int 10_000 & info [ "requests" ] ~docv:"N" ~doc:"Total requests to send.")
+  in
+  let lg_seed_t =
+    Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED" ~doc:"Workload PRNG seed.")
+  in
+  let mean_ia_t =
+    Arg.(value & opt float 0.25
+         & info [ "mean-interarrival" ] ~docv:"S" ~doc:"Mean arrival spacing of the drawn workload.")
+  in
+  let slack_t =
+    Arg.(value & opt float 4.0 & info [ "max-slack" ] ~docv:"U" ~doc:"Window slack bound (>= 1).")
+  in
+  let cancel_t =
+    Arg.(value & opt int 0
+         & info [ "cancel-every" ] ~docv:"N" ~doc:"Cancel every $(docv)th admitted transfer (0 = never).")
+  in
+  let acks_t =
+    Arg.(value & opt (some string) None
+         & info [ "acks" ] ~docv:"FILE"
+             ~doc:"Journal every received response payload to $(docv), one JSON line each \
+                   (verbatim wire bytes) — the kill-drill evidence file.")
+  in
+  let tolerate_t =
+    Arg.(value & flag
+         & info [ "tolerate-disconnect" ]
+             ~doc:"A dropped connection stops that client quietly instead of failing the run.")
+  in
+  let bench_out_t =
+    Arg.(value & opt (some string) None
+         & info [ "bench-out" ] ~docv:"FILE" ~doc:"Write the report as a JSON object to $(docv).")
+  in
+  let shutdown_t =
+    Arg.(value & flag
+         & info [ "shutdown" ] ~doc:"Send the shutdown verb once the run completes.")
+  in
+  let run socket tcp conns requests seed mean_ia slack cancel_every acks_path tolerate
+      bench_out shutdown =
+    let transport = transport_of "loadgen" socket tcp in
+    let acks = Option.map open_out acks_path in
+    let cfg =
+      Loadgen.default_config ~connections:conns ~requests ~seed ~mean_interarrival:mean_ia
+        ~max_slack:slack ~cancel_every ?acks ~tolerate_disconnect:tolerate transport
+    in
+    Provenance.print ~cmd:"loadgen"
+      [ Provenance.seed seed; Provenance.int "requests" requests;
+        Provenance.int "connections" conns ];
+    match Loadgen.run ~log:(fun s -> Printf.eprintf "%s\n%!" s) cfg with
+    | Error e ->
+        Option.iter close_out acks;
+        Printf.eprintf "loadgen: %s\n" e;
+        exit 1
+    | Ok report ->
+        Option.iter close_out acks;
+        Option.iter (Printf.eprintf "wrote %s\n%!") acks_path;
+        Format.printf "%a@." Loadgen.pp_report report;
+        Option.iter
+          (fun path ->
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> output_string oc (Loadgen.report_to_json report ^ "\n"));
+            Printf.eprintf "wrote %s\n%!" path)
+          bench_out;
+        if shutdown then
+          match Loadgen.shutdown transport with
+          | Ok records -> Printf.eprintf "daemon stopped (%d journal records)\n%!" records
+          | Error e ->
+              Printf.eprintf "loadgen: shutdown: %s\n" e;
+              exit 1
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Drive a running admission daemon with a seeded closed-loop workload and \
+             report throughput and latency percentiles.")
+    Term.(const run $ socket_t $ tcp_t $ conns_t $ requests_t $ lg_seed_t $ mean_ia_t
+          $ slack_t $ cancel_t $ acks_t $ tolerate_t $ bench_out_t $ shutdown_t)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "gridbw" ~version:"1.0.0"
        ~doc:"Optimal bandwidth sharing in grid environments (HPDC'06) — reproduction toolkit.")
     [ figure_cmd; table_cmd; all_cmd; workload_cmd; run_cmd; replay_trace_cmd; recover_cmd;
-      fuzz_cmd; hotspot_cmd ]
+      fuzz_cmd; hotspot_cmd; serve_cmd; loadgen_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

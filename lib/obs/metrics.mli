@@ -45,6 +45,15 @@ val hist_sum : histogram -> float
 val hist_buckets : histogram -> (float * int) list
 (** Non-empty buckets as [(upper_bound, count)], ascending. *)
 
+val percentile : histogram -> float -> float
+(** [percentile h q] estimates the [q]-quantile ([q ∈ \[0,1\]],
+    nearest-rank) of the observed samples: the estimate interpolates
+    linearly inside the log₂ bucket holding rank [ceil (q·n)], so for
+    non-negative samples it is guaranteed to land in the same
+    power-of-two bucket as the exact order statistic (relative error
+    < 2×).  [nan] on an empty histogram; raises [Invalid_argument] when
+    [q] is outside [\[0,1\]]. *)
+
 (** {2 Dumps}
 
     Both renderings list instruments in name order, so output is

@@ -1,0 +1,75 @@
+(** The daemon's admission state machine, socket-free.
+
+    Composes the {!Gridbw_core.Online} controller (paper constraint set
+    (1), GREEDY-style: decide at submission time) with the durable
+    journal: every [admit] journals an [Arrival] plus its decision, every
+    effective [cancel] a [Preempt], through the same event codec the
+    batch runs use — so [gridbw recover] and [gridbw replay-trace] read a
+    daemon's store exactly like a batch run's.
+
+    Durability contract: {!handle} only {e applies and journals}; records
+    may still sit in the WAL's unsynced tail.  The caller must
+    {!flush} (fsync) before releasing any response to the wire —
+    {!Daemon} does this once per event-loop round (group commit).
+
+    Virtual time: the controller clock is the max decision time seen so
+    far; an admit for a request whose [ts] is already past decides at the
+    clock ([sigma >= ts] still holds, the policy recomputes the rate
+    against the residual window).  Request [ts] must be [>= 0] so the
+    journal stays monotone past its capacity prefix. *)
+
+type t
+
+val create :
+  ?obs:Gridbw_obs.Obs.ctx ->
+  ?store:Gridbw_store.Store.t ->
+  policy:Gridbw_core.Policy.t ->
+  Gridbw_topology.Fabric.t ->
+  t
+(** Fresh state.  [obs] supplies the metrics registry the [stats] verb
+    dumps (a fresh enabled one is created when omitted); with [store],
+    decisions are journaled and {!flush} becomes meaningful. *)
+
+val of_recovered :
+  ?obs:Gridbw_obs.Obs.ctx ->
+  policy:Gridbw_core.Policy.t ->
+  Gridbw_store.Store.recovered ->
+  (t, string) result
+(** Resume from a recovered store: re-book every surviving admission in
+    decision order (bit-identical controller state), rebuild the decision
+    table (accepted / rejected / cancelled) for [query], and audit the
+    recovered ledger against {!Gridbw_check.Reference} before serving —
+    [Error] describes the first violation if the journal is unsound.
+    Journals with preemptions (cancels) skip the whole-window reference
+    audit, like [gridbw recover] does, but still check ledger capacity. *)
+
+val handle : t -> Protocol.request -> Protocol.response
+(** Decide one request.  Total: validation failures come back as typed
+    [Error] responses.  Duplicate [admit] ids return the recorded
+    decision again without re-deciding (at-least-once retries are safe);
+    [cancel] of an already-cancelled id is likewise idempotent. *)
+
+val dirty : t -> bool
+(** Unflushed journal records exist: the responses of this round must not
+    be released before {!flush}. *)
+
+val flush : t -> unit
+(** {!Gridbw_store.Store.flush} + clear {!dirty}.  No-op without a
+    store. *)
+
+val snapshot : t -> unit
+(** Snapshot the store now (graceful-shutdown path).  No-op without a
+    store. *)
+
+val close : t -> unit
+
+val records : t -> int
+(** Journal records so far (0 without a store). *)
+
+val accepted_count : t -> int
+val rejected_count : t -> int
+val active_count : t -> int
+
+val obs : t -> Gridbw_obs.Obs.ctx
+(** The telemetry context (shared metrics registry) — the [stats] verb
+    dumps its registry. *)

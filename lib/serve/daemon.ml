@@ -1,0 +1,294 @@
+(* The serve event loop.  See daemon.mli. *)
+
+module Obs = Gridbw_obs.Obs
+module Store = Gridbw_store.Store
+module Policy = Gridbw_core.Policy
+module Fabric = Gridbw_topology.Fabric
+
+type transport = Unix_socket of string | Tcp of string * int
+
+type config = {
+  transport : transport;
+  policy : Policy.t;
+  fabric : Fabric.t;
+  store_dir : string option;
+  store_config : Store.config;
+  max_frame : int;
+  tick : float;
+}
+
+let default_config ?(policy = Policy.Fraction_of_max 0.8)
+    ?(fabric = Fabric.paper_default ()) ?store_dir transport =
+  {
+    transport;
+    policy;
+    fabric;
+    store_dir;
+    store_config = Store.default_config;
+    max_frame = Frame.max_frame_default;
+    tick = 0.1;
+  }
+
+type conn = { fd : Unix.file_descr; session : Session.t; mutable eof : bool }
+
+type t = {
+  cfg : config;
+  listener : Unix.file_descr;
+  adm : Admission.t;
+  obs : Obs.ctx;
+  log : string -> unit;
+  mutable conns : conn list;
+  mutable next_conn : int;
+  mutable stopping : bool;
+}
+
+let admission t = t.adm
+let connections t = List.length t.conns
+let stop t = t.stopping <- true
+
+let install_signal_handlers t =
+  let h = Sys.Signal_handle (fun _ -> stop t) in
+  Sys.set_signal Sys.sigterm h;
+  Sys.set_signal Sys.sigint h
+
+(* --- startup --- *)
+
+let bind_listener = function
+  | Unix_socket path ->
+      if Sys.file_exists path then Unix.unlink path;
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 128;
+      fd
+  | Tcp (host, port) ->
+      let addr =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+          | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+          | _ -> failwith (Printf.sprintf "cannot resolve host %S" host))
+      in
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (addr, port));
+      Unix.listen fd 128;
+      fd
+
+let transport_name = function
+  | Unix_socket path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let make_admission ~obs ~log cfg =
+  match cfg.store_dir with
+  | None ->
+      log "serving without a store (decisions are not durable)";
+      Ok (Admission.create ~obs ~policy:cfg.policy cfg.fabric)
+  | Some dir when not (Store.exists ~dir) ->
+      let store =
+        Store.create ~config:cfg.store_config ~obs ~time:0. ~dir cfg.fabric
+      in
+      log (Printf.sprintf "initialized store %s" dir);
+      Ok (Admission.create ~obs ~store ~policy:cfg.policy cfg.fabric)
+  | Some dir -> (
+      match Store.recover ~config:cfg.store_config ~obs ~dir () with
+      | Error e -> Error (Printf.sprintf "cannot recover store %s: %s" dir e)
+      | Ok r -> (
+          log
+            (Printf.sprintf
+               "recovered store %s: %d records (%d from snapshot, %d replayed, %d torn bytes dropped)"
+               dir (Store.records r.Store.store) r.Store.snapshot_cursor
+               r.Store.replayed r.Store.truncated_bytes);
+          match Admission.of_recovered ~obs ~policy:cfg.policy r with
+          | Error e -> Error e
+          | Ok adm ->
+              log
+                (Printf.sprintf "audit clean; resuming with %d active transfers"
+                   (Admission.active_count adm));
+              Ok adm))
+
+let create ?obs ?(log = fun _ -> ()) cfg =
+  Policy.validate cfg.policy;
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  match make_admission ~obs ~log cfg with
+  | Error e -> Error e
+  | Ok adm -> (
+      match bind_listener cfg.transport with
+      | exception Unix.Unix_error (err, _, _) ->
+          Admission.close adm;
+          Error
+            (Printf.sprintf "cannot bind %s: %s"
+               (transport_name cfg.transport)
+               (Unix.error_message err))
+      | exception Failure e ->
+          Admission.close adm;
+          Error (Printf.sprintf "cannot bind %s: %s" (transport_name cfg.transport) e)
+      | listener ->
+          Unix.set_nonblock listener;
+          log (Printf.sprintf "listening on %s" (transport_name cfg.transport));
+          Ok
+            {
+              cfg;
+              listener;
+              adm;
+              obs;
+              log;
+              conns = [];
+              next_conn = 0;
+              stopping = false;
+            })
+
+(* --- the event loop --- *)
+
+let peer_name = function
+  | Unix.ADDR_UNIX _ -> "unix"
+  | Unix.ADDR_INET (a, p) -> Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+
+let rec accept_all t =
+  match Unix.accept ~cloexec:true t.listener with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_all t
+  | fd, addr ->
+      Unix.set_nonblock fd;
+      let id = t.next_conn in
+      t.next_conn <- id + 1;
+      let session =
+        Session.create ~max_frame:t.cfg.max_frame ~id ~peer:(peer_name addr) ()
+      in
+      Obs.count t.obs "serve_connections_total";
+      t.conns <- t.conns @ [ { fd; session; eof = false } ];
+      accept_all t
+
+let close_conn t c =
+  (try Unix.close c.fd with Unix.Unix_error _ -> ());
+  t.conns <- List.filter (fun c' -> c' != c) t.conns
+
+let scratch = Bytes.create 65536
+
+(* Read everything currently available on [c]; feed it to the session. *)
+let rec read_conn c =
+  match Unix.read c.fd scratch 0 (Bytes.length scratch) with
+  | 0 -> c.eof <- true
+  | n ->
+      Session.feed c.session (Bytes.sub_string scratch 0 n);
+      if n = Bytes.length scratch then read_conn c
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_conn c
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _)
+    ->
+      c.eof <- true
+
+let write_conn c =
+  if Session.pending c.session then
+    let chunk = Session.out_chunk c.session in
+    match Unix.write_substring c.fd chunk 0 (String.length chunk) with
+    | n -> Session.wrote c.session n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception
+        Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _) ->
+      c.eof <- true
+
+(* Drain one connection's decoded messages into the round's response list.
+   Responses are not queued on the session yet: the whole round is held
+   back until the store flush below (ack-after-fsync). *)
+let handle_ready t c acc =
+  let rec loop acc =
+    match Session.next c.session with
+    | None -> acc
+    | Some msg ->
+        let resp =
+          match msg with
+          | Session.Request Protocol.Shutdown ->
+              t.stopping <- true;
+              Obs.count t.obs "serve_requests_total";
+              Admission.handle t.adm Protocol.Shutdown
+          | Session.Request req ->
+              Obs.count t.obs "serve_requests_total";
+              Obs.span t.obs "serve_handle" (fun () -> Admission.handle t.adm req)
+          | Session.Undecodable resp | Session.Broken resp ->
+              Obs.count t.obs "serve_protocol_errors_total";
+              resp
+        in
+        loop ((c, resp) :: acc)
+  in
+  loop acc
+
+let round t ~readable =
+  (* 1. decode + decide, collecting responses in arrival order *)
+  let responses =
+    List.rev (List.fold_left (fun acc c -> handle_ready t c acc) [] readable)
+  in
+  (* 2. make the round's decisions durable before anyone hears about them *)
+  if Admission.dirty t.adm then begin
+    Obs.span t.obs "serve_flush" (fun () -> Admission.flush t.adm);
+    Obs.count t.obs "serve_flushes_total"
+  end;
+  (* 3. release the acks *)
+  List.iter (fun (c, resp) -> Session.queue c.session resp) responses
+
+let sweep_closed t =
+  let snapshot = t.conns in
+  List.iter
+    (fun c ->
+      if (c.eof || Session.want_close c.session) && not (Session.pending c.session)
+      then close_conn t c)
+    snapshot
+
+let run t =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  while not t.stopping do
+    let read_fds = t.listener :: List.map (fun c -> c.fd) t.conns in
+    let write_fds =
+      List.filter_map
+        (fun c -> if Session.pending c.session then Some c.fd else None)
+        t.conns
+    in
+    match Unix.select read_fds write_fds [] t.cfg.tick with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready_r, ready_w, _ ->
+        if List.mem t.listener ready_r then accept_all t;
+        let readable =
+          List.filter (fun c -> List.mem c.fd ready_r) t.conns
+        in
+        List.iter read_conn readable;
+        round t ~readable;
+        List.iter
+          (fun c -> if List.mem c.fd ready_w || Session.pending c.session then write_conn c)
+          t.conns;
+        sweep_closed t;
+        Obs.set_gauge t.obs "serve_connections_active"
+          (float_of_int (List.length t.conns))
+  done;
+  (* Graceful shutdown: stop accepting, drain pending output briefly,
+     then flush + snapshot + close the store. *)
+  t.log "shutting down: draining connections";
+  (try Unix.close t.listener with Unix.Unix_error _ -> ());
+  let deadline = Unix.gettimeofday () +. 2.0 in
+  let rec drain () =
+    let pending = List.filter (fun c -> Session.pending c.session) t.conns in
+    if pending <> [] && Unix.gettimeofday () < deadline then begin
+      (match
+         Unix.select [] (List.map (fun c -> c.fd) pending) [] 0.05
+       with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | _, ready_w, _ ->
+          List.iter
+            (fun c -> if List.mem c.fd ready_w then write_conn c)
+            pending);
+      List.iter (fun c -> if c.eof then close_conn t c) pending;
+      drain ()
+    end
+  in
+  drain ();
+  List.iter (fun c -> close_conn t c) t.conns;
+  (match t.cfg.transport with
+  | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ());
+  Admission.flush t.adm;
+  Admission.snapshot t.adm;
+  Admission.close t.adm;
+  t.log
+    (Printf.sprintf "stopped: %d journal records, %d accepted, %d rejected"
+       (Admission.records t.adm)
+       (Admission.accepted_count t.adm)
+       (Admission.rejected_count t.adm))

@@ -1,0 +1,95 @@
+(* Length-prefixed framing.  See frame.mli for the format. *)
+
+type error = Oversized of int | Malformed_length of string | Missing_terminator
+
+let describe = function
+  | Oversized n -> Printf.sprintf "oversized frame (%d bytes declared)" n
+  | Malformed_length what -> "malformed length prefix: " ^ what
+  | Missing_terminator -> "missing frame terminator (framing desynchronized)"
+
+let max_frame_default = 1024 * 1024
+
+(* A length field longer than this cannot describe any frame we would
+   accept (10 decimal digits > 1 GiB); treating it as malformed bounds
+   how much garbage a broken peer can make us buffer. *)
+let max_digits = 10
+
+let encode payload =
+  let len = string_of_int (String.length payload) in
+  let b = Buffer.create (String.length payload + String.length len + 2) in
+  Buffer.add_string b len;
+  Buffer.add_char b ' ';
+  Buffer.add_string b payload;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+type decoder = { max_frame : int; mutable data : string; mutable err : error option }
+
+let decoder ?(max_frame = max_frame_default) () = { max_frame; data = ""; err = None }
+
+let feed d s = if String.length s > 0 then d.data <- d.data ^ s
+let buffered d = String.length d.data
+
+let is_digit c = c >= '0' && c <= '9'
+
+let fail d e =
+  d.err <- Some e;
+  Error e
+
+let next d =
+  match d.err with
+  | Some e -> Error e
+  | None ->
+      let s = d.data in
+      let n = String.length s in
+      let j = ref 0 in
+      while !j < n && is_digit s.[!j] do incr j done;
+      let j = !j in
+      if j > max_digits then fail d (Malformed_length "length field too long")
+      else if j >= n then Ok None (* possibly a truncated prefix: wait for more bytes *)
+      else if j = 0 then
+        fail d (Malformed_length (Printf.sprintf "expected a digit, got %C" s.[0]))
+      else if s.[j] <> ' ' then
+        fail d (Malformed_length (Printf.sprintf "expected ' ' after length, got %C" s.[j]))
+      else
+        let len = int_of_string (String.sub s 0 j) in
+        if len > d.max_frame then fail d (Oversized len)
+        else
+          let need = j + 1 + len + 1 in
+          if n < need then Ok None
+          else if s.[j + 1 + len] <> '\n' then fail d Missing_terminator
+          else begin
+            let payload = String.sub s (j + 1) len in
+            d.data <- String.sub s need (n - need);
+            Ok (Some payload)
+          end
+
+(* --- blocking channel helpers (the loadgen / test client side) --- *)
+
+let input ?(max_frame = max_frame_default) ic =
+  let rec read_len acc digits =
+    match input_char ic with
+    | exception End_of_file -> Error `Eof
+    | ' ' when digits > 0 -> Ok acc
+    | c when is_digit c ->
+        if digits >= max_digits then Error (`Frame (Malformed_length "length field too long"))
+        else read_len ((acc * 10) + (Char.code c - Char.code '0')) (digits + 1)
+    | c -> Error (`Frame (Malformed_length (Printf.sprintf "unexpected %C in length" c)))
+  in
+  match read_len 0 0 with
+  | Error _ as e -> e
+  | Ok len ->
+      if len > max_frame then Error (`Frame (Oversized len))
+      else begin
+        match really_input_string ic len with
+        | exception End_of_file -> Error `Eof
+        | payload -> (
+            match input_char ic with
+            | exception End_of_file -> Error `Eof
+            | '\n' -> Ok payload
+            | _ -> Error (`Frame Missing_terminator))
+      end
+
+let output oc payload =
+  output_string oc (encode payload);
+  flush oc

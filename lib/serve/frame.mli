@@ -1,0 +1,55 @@
+(** Length-prefixed framing for the [gridbw serve] wire protocol.
+
+    One frame is ["%d %s\n"] — the payload byte length in ASCII decimal,
+    one space, the payload, one newline.  The prefix makes frame
+    boundaries explicit (the payload may contain anything, newlines
+    included), the trailing newline is a cheap integrity check: a peer
+    whose framing drifted out of sync fails loudly instead of silently
+    re-interpreting payload bytes as lengths.
+
+    Decoding is incremental and total: {!feed} bytes as they arrive,
+    {!next} yields complete payloads or a typed {!error} — malformed
+    input never raises. *)
+
+type error =
+  | Oversized of int  (** declared payload length exceeds [max_frame] *)
+  | Malformed_length of string
+      (** the length prefix is not a plain decimal number followed by a
+          space (leading garbage, no digits, or an unterminated run
+          longer than any sane length field) *)
+  | Missing_terminator
+      (** the byte after the declared payload is not ['\n'] — framing
+          has desynchronized *)
+
+val describe : error -> string
+
+val max_frame_default : int
+(** 1 MiB. *)
+
+val encode : string -> string
+(** The framed bytes for one payload. *)
+
+(** {2 Incremental decoding} *)
+
+type decoder
+
+val decoder : ?max_frame:int -> unit -> decoder
+
+val feed : decoder -> string -> unit
+(** Append raw bytes from the wire. *)
+
+val next : decoder -> (string option, error) result
+(** [Ok (Some payload)] — one complete frame consumed; [Ok None] — more
+    bytes needed; [Error _] — the stream is broken (the decoder stays
+    broken: framing errors are not recoverable). *)
+
+val buffered : decoder -> int
+(** Bytes fed but not yet consumed by {!next}. *)
+
+(** {2 Blocking helpers (client side)} *)
+
+val input : ?max_frame:int -> in_channel -> (string, [ `Frame of error | `Eof ]) result
+(** Read exactly one frame from a blocking channel. *)
+
+val output : out_channel -> string -> unit
+(** Write one framed payload and flush the channel. *)

@@ -1,0 +1,68 @@
+(* Per-connection protocol state.  See session.mli. *)
+
+type t = {
+  id : int;
+  peer : string;
+  decoder : Frame.decoder;
+  mutable out : string;  (* encoded bytes not yet on the wire *)
+  mutable closing : bool;
+  mutable frames_in : int;
+  mutable responses_out : int;
+  mutable errors : int;
+}
+
+let create ?max_frame ~id ~peer () =
+  {
+    id;
+    peer;
+    decoder = Frame.decoder ?max_frame ();
+    out = "";
+    closing = false;
+    frames_in = 0;
+    responses_out = 0;
+    errors = 0;
+  }
+
+let id t = t.id
+let peer t = t.peer
+let feed t s = Frame.feed t.decoder s
+
+type incoming =
+  | Request of Protocol.request
+  | Undecodable of Protocol.response
+  | Broken of Protocol.response
+
+let next t =
+  if t.closing then None
+  else
+    match Frame.next t.decoder with
+    | Ok None -> None
+    | Ok (Some payload) -> (
+        t.frames_in <- t.frames_in + 1;
+        match Protocol.decode_request payload with
+        | Ok r -> Some (Request r)
+        | Error e ->
+            t.errors <- t.errors + 1;
+            Some (Undecodable (Protocol.error_of_decode e)))
+    | Error e ->
+        t.closing <- true;
+        t.errors <- t.errors + 1;
+        Some
+          (Broken
+             (Protocol.Error { code = Protocol.Bad_frame; message = Frame.describe e }))
+
+let queue t resp =
+  t.responses_out <- t.responses_out + 1;
+  t.out <- t.out ^ Frame.encode (Protocol.encode_response resp)
+
+let pending t = String.length t.out > 0
+let out_chunk t = t.out
+
+let wrote t n =
+  if n < 0 || n > String.length t.out then invalid_arg "Session.wrote";
+  t.out <- String.sub t.out n (String.length t.out - n)
+
+let want_close t = t.closing
+let frames_in t = t.frames_in
+let responses_out t = t.responses_out
+let errors t = t.errors

@@ -1,0 +1,57 @@
+(** Per-connection protocol state.
+
+    A session owns one connection's incremental {!Frame.decoder} and its
+    pending output bytes; it is a pure byte-in / byte-out state machine —
+    the {!Daemon} does the socket I/O, tests can drive a session from
+    strings.  Frame-level errors poison the connection (framing cannot
+    resynchronize): the session reports one final error response to send
+    and {!want_close} turns true.  Payload-level errors (bad JSON, bad
+    version, unknown verb) are per-request: the peer gets a typed error
+    response and the connection keeps going. *)
+
+type t
+
+val create : ?max_frame:int -> id:int -> peer:string -> unit -> t
+
+val id : t -> int
+val peer : t -> string
+
+(** {2 Input} *)
+
+val feed : t -> string -> unit
+(** Raw bytes read from the wire. *)
+
+type incoming =
+  | Request of Protocol.request
+  | Undecodable of Protocol.response
+      (** a complete frame whose payload did not decode; send the error
+          response, keep the connection *)
+  | Broken of Protocol.response
+      (** the frame stream itself is corrupt; send the error response,
+          then close ({!want_close} is now true) *)
+
+val next : t -> incoming option
+(** The next complete message, [None] when more bytes are needed.  Call
+    repeatedly after each {!feed} until [None]. *)
+
+(** {2 Output} *)
+
+val queue : t -> Protocol.response -> unit
+(** Encode, frame, and append to the pending output. *)
+
+val pending : t -> bool
+val out_chunk : t -> string
+(** Bytes waiting to be written (empty when none). *)
+
+val wrote : t -> int -> unit
+(** Note that the first [n] bytes of {!out_chunk} reached the wire. *)
+
+val want_close : t -> bool
+(** Close once the pending output has drained. *)
+
+(** {2 Accounting} *)
+
+val frames_in : t -> int
+val responses_out : t -> int
+val errors : t -> int
+(** Frame- plus payload-level errors on this connection. *)

@@ -77,18 +77,20 @@ let apply ?(ledger_effects = true) t ev =
 
 (* --- live journaling --- *)
 
+let snapshot_now t =
+  (* The snapshot must never reference records that could be lost from
+     an unsynced WAL tail: commit the tail first, so a surviving
+     snapshot's cursor always points into durable log. *)
+  Wal.sync t.writer;
+  let cursor = t.writer.Wal.records in
+  Snapshot.write ~dir:t.dir ~cursor ~events:(List.rev t.rev_events)
+    ~ledger:(Ledger.dump t.mirror);
+  t.last_snapshot_bytes <- t.writer.Wal.total_bytes;
+  Obs.count t.obs "store_snapshots_total"
+
 let maybe_snapshot t =
-  if t.writer.Wal.total_bytes - t.last_snapshot_bytes >= t.config.snapshot_bytes then begin
-    (* The snapshot must never reference records that could be lost from
-       an unsynced WAL tail: commit the tail first, so a surviving
-       snapshot's cursor always points into durable log. *)
-    Wal.sync t.writer;
-    let cursor = t.writer.Wal.records in
-    Snapshot.write ~dir:t.dir ~cursor ~events:(List.rev t.rev_events)
-      ~ledger:(Ledger.dump t.mirror);
-    t.last_snapshot_bytes <- t.writer.Wal.total_bytes;
-    Obs.count t.obs "store_snapshots_total"
-  end
+  if t.writer.Wal.total_bytes - t.last_snapshot_bytes >= t.config.snapshot_bytes then
+    snapshot_now t
 
 let relevant = function Event.Dispatch _ -> false | _ -> true
 
@@ -325,3 +327,6 @@ let recover ?(config = default_config) ?obs ~dir () =
                   replayed = List.length tail_events;
                   truncated_bytes = s.Wal.disk_bytes - kept_bytes;
                 }))
+
+(* Defined last so the stdlib's channel [flush] stays visible above. *)
+let flush = sync

@@ -61,6 +61,21 @@ val log : t -> Gridbw_obs.Event.t -> unit
 val sync : t -> unit
 (** Force the group commit: flush and fsync the WAL tail now. *)
 
+val flush : t -> unit
+(** Alias of {!sync}, under the name the serving layer uses: records
+    appended since the last commit are made durable {e now}, without
+    waiting for the group-commit batch to fill or its delay to elapse.
+    [gridbw serve] calls this once per event-loop round before
+    acknowledging any admit/cancel decided in that round
+    (write-ack-after-fsync): an acked decision is on disk, whatever the
+    [--store-batch] setting. *)
+
+val snapshot_now : t -> unit
+(** Write a snapshot of the current state immediately (syncing the WAL
+    tail first), regardless of the [snapshot_bytes] cadence.  The daemon
+    snapshots on graceful shutdown so the next startup recovers without
+    a full WAL replay. *)
+
 val close : t -> unit
 (** {!sync} and close the WAL. *)
 

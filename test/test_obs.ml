@@ -209,6 +209,60 @@ let rigid_replay seed () =
   let fabric = spec.Spec.fabric in
   replay_trace (fun obs -> Rigid.run ~obs (`Slots Rigid.Min_bw) fabric requests) requests fabric
 
+(* --- percentile estimator --- *)
+
+(* The registry's power-of-two bucketing (bucket 0 = [0,1], bucket i =
+   [2^(i-1), 2^i) for i >= 1), re-derived independently of metrics.ml. *)
+let sample_bucket v = if v <= 1.0 then 0 else snd (Float.frexp v)
+
+let percentile_edges () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "p" in
+  Alcotest.(check bool) "empty histogram -> nan" true
+    (Float.is_nan (Metrics.percentile h 0.5));
+  Metrics.observe h 5.0;
+  Alcotest.check_raises "q > 1 raises"
+    (Invalid_argument "Metrics.percentile: q must be in [0,1]")
+    (fun () -> ignore (Metrics.percentile h 1.5));
+  Alcotest.check_raises "q < 0 raises"
+    (Invalid_argument "Metrics.percentile: q must be in [0,1]")
+    (fun () -> ignore (Metrics.percentile h (-0.1)));
+  (* one sample: every quantile is in its bucket [4, 8] *)
+  let p = Metrics.percentile h 0.5 in
+  Alcotest.(check bool) "single sample p50 in its bucket" true (4.0 <= p && p <= 8.0);
+  List.iter (Metrics.observe h) [ 100.; 200.; 400. ];
+  let p50 = Metrics.percentile h 0.5
+  and p95 = Metrics.percentile h 0.95
+  and p99 = Metrics.percentile h 0.99 in
+  Alcotest.(check bool) "quantiles are monotone" true (p50 <= p95 && p95 <= p99)
+
+(* Oracle property: against the exact sorted-sample order statistic
+   (nearest rank k = ceil(q*n)), the interpolated estimate must land in
+   the same power-of-two bucket — the accuracy the .mli promises. *)
+let percentile_sample_gen =
+  QCheck2.Gen.(
+    pair
+      (list_size (int_range 1 300)
+         (oneof [ float_range 0. 1.5; float_range 0. 1000.; float_range 0. 1e9 ]))
+      (float_range 0. 1.))
+
+let prop_percentile_oracle =
+  qcase ~count:300 "metrics: percentile lands in the exact order statistic's bucket"
+    percentile_sample_gen
+    (fun (samples, q) ->
+      let m = Metrics.create () in
+      let h = Metrics.histogram m "lat" in
+      List.iter (Metrics.observe h) samples;
+      let sorted = List.sort Float.compare samples in
+      let n = List.length samples in
+      let k = Int.max 1 (int_of_float (Float.ceil (q *. float_of_int n))) in
+      let exact = List.nth sorted (k - 1) in
+      let est = Metrics.percentile h q in
+      let i = sample_bucket exact in
+      let lo = if i = 0 then 0.0 else Float.ldexp 1.0 (i - 1) in
+      let hi = Float.ldexp 1.0 i in
+      lo <= est && est <= hi)
+
 (* --- json string escaping --- *)
 
 module Json = Gridbw_obs.Json
@@ -265,6 +319,8 @@ let suites =
         case "histogram log2 buckets" histogram_buckets;
         case "kind mismatch raises" kind_mismatch_raises;
         case "prometheus dump" prometheus_dump;
+        case "percentile edges and monotonicity" percentile_edges;
+        prop_percentile_oracle;
       ] );
     ( "obs.sink",
       [ case "ring keeps most recent" ring_eviction; case "tee duplicates" tee_duplicates ] );

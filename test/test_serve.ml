@@ -1,0 +1,562 @@
+(* The serving subsystem (lib/serve): framing codec, versioned protocol,
+   per-connection session machine, admission semantics (idempotency,
+   durability, recovery), and a live in-process daemon driven by the
+   closed-loop load generator over a real Unix socket. *)
+
+open Helpers
+module Frame = Gridbw_serve.Frame
+module Protocol = Gridbw_serve.Protocol
+module Session = Gridbw_serve.Session
+module Admission = Gridbw_serve.Admission
+module Daemon = Gridbw_serve.Daemon
+module Loadgen = Gridbw_serve.Loadgen
+module Store = Gridbw_store.Store
+module Wal = Gridbw_store.Wal
+module Obs = Gridbw_obs.Obs
+module Policy = Gridbw_core.Policy
+module Request = Gridbw_request.Request
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "gridbw-serve" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir) (fun () -> f dir)
+
+(* Deterministic store config: huge batch, sync delay out of reach, so
+   only explicit flushes commit. *)
+let store_config () =
+  { Store.default_config with
+    wal = { Wal.default_config with Wal.batch = 1000; delay = 3600. };
+    snapshot_bytes = max_int }
+
+(* --- frame codec --- *)
+
+let frame_encode_shape () =
+  Alcotest.(check string) "frame layout" "3 abc\n" (Frame.encode "abc");
+  Alcotest.(check string) "empty payload" "0 \n" (Frame.encode "")
+
+let byte_string_gen =
+  QCheck2.Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 30))
+
+let prop_frame_chunked_roundtrip =
+  qcase ~count:300 "frame: payload lists survive chunked decoding"
+    QCheck2.Gen.(pair (list_size (int_range 0 8) byte_string_gen) (int_range 1 7))
+    (fun (payloads, chunk) ->
+      let wire = String.concat "" (List.map Frame.encode payloads) in
+      let d = Frame.decoder () in
+      let out = ref [] in
+      let rec drain () =
+        match Frame.next d with
+        | Ok (Some p) ->
+            out := p :: !out;
+            drain ()
+        | Ok None -> ()
+        | Error e -> Alcotest.failf "unexpected frame error: %s" (Frame.describe e)
+      in
+      let i = ref 0 in
+      let n = String.length wire in
+      while !i < n do
+        let len = Int.min chunk (n - !i) in
+        Frame.feed d (String.sub wire !i len);
+        i := !i + len;
+        drain ()
+      done;
+      drain ();
+      List.rev !out = payloads && Frame.buffered d = 0)
+
+let frame_truncated_prefix_waits () =
+  let d = Frame.decoder () in
+  Frame.feed d "12";
+  Alcotest.(check bool) "digits alone: need more bytes" true (Frame.next d = Ok None);
+  Frame.feed d " ";
+  Alcotest.(check bool) "payload missing: need more bytes" true (Frame.next d = Ok None);
+  Frame.feed d "abcdefghijkl\n";
+  Alcotest.(check bool) "completed frame decodes" true (Frame.next d = Ok (Some "abcdefghijkl"))
+
+let frame_errors_are_typed_and_sticky () =
+  (* not a digit *)
+  let d = Frame.decoder () in
+  Frame.feed d "x3 abc\n";
+  (match Frame.next d with
+  | Error (Frame.Malformed_length _) -> ()
+  | other ->
+      Alcotest.failf "expected Malformed_length, got %s"
+        (match other with
+        | Ok _ -> "Ok"
+        | Error e -> Frame.describe e));
+  (* the decoder stays broken even when good bytes follow *)
+  Frame.feed d (Frame.encode "fine");
+  Alcotest.(check bool) "decoder stays poisoned" true
+    (match Frame.next d with Error (Frame.Malformed_length _) -> true | _ -> false);
+  (* length field absurdly long *)
+  let d = Frame.decoder () in
+  Frame.feed d "12345678901 ";
+  Alcotest.(check bool) "overlong length field" true
+    (match Frame.next d with Error (Frame.Malformed_length _) -> true | _ -> false);
+  (* declared length over the cap *)
+  let d = Frame.decoder ~max_frame:10 () in
+  Frame.feed d "11 aaaaaaaaaaa\n";
+  Alcotest.(check bool) "oversized" true (Frame.next d = Error (Frame.Oversized 11));
+  (* missing terminator *)
+  let d = Frame.decoder () in
+  Frame.feed d "3 abcX";
+  Alcotest.(check bool) "missing terminator" true (Frame.next d = Error Frame.Missing_terminator)
+
+let frame_blocking_io () =
+  let path = Filename.temp_file "gridbw-frame" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      Frame.output oc "hello";
+      Frame.output oc "";
+      close_out oc;
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          Alcotest.(check bool) "first frame" true (Frame.input ic = Ok "hello");
+          Alcotest.(check bool) "second frame" true (Frame.input ic = Ok "");
+          Alcotest.(check bool) "eof" true (Frame.input ic = Error `Eof)))
+
+(* --- protocol codec --- *)
+
+let fin = QCheck2.Gen.float_range (-1e12) 1e12
+let posf = QCheck2.Gen.float_range 1e-6 1e12
+
+let request_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        (let* id = nat and* ingress = nat and* egress = nat in
+         let* volume = posf and* ts = fin and* tf = fin and* max_rate = posf in
+         return (Protocol.Admit { id; ingress; egress; volume; ts; tf; max_rate }));
+        map (fun id -> Protocol.Query { id }) nat;
+        map (fun id -> Protocol.Cancel { id }) nat;
+        return Protocol.Stats;
+        return Protocol.Shutdown;
+      ])
+
+let prop_request_roundtrip =
+  qcase ~count:400 "protocol: every request constructor round-trips" request_gen
+    (fun r -> Protocol.decode_request (Protocol.encode_request r) = Ok r)
+
+let response_gen =
+  QCheck2.Gen.(
+    let window = triple fin fin fin in
+    oneof
+      [
+        (let* id = nat and* bw, sigma, tau = window in
+         return (Protocol.Admitted { id; bw; sigma; tau }));
+        (let* id = nat and* reason = byte_string_gen in
+         return (Protocol.Rejected { id; reason }));
+        (let* id = nat in
+         let* disposition =
+           oneof
+             [
+               return Protocol.Unknown;
+               map (fun (bw, sigma, tau) -> Protocol.Active { bw; sigma; tau }) window;
+               map (fun (bw, sigma, tau) -> Protocol.Done { bw; sigma; tau }) window;
+               map (fun reason -> Protocol.Refused { reason }) byte_string_gen;
+               return Protocol.Cancelled;
+             ]
+         in
+         return (Protocol.Status { id; disposition }));
+        map (fun id -> Protocol.Cancel_ok { id }) nat;
+        (let* id = nat and* reason = byte_string_gen in
+         return (Protocol.Cancel_failed { id; reason }));
+        (* stats payloads embed raw Prometheus text, newlines included *)
+        map (fun text -> Protocol.Stats_text text) byte_string_gen;
+        map (fun records -> Protocol.Goodbye { records }) nat;
+        (let* code =
+           oneofl [ Protocol.Bad_frame; Protocol.Bad_json; Protocol.Bad_version; Protocol.Bad_request ]
+         and* message = byte_string_gen in
+         return (Protocol.Error { code; message }));
+      ])
+
+let prop_response_roundtrip =
+  qcase ~count:400 "protocol: every response constructor round-trips" response_gen
+    (fun r -> Protocol.decode_response (Protocol.encode_response r) = Ok r)
+
+let protocol_rejects_bad_payloads () =
+  let is_bad_json = function Result.Error (Protocol.Bad_json_e _) -> true | _ -> false in
+  let is_bad_req = function Result.Error (Protocol.Bad_request_e _) -> true | _ -> false in
+  Alcotest.(check bool) "not json" true (is_bad_json (Protocol.decode_request "{not json"));
+  Alcotest.(check bool) "not an object" true (is_bad_json (Protocol.decode_request "[1,2]"));
+  Alcotest.(check bool) "wrong version" true
+    (Protocol.decode_request {|{"v":2,"op":"stats"}|} = Result.Error (Protocol.Bad_version_e 2));
+  Alcotest.(check bool) "missing version" true
+    (is_bad_req (Protocol.decode_request {|{"op":"stats"}|}));
+  Alcotest.(check bool) "unknown verb" true
+    (is_bad_req (Protocol.decode_request {|{"v":1,"op":"frobnicate"}|}));
+  Alcotest.(check bool) "missing field" true
+    (is_bad_req (Protocol.decode_request {|{"v":1,"op":"admit","id":3}|}));
+  Alcotest.(check bool) "ill-typed field" true
+    (is_bad_req (Protocol.decode_request {|{"v":1,"op":"query","id":"three"}|}));
+  (* decode errors map onto typed error responses *)
+  match Protocol.error_of_decode (Protocol.Bad_version_e 9) with
+  | Protocol.Error { code = Protocol.Bad_version; _ } -> ()
+  | _ -> Alcotest.fail "expected a bad-version error response"
+
+(* --- session --- *)
+
+let session_keeps_going_after_bad_payload () =
+  let s = Session.create ~id:0 ~peer:"test" () in
+  Session.feed s (Frame.encode "{broken json");
+  (match Session.next s with
+  | Some (Session.Undecodable (Protocol.Error { code = Protocol.Bad_json; _ })) -> ()
+  | _ -> Alcotest.fail "expected an undecodable-payload error");
+  Alcotest.(check bool) "connection survives payload errors" false (Session.want_close s);
+  Session.feed s (Frame.encode (Protocol.encode_request Protocol.Stats));
+  (match Session.next s with
+  | Some (Session.Request Protocol.Stats) -> ()
+  | _ -> Alcotest.fail "expected the stats request");
+  Alcotest.(check int) "both frames counted" 2 (Session.frames_in s)
+
+let session_closes_on_broken_framing () =
+  let s = Session.create ~id:1 ~peer:"test" () in
+  Session.feed s "garbage that is not a frame\n";
+  (match Session.next s with
+  | Some (Session.Broken (Protocol.Error { code = Protocol.Bad_frame; _ })) -> ()
+  | _ -> Alcotest.fail "expected a broken-framing error");
+  Alcotest.(check bool) "session wants to close" true (Session.want_close s);
+  Alcotest.(check bool) "no further messages" true (Session.next s = None)
+
+let session_output_is_framed () =
+  let s = Session.create ~id:2 ~peer:"test" () in
+  let resp = Protocol.Goodbye { records = 42 } in
+  Session.queue s resp;
+  Alcotest.(check bool) "output pending" true (Session.pending s);
+  let d = Frame.decoder () in
+  Frame.feed d (Session.out_chunk s);
+  (match Frame.next d with
+  | Ok (Some payload) ->
+      Alcotest.(check bool) "payload decodes back" true
+        (Protocol.decode_response payload = Ok resp)
+  | _ -> Alcotest.fail "expected one complete frame");
+  Session.wrote s (String.length (Session.out_chunk s));
+  Alcotest.(check bool) "drained" false (Session.pending s)
+
+(* --- admission semantics --- *)
+
+let policy = Policy.Fraction_of_max 0.8
+
+let admit ?(id = 1) ?(ingress = 0) ?(egress = 0) ?(volume = 100.) ?(ts = 0.) ?(tf = 10.)
+    ?(max_rate = 50.) () =
+  Protocol.Admit { id; ingress; egress; volume; ts; tf; max_rate }
+
+let admission_decides_and_is_idempotent () =
+  let t = Admission.create ~policy (fabric2 ()) in
+  let first = Admission.handle t (admit ()) in
+  (match first with
+  | Protocol.Admitted { id = 1; bw; sigma; tau } ->
+      (* f=0.8 grants max(0.8*50, 100/10) = 40 MB/s from sigma = ts *)
+      check_approx "bw" 40.0 bw;
+      check_approx "sigma" 0.0 sigma;
+      check_approx "tau" 2.5 tau
+  | r -> Alcotest.failf "expected admission, got %a" Protocol.pp_response r);
+  (* at-least-once retry: byte-identical decision, no re-decide *)
+  Alcotest.(check bool) "duplicate admit returns the recorded decision" true
+    (Admission.handle t (admit ()) = first);
+  Alcotest.(check int) "still one accepted" 1 (Admission.accepted_count t);
+  (* infeasible: min rate 200 MB/s on a 100 MB/s port *)
+  (match Admission.handle t (admit ~id:2 ~volume:2000. ~max_rate:200. ()) with
+  | Protocol.Rejected { id = 2; _ } -> ()
+  | r -> Alcotest.failf "expected rejection, got %a" Protocol.pp_response r);
+  (* validation failures come back as typed errors, not exceptions *)
+  (match Admission.handle t (admit ~id:3 ~ingress:9 ()) with
+  | Protocol.Error { code = Protocol.Bad_request; _ } -> ()
+  | r -> Alcotest.failf "expected bad-request (no such route), got %a" Protocol.pp_response r);
+  (match Admission.handle t (admit ~id:4 ~ts:(-1.) ~tf:5. ()) with
+  | Protocol.Error { code = Protocol.Bad_request; _ } -> ()
+  | r -> Alcotest.failf "expected bad-request (negative ts), got %a" Protocol.pp_response r);
+  (match Admission.handle t (admit ~id:5 ~tf:0. ()) with
+  | Protocol.Error { code = Protocol.Bad_request; _ } -> ()
+  | r -> Alcotest.failf "expected bad-request (empty window), got %a" Protocol.pp_response r)
+
+let admission_query_and_cancel () =
+  let t = Admission.create ~policy (fabric2 ()) in
+  (match Admission.handle t (Protocol.Query { id = 9 }) with
+  | Protocol.Status { id = 9; disposition = Protocol.Unknown } -> ()
+  | r -> Alcotest.failf "expected unknown, got %a" Protocol.pp_response r);
+  ignore (Admission.handle t (admit ()));
+  (match Admission.handle t (Protocol.Query { id = 1 }) with
+  | Protocol.Status { id = 1; disposition = Protocol.Active _ } -> ()
+  | r -> Alcotest.failf "expected active, got %a" Protocol.pp_response r);
+  (match Admission.handle t (Protocol.Cancel { id = 1 }) with
+  | Protocol.Cancel_ok { id = 1 } -> ()
+  | r -> Alcotest.failf "expected cancel-ok, got %a" Protocol.pp_response r);
+  Alcotest.(check bool) "cancel retry is idempotent" true
+    (Admission.handle t (Protocol.Cancel { id = 1 }) = Protocol.Cancel_ok { id = 1 });
+  (match Admission.handle t (Protocol.Query { id = 1 }) with
+  | Protocol.Status { id = 1; disposition = Protocol.Cancelled } -> ()
+  | r -> Alcotest.failf "expected cancelled, got %a" Protocol.pp_response r);
+  (match Admission.handle t (Protocol.Cancel { id = 77 }) with
+  | Protocol.Cancel_failed { id = 77; _ } -> ()
+  | r -> Alcotest.failf "expected cancel-failed, got %a" Protocol.pp_response r);
+  (* a cancelled transfer's bandwidth is free again *)
+  (match Admission.handle t (admit ~id:2 ~volume:900. ~max_rate:100. ()) with
+  | Protocol.Admitted _ -> ()
+  | r -> Alcotest.failf "expected re-admission after cancel, got %a" Protocol.pp_response r);
+  (match Admission.handle t Protocol.Stats with
+  | Protocol.Stats_text _ -> ()
+  | r -> Alcotest.failf "expected stats text, got %a" Protocol.pp_response r);
+  match Admission.handle t Protocol.Shutdown with
+  | Protocol.Goodbye { records = 0 } -> ()
+  | r -> Alcotest.failf "expected goodbye with 0 records (no store), got %a" Protocol.pp_response r
+
+(* Journal a mixed decision history through a store, recover it, and
+   demand the resumed admission state answers every retry and query with
+   the original (bit-identical) decision. *)
+let admission_recovery_round_trip () =
+  with_tmpdir (fun dir ->
+      let fabric = fabric2 () in
+      let store = Store.create ~config:(store_config ()) ~dir fabric in
+      let t = Admission.create ~store ~policy fabric in
+      let reqs =
+        List.map
+          (fun (r : Request.t) ->
+            Protocol.Admit
+              {
+                id = r.Request.id;
+                ingress = r.Request.ingress;
+                egress = r.Request.egress;
+                volume = r.Request.volume;
+                ts = Float.max 0. r.Request.ts;
+                tf = r.Request.tf;
+                max_rate = r.Request.max_rate;
+              })
+          (random_requests ~seed:11L ~n:40 fabric)
+      in
+      let responses = List.map (Admission.handle t) reqs in
+      (* cancel the first two admitted transfers *)
+      let admitted_ids =
+        List.filter_map
+          (function Protocol.Admitted { id; _ } -> Some id | _ -> None)
+          responses
+      in
+      Alcotest.(check bool) "workload admits something" true (List.length admitted_ids >= 2);
+      let to_cancel = [ List.nth admitted_ids 0; List.nth admitted_ids 1 ] in
+      List.iter
+        (fun id ->
+          match Admission.handle t (Protocol.Cancel { id }) with
+          | Protocol.Cancel_ok _ -> ()
+          | r -> Alcotest.failf "cancel failed: %a" Protocol.pp_response r)
+        to_cancel;
+      Alcotest.(check bool) "decisions are dirty before flush" true (Admission.dirty t);
+      Admission.flush t;
+      Alcotest.(check bool) "flush clears dirty" false (Admission.dirty t);
+      Admission.close t;
+      match Store.recover ~config:(store_config ()) ~dir () with
+      | Error e -> Alcotest.fail e
+      | Ok r -> (
+          match Admission.of_recovered ~policy r with
+          | Error e -> Alcotest.fail e
+          | Ok t2 ->
+              Alcotest.(check int) "accepted count survives"
+                (Admission.accepted_count t)
+                (Admission.accepted_count t2);
+              (* every admit retried against the recovered daemon returns
+                 the original decision, floats bit-identical *)
+              List.iter2
+                (fun req resp ->
+                  if Admission.handle t2 req <> resp then
+                    Alcotest.failf "recovered decision differs for %a" Protocol.pp_request req)
+                reqs responses;
+              List.iter
+                (fun id ->
+                  match Admission.handle t2 (Protocol.Query { id }) with
+                  | Protocol.Status { disposition = Protocol.Cancelled; _ } -> ()
+                  | r -> Alcotest.failf "expected cancelled after recovery, got %a"
+                           Protocol.pp_response r)
+                to_cancel;
+              Admission.close t2))
+
+let of_recovered_refuses_engine_journals () =
+  with_tmpdir (fun dir ->
+      let fabric = fabric2 () in
+      let store = Store.create ~config:(store_config ()) ~dir fabric in
+      (* a capacity revision past the prefix marks a fault-injector run *)
+      Store.log store
+        (Gridbw_obs.Event.Arrival
+           {
+             time = 1.0;
+             seq = 0;
+             id = 0;
+             ingress = 0;
+             egress = 0;
+             volume = 10.;
+             ts = 1.0;
+             tf = 11.0;
+             max_rate = 5.;
+           });
+      Store.log store
+        (Gridbw_obs.Event.Capacity
+           { time = 5.0; side = Gridbw_obs.Event.Ingress; port = 0; capacity = 50. });
+      Store.close store;
+      match Store.recover ~config:(store_config ()) ~dir () with
+      | Error e -> Alcotest.fail e
+      | Ok r -> (
+          match Admission.of_recovered ~policy r with
+          | Error msg ->
+              Alcotest.(check bool) "names the cause" true (String.length msg > 0)
+          | Ok _ -> Alcotest.fail "engine-driven journal must be refused"))
+
+(* --- live daemon end to end --- *)
+
+let daemon_config ~sock ~store_dir =
+  { (Daemon.default_config ~policy ~fabric:(fabric2 ()) ~store_dir (Daemon.Unix_socket sock)) with
+    Daemon.store_config = store_config ();
+    tick = 0.02 }
+
+let end_to_end_live_daemon () =
+  with_tmpdir (fun dir ->
+      let sock = Filename.concat dir "d.sock" in
+      let store_dir = Filename.concat dir "store" in
+      let cfg = daemon_config ~sock ~store_dir in
+      match Daemon.create cfg with
+      | Error e -> Alcotest.fail e
+      | Ok d -> (
+          let th = Thread.create Daemon.run d in
+          let lg =
+            (* light load (large interarrival) so most requests admit and
+               cancel_every:2 fires on every worker *)
+            Loadgen.default_config ~connections:3 ~requests:300 ~seed:5L ~cancel_every:2
+              ~mean_interarrival:50. ~fabric:(fabric2 ()) (Daemon.Unix_socket sock)
+          in
+          match Loadgen.run lg with
+          | Error e ->
+              Daemon.stop d;
+              Thread.join th;
+              Alcotest.fail e
+          | Ok report -> (
+              Alcotest.(check int) "every admit answered" 300
+                (report.Loadgen.admitted + report.Loadgen.rejected);
+              Alcotest.(check int) "no protocol errors" 0 report.Loadgen.errors;
+              Alcotest.(check int) "no disconnects" 0 report.Loadgen.disconnects;
+              Alcotest.(check bool) "some admitted" true (report.Loadgen.admitted > 0);
+              Alcotest.(check bool) "some cancelled" true (report.Loadgen.cancelled > 0);
+              Alcotest.(check bool) "latencies measured" true
+                (report.Loadgen.lat_p50_us > 0.
+                 && report.Loadgen.lat_p50_us <= report.Loadgen.lat_p99_us);
+              (* graceful shutdown through the protocol verb *)
+              (match Loadgen.shutdown (Daemon.Unix_socket sock) with
+              | Error e -> Alcotest.fail ("shutdown: " ^ e)
+              | Ok records -> Alcotest.(check bool) "journal non-empty" true (records > 0));
+              Thread.join th;
+              Alcotest.(check bool) "socket removed on shutdown" false (Sys.file_exists sock);
+              (* restart on the surviving store: recovery audits clean and
+                 the decision history is intact *)
+              match Daemon.create cfg with
+              | Error e -> Alcotest.fail ("restart: " ^ e)
+              | Ok d2 ->
+                  let adm = Daemon.admission d2 in
+                  Alcotest.(check int) "accepted count survives restart"
+                    report.Loadgen.admitted
+                    (Admission.accepted_count adm);
+                  Daemon.stop d2;
+                  let th2 = Thread.create Daemon.run d2 in
+                  Thread.join th2)))
+
+let daemon_survives_malformed_clients () =
+  with_tmpdir (fun dir ->
+      let sock = Filename.concat dir "d.sock" in
+      let cfg =
+        { (Daemon.default_config ~policy ~fabric:(fabric2 ()) (Daemon.Unix_socket sock)) with
+          Daemon.tick = 0.02 }
+      in
+      match Daemon.create cfg with
+      | Error e -> Alcotest.fail e
+      | Ok d ->
+          let th = Thread.create Daemon.run d in
+          let connect () =
+            let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_UNIX sock);
+            fd
+          in
+          (* a client with broken framing gets a typed error then the boot *)
+          let fd = connect () in
+          let ic = Unix.in_channel_of_descr fd in
+          let oc = Unix.out_channel_of_descr fd in
+          output_string oc "this is not a frame\n";
+          flush oc;
+          (match Frame.input ic with
+          | Ok payload -> (
+              match Protocol.decode_response payload with
+              | Ok (Protocol.Error { code = Protocol.Bad_frame; _ }) -> ()
+              | _ -> Alcotest.fail "expected a bad-frame error response")
+          | Error _ -> Alcotest.fail "expected an error response before close");
+          Alcotest.(check bool) "connection closed after framing error" true
+            (Frame.input ic = Error `Eof);
+          Unix.close fd;
+          (* bad JSON in a well-formed frame keeps the connection alive *)
+          let fd = connect () in
+          let ic = Unix.in_channel_of_descr fd in
+          let oc = Unix.out_channel_of_descr fd in
+          Frame.output oc "{broken";
+          (match Frame.input ic with
+          | Ok payload -> (
+              match Protocol.decode_response payload with
+              | Ok (Protocol.Error { code = Protocol.Bad_json; _ }) -> ()
+              | _ -> Alcotest.fail "expected a bad-json error response")
+          | Error _ -> Alcotest.fail "expected an error response");
+          Frame.output oc (Protocol.encode_request Protocol.Stats);
+          (match Frame.input ic with
+          | Ok payload -> (
+              match Protocol.decode_response payload with
+              | Ok (Protocol.Stats_text text) ->
+                  Alcotest.(check bool) "stats carries serve metrics" true
+                    (contains ~affix:"serve_connections_total" text)
+              | _ -> Alcotest.fail "expected stats after the payload error")
+          | Error _ -> Alcotest.fail "connection should have survived the payload error");
+          Unix.close fd;
+          Daemon.stop d;
+          Thread.join th)
+
+let suites =
+  [
+    ( "serve.frame",
+      [
+        case "encode layout" frame_encode_shape;
+        prop_frame_chunked_roundtrip;
+        case "truncated prefixes wait for bytes" frame_truncated_prefix_waits;
+        case "malformed frames: typed, sticky errors" frame_errors_are_typed_and_sticky;
+        case "blocking channel helpers" frame_blocking_io;
+      ] );
+    ( "serve.protocol",
+      [
+        prop_request_roundtrip;
+        prop_response_roundtrip;
+        case "malformed payloads: typed decode errors" protocol_rejects_bad_payloads;
+      ] );
+    ( "serve.session",
+      [
+        case "payload errors keep the connection" session_keeps_going_after_bad_payload;
+        case "framing errors close the connection" session_closes_on_broken_framing;
+        case "responses leave framed" session_output_is_framed;
+      ] );
+    ( "serve.admission",
+      [
+        case "decide, reject, validate, idempotent retries" admission_decides_and_is_idempotent;
+        case "query and cancel lifecycle" admission_query_and_cancel;
+        case "journal, recover, bit-identical decisions" admission_recovery_round_trip;
+        case "engine-driven journals refused" of_recovered_refuses_engine_journals;
+      ] );
+    ( "serve.daemon",
+      [
+        slow_case "end to end: loadgen, shutdown, restart" end_to_end_live_daemon;
+        case "malformed clients get typed errors" daemon_survives_malformed_clients;
+      ] );
+  ]

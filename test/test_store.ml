@@ -17,6 +17,7 @@ module Ledger = Gridbw_alloc.Ledger
 module Request = Gridbw_request.Request
 module Obs = Gridbw_obs.Obs
 module Metrics = Gridbw_obs.Metrics
+module Event = Gridbw_obs.Event
 
 let rec rm_rf path =
   if Sys.is_directory path then begin
@@ -341,10 +342,58 @@ let prop_random_offset_recovers =
               Summary.compute (fabric2 ()) ~all:requests ~accepted:result.Types.accepted
               = expected))
 
+(* --- Store.flush: explicit group commit --- *)
+
+let wal_bytes dir =
+  Array.fold_left
+    (fun acc f ->
+      if String.length f >= 4 && String.sub f 0 4 = "wal-" then
+        acc + (Unix.stat (Filename.concat dir f)).Unix.st_size
+      else acc)
+    0 (Sys.readdir dir)
+
+(* With --store-batch far larger than what we append (and the sync delay
+   out of reach), records stay in the writer's buffer: nothing lands on
+   disk until Store.flush forces the group commit.  This is the fsync the
+   daemon runs before acking a round. *)
+let test_flush_forces_group_commit () =
+  with_tmpdir (fun dir ->
+      let obs = Obs.create () in
+      let store =
+        Store.create ~config:(store_config ~batch:1000 ()) ~obs ~dir (fabric2 ())
+      in
+      Store.flush store;
+      let base = wal_bytes dir in
+      for i = 0 to 9 do
+        Store.log store
+          (Event.Arrival
+             { time = float_of_int i; seq = i; id = i; ingress = 0; egress = 0;
+               volume = 10.; ts = float_of_int i; tf = float_of_int i +. 10.;
+               max_rate = 5. })
+      done;
+      Alcotest.(check int) "group commit holds records back" base (wal_bytes dir);
+      let fsyncs () = Metrics.value (Metrics.counter (Obs.metrics obs) "store_fsync_total") in
+      let before = fsyncs () in
+      Store.flush store;
+      let flushed = wal_bytes dir in
+      Alcotest.(check bool) "flush pushes the tail to disk" true (flushed > base);
+      Alcotest.(check bool) "flush fsyncs" true (fsyncs () > before);
+      Store.flush store;
+      Alcotest.(check int) "flush of an empty tail is a no-op" flushed (wal_bytes dir);
+      let total = Store.records store in
+      Store.close store;
+      match Store.recover ~config:(store_config ()) ~dir () with
+      | Error e -> Alcotest.fail e
+      | Ok r ->
+          Alcotest.(check int) "every flushed record recovers" total
+            (Store.records r.Store.store);
+          Store.close r.Store.store)
+
 let suites =
   [
     ( "store",
       [
+        case "flush: forces the group commit to disk" test_flush_forces_group_commit;
         case "wal: frame round-trip, corruption detected" test_frame_roundtrip;
         case "wal: group commit fsyncs per batch" test_group_commit;
         case "wal: segments rotate and reopen" test_segment_rotation;
