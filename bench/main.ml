@@ -13,7 +13,9 @@
      --only SUBSTRING     skip part 1 and run only the benchmarks whose
                           name contains SUBSTRING (e.g. --only admission)
      --admission-base N   base request count for the admission group
-                          (default 400; the x10/x100 targets multiply it) *)
+                          (default 400; the x10/x100 targets multiply it)
+     --quota SECONDS      Bechamel time budget per benchmark (default 1.0;
+                          raise it on noisy machines for tighter OLS fits) *)
 
 open Bechamel
 open Toolkit
@@ -101,6 +103,14 @@ let only_filter =
     | "--only" :: sub :: _ -> Some sub
     | _ :: rest -> find rest
     | [] -> None
+  in
+  find (Array.to_list Sys.argv)
+
+let quota =
+  let rec find = function
+    | "--quota" :: q :: _ -> float_of_string q
+    | _ :: rest -> find rest
+    | [] -> 1.0
   in
   find (Array.to_list Sys.argv)
 
@@ -403,7 +413,7 @@ let run_benchmarks () =
   print_endline "\n=== part 2: micro-benchmarks (Bechamel) ===\n";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second quota) ~kde:(Some 100) () in
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols (List.hd instances) raw in
   let timings =

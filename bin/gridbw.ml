@@ -306,7 +306,16 @@ let run_cmd =
   let trace_out_t =
     Arg.(value & opt (some string) None
          & info [ "trace-out" ] ~docv:"FILE"
-             ~doc:"Write a JSONL event trace of every arrival and decision to $(docv).")
+             ~doc:"Write an event trace of every arrival and decision to $(docv) \
+                   (binary frames by default; see --trace-format).")
+  in
+  let trace_format_t =
+    let fmt = Arg.enum [ ("binary", `Binary); ("jsonl", `Jsonl) ] in
+    Arg.(value & opt fmt `Binary
+         & info [ "trace-format" ] ~docv:"F"
+             ~doc:"Trace encoding: 'binary' (length-prefixed frames, the default) or 'jsonl' \
+                   (one JSON object per line).  replay-trace reads either, sniffing the \
+                   format from the first byte.")
   in
   let metrics_out_t =
     Arg.(value & opt (some string) None
@@ -330,16 +339,18 @@ let run_cmd =
              ~doc:"Crash drill: SIGKILL the process mid-append of WAL record $(docv), leaving a \
                    torn record on disk (testing aid).")
   in
-  let run trace heuristic policy step trace_out metrics_out store_dir store_batch store_kill =
+  let run trace heuristic policy step trace_out trace_format metrics_out store_dir store_batch
+      store_kill =
     let requests = Trace.of_file trace in
     let fabric = Gridbw_topology.Fabric.paper_default () in
     let sched = scheduler_of heuristic policy ~step in
     Provenance.print ~cmd:"run" (replay_fields trace heuristic policy step);
-    let trace_oc = Option.map open_out trace_out in
+    let trace_oc = Option.map open_out_bin trace_out in
+    let trace_sink = match trace_format with `Binary -> Sink.binary | `Jsonl -> Sink.jsonl in
     let obs =
       match (trace_oc, metrics_out, store_dir) with
       | None, None, None -> None
-      | _ -> Some (Obs.create ?sink:(Option.map Sink.jsonl trace_oc) ())
+      | _ -> Some (Obs.create ?sink:(Option.map trace_sink trace_oc) ())
     in
     let store_config =
       { Store.default_config with
@@ -415,15 +426,17 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run one heuristic on a workload trace and print its summary.")
     Term.(
-      const run $ trace_t $ heuristic_t $ policy_t $ step_t $ trace_out_t $ metrics_out_t
-      $ store_dir_t $ store_batch_t $ store_kill_t)
+      const run $ trace_t $ heuristic_t $ policy_t $ step_t $ trace_out_t $ trace_format_t
+      $ metrics_out_t $ store_dir_t $ store_batch_t $ store_kill_t)
 
 (* --- replay-trace command --- *)
 
 let replay_trace_cmd =
   let trace_t =
     Arg.(required & pos 0 (some file) None
-         & info [] ~docv:"TRACE" ~doc:"JSONL event trace written by run --trace-out.")
+         & info [] ~docv:"TRACE"
+             ~doc:"Event trace written by run --trace-out (binary or JSONL; the format is \
+                   sniffed from the first byte).")
   in
   let run trace =
     match Replay.of_file trace with
@@ -449,7 +462,7 @@ let replay_trace_cmd =
   in
   Cmd.v
     (Cmd.info "replay-trace"
-       ~doc:"Rebuild a run's summary from its JSONL event trace alone.")
+       ~doc:"Rebuild a run's summary from its event trace alone (binary or JSONL).")
     Term.(const run $ trace_t)
 
 (* --- recover command --- *)
@@ -884,6 +897,12 @@ let loadgen_cmd =
          & info [ "tolerate-disconnect" ]
              ~doc:"A dropped connection stops that client quietly instead of failing the run.")
   in
+  let binary_t =
+    Arg.(value & flag
+         & info [ "binary" ]
+             ~doc:"Speak the binary frame form; the daemon notices from the first frame \
+                   and replies in kind.")
+  in
   let bench_out_t =
     Arg.(value & opt (some string) None
          & info [ "bench-out" ] ~docv:"FILE" ~doc:"Write the report as a JSON object to $(docv).")
@@ -893,12 +912,12 @@ let loadgen_cmd =
          & info [ "shutdown" ] ~doc:"Send the shutdown verb once the run completes.")
   in
   let run socket tcp conns requests seed mean_ia slack cancel_every acks_path tolerate
-      bench_out shutdown =
+      binary bench_out shutdown =
     let transport = transport_of "loadgen" socket tcp in
     let acks = Option.map open_out acks_path in
     let cfg =
       Loadgen.default_config ~connections:conns ~requests ~seed ~mean_interarrival:mean_ia
-        ~max_slack:slack ~cancel_every ?acks ~tolerate_disconnect:tolerate transport
+        ~max_slack:slack ~cancel_every ?acks ~binary ~tolerate_disconnect:tolerate transport
     in
     Provenance.print ~cmd:"loadgen"
       [ Provenance.seed seed; Provenance.int "requests" requests;
@@ -932,7 +951,7 @@ let loadgen_cmd =
        ~doc:"Drive a running admission daemon with a seeded closed-loop workload and \
              report throughput and latency percentiles.")
     Term.(const run $ socket_t $ tcp_t $ conns_t $ requests_t $ lg_seed_t $ mean_ia_t
-          $ slack_t $ cancel_t $ acks_t $ tolerate_t $ bench_out_t $ shutdown_t)
+          $ slack_t $ cancel_t $ acks_t $ tolerate_t $ binary_t $ bench_out_t $ shutdown_t)
 
 let main_cmd =
   Cmd.group

@@ -11,178 +11,303 @@
    then resolve along a single root-to-leaf descent: O(log n) against the
    reference's O(n) full-map walk.
 
-   The tree is an AVL rebalanced on the insertion/deletion path; the nodes
-   themselves are immutable (so snapshots would be O(1)), with a mutable
-   root making the structure imperative for the ledger's add/remove flow.
+   The tree is an AVL rebalanced in place on the insertion/deletion path.
+   Nodes are mutable and allocated once per breakpoint: an update rewrites
+   the h/sum/best caches along the path instead of copying it, and the
+   float payload of every node lives in an all-float record ([fl]) so the
+   aggregates stay unboxed — the admission inner loop runs without per-probe
+   allocation.  Range maxima accumulate into a probe cursor owned by the
+   timeline ([probe]), reused across queries, rather than building a
+   (value, witness) tuple at every level of the descent.
 
    Float discipline matches [Profile_ref] exactly: keys are compared with
    [Float.compare] (the ordering of [Map.Make (Float)]), deltas cancel on
    [= 0.], and aggregate sums are accumulated left-to-right in key order so
    every level equals the same rounding-order prefix sum the reference
-   computes.  The differential qcheck suite in test/test_timeline.ml pins
-   this equivalence down. *)
+   computes.  In-place rebalancing performs the same rotations on the same
+   shapes as the previous persistent version, so cached aggregates associate
+   identically and decision streams are bit-identical.  The differential
+   qcheck suite in test/test_timeline.ml pins this equivalence down. *)
 
-type tree =
-  | Leaf
-  | Node of {
-      l : tree;
-      key : float;
-      delta : float;
-      r : tree;
-      h : int;
-      sum : float;
-      best : float;
-      best_at : float;
-    }
+(* All-float payload: flat unboxed float block, mutated in place. *)
+type fl = {
+  mutable key : float;
+  mutable delta : float;
+  mutable sum : float;
+  mutable best : float;
+  mutable best_at : float;
+}
 
-type t = { mutable root : tree }
+type tree = Leaf | Node of { mutable l : tree; mutable r : tree; mutable h : int; f : fl }
+
+(* Reusable probe cursor for range-max descents. *)
+type probe = { mutable pbest : float; mutable pbest_at : float }
+
+type t = { mutable root : tree; probe : probe }
 
 let height = function Leaf -> 0 | Node n -> n.h
-let sum = function Leaf -> 0. | Node n -> n.sum
+let sum = function Leaf -> 0. | Node n -> n.f.sum
 
-(* Smart constructor: recompute height and aggregates.  The in-order
-   candidates for [best] are the left subtree's best, the level after this
-   node, and the right subtree's best offset by everything to its left;
-   strict [>] keeps the leftmost witness on ties. *)
-let node l key delta r =
-  let here = sum l +. delta in
-  let best, best_at =
-    match l with Leaf -> (here, key) | Node n -> if here > n.best then (here, key) else (n.best, n.best_at)
-  in
-  let best, best_at =
-    match r with
-    | Leaf -> (best, best_at)
-    | Node n ->
-        let rb = here +. n.best in
-        if rb > best then (rb, n.best_at) else (best, best_at)
-  in
-  Node
-    {
-      l;
-      key;
-      delta;
-      r;
-      h = 1 + max (height l) (height r);
-      sum = here +. sum r;
-      best;
-      best_at;
-    }
+(* Recompute height and aggregates of a node from its children (which must
+   already be up to date).  The in-order candidates for [best] are the left
+   subtree's best, the level after this node, and the right subtree's best
+   offset by everything to its left; strict [>] keeps the leftmost witness
+   on ties. *)
+let update t =
+  match t with
+  | Leaf -> ()
+  | Node n ->
+      let f = n.f in
+      let here = sum n.l +. f.delta in
+      n.h <- 1 + max (height n.l) (height n.r);
+      f.sum <- here +. sum n.r;
+      (match n.l with
+      | Leaf ->
+          f.best <- here;
+          f.best_at <- f.key
+      | Node ln ->
+          if here > ln.f.best then begin
+            f.best <- here;
+            f.best_at <- f.key
+          end
+          else begin
+            f.best <- ln.f.best;
+            f.best_at <- ln.f.best_at
+          end);
+      (match n.r with
+      | Leaf -> ()
+      | Node rn ->
+          let rb = here +. rn.f.best in
+          if rb > f.best then begin
+            f.best <- rb;
+            f.best_at <- rn.f.best_at
+          end)
 
 (* AVL rebalance for a node whose children differ in height by at most 2
-   (the invariant after one insertion or deletion below). *)
-let balance l key delta r =
-  let hl = height l and hr = height r in
-  if hl > hr + 1 then
-    match l with
-    | Node { l = ll; key = lk; delta = ld; r = lr; _ } when height ll >= height lr ->
-        node ll lk ld (node lr key delta r)
-    | Node { l = ll; key = lk; delta = ld; r = Node { l = lrl; key = lrk; delta = lrd; r = lrr; _ }; _ }
-      ->
-        node (node ll lk ld lrl) lrk lrd (node lrr key delta r)
-    | _ -> assert false
-  else if hr > hl + 1 then
-    match r with
-    | Node { l = rl; key = rk; delta = rd; r = rr; _ } when height rr >= height rl ->
-        node (node l key delta rl) rk rd rr
-    | Node { l = Node { l = rll; key = rlk; delta = rld; r = rlr; _ }; key = rk; delta = rd; r = rr; _ }
-      ->
-        node (node l key delta rll) rlk rld (node rlr rk rd rr)
-    | _ -> assert false
-  else node l key delta r
+   (the invariant after one insertion or deletion below).  Rotations
+   reattach the existing nodes — same shapes as the persistent version,
+   children updated before their new parent. *)
+let balance t =
+  match t with
+  | Leaf -> t
+  | Node n ->
+      let hl = height n.l and hr = height n.r in
+      if hl > hr + 1 then begin
+        let l = n.l in
+        match l with
+        | Node ln when height ln.l >= height ln.r ->
+            (* single right rotation *)
+            n.l <- ln.r;
+            update t;
+            ln.r <- t;
+            update l;
+            l
+        | Node ln -> (
+            match ln.r with
+            | Node lrn ->
+                (* left-right double rotation *)
+                let lr = ln.r in
+                ln.r <- lrn.l;
+                update l;
+                n.l <- lrn.r;
+                update t;
+                lrn.l <- l;
+                lrn.r <- t;
+                update lr;
+                lr
+            | Leaf -> assert false)
+        | Leaf -> assert false
+      end
+      else if hr > hl + 1 then begin
+        let r = n.r in
+        match r with
+        | Node rn when height rn.r >= height rn.l ->
+            (* single left rotation *)
+            n.r <- rn.l;
+            update t;
+            rn.l <- t;
+            update r;
+            r
+        | Node rn -> (
+            match rn.l with
+            | Node rln ->
+                (* right-left double rotation *)
+                let rl = rn.l in
+                rn.l <- rln.r;
+                update r;
+                n.r <- rln.l;
+                update t;
+                rln.l <- t;
+                rln.r <- r;
+                update rl;
+                rl
+            | Leaf -> assert false)
+        | Leaf -> assert false
+      end
+      else begin
+        update t;
+        t
+      end
 
-let rec min_binding = function
+let rec min_node t =
+  match t with
   | Leaf -> assert false
-  | Node { l = Leaf; key; delta; _ } -> (key, delta)
-  | Node { l; _ } -> min_binding l
+  | Node { l = Leaf; _ } -> t
+  | Node n -> min_node n.l
 
-let rec remove_min = function
+let rec remove_min t =
+  match t with
   | Leaf -> assert false
   | Node { l = Leaf; r; _ } -> r
-  | Node { l; key; delta; r; _ } -> balance (remove_min l) key delta r
+  | Node n ->
+      n.l <- remove_min n.l;
+      balance t
 
+(* Join two subtrees whose keys are already ordered (all of [l] < all of
+   [r]): the minimum node of [r] is detached and reused as the new root —
+   the same shape the persistent version built from the min binding. *)
 let merge l r =
   match (l, r) with
   | Leaf, t | t, Leaf -> t
-  | _ ->
-      let key, delta = min_binding r in
-      balance l key delta (remove_min r)
+  | _ -> (
+      let mt = min_node r in
+      match mt with
+      | Node m ->
+          let r' = remove_min r in
+          m.l <- l;
+          m.r <- r';
+          balance mt
+      | Leaf -> assert false)
 
 (* Add [delta] to the entry at [key], dropping the node when the deltas
    cancel exactly — the same invariant as the reference map, so
    [breakpoints] never reports a time where the level does not change. *)
-let rec add_delta tree key delta =
-  match tree with
-  | Leaf -> if delta = 0. then Leaf else node Leaf key delta Leaf
-  | Node { l; key = k; delta = d; r; _ } ->
-      let c = Float.compare key k in
-      if c = 0 then
-        let d = d +. delta in
-        if d = 0. then merge l r else node l k d r
-      else if c < 0 then balance (add_delta l key delta) k d r
-      else balance l k d (add_delta r key delta)
+let rec add_delta t key delta =
+  match t with
+  | Leaf ->
+      if delta = 0. then Leaf
+      else Node { l = Leaf; r = Leaf; h = 1; f = { key; delta; sum = delta; best = delta; best_at = key } }
+  | Node n ->
+      let c = Float.compare key n.f.key in
+      if c = 0 then begin
+        let d = n.f.delta +. delta in
+        if d = 0. then merge n.l n.r
+        else begin
+          n.f.delta <- d;
+          update t;
+          t
+        end
+      end
+      else if c < 0 then begin
+        n.l <- add_delta n.l key delta;
+        balance t
+      end
+      else begin
+        n.r <- add_delta n.r key delta;
+        balance t
+      end
 
 (* Sum of deltas with key <= time. *)
 let rec prefix_sum tree time =
   match tree with
   | Leaf -> 0.
-  | Node { l; key; delta; r; _ } ->
-      if Float.compare key time <= 0 then sum l +. delta +. prefix_sum r time
-      else prefix_sum l time
+  | Node n ->
+      if Float.compare n.f.key time <= 0 then sum n.l +. n.f.delta +. prefix_sum n.r time
+      else prefix_sum n.l time
 
 (* Max (and leftmost witness) of the level after each breakpoint with
    key > lo, offset by [acc], the sum of all deltas left of this subtree.
    Subtrees entirely above the bound are answered from their cached
-   aggregates, so the descent visits O(log n) nodes. *)
-let rec best_above tree lo acc =
+   aggregates, so the descent visits O(log n) nodes.  Candidates are folded
+   into the probe cursor strictly in key order with strictly-greater
+   replacement — the same (value, leftmost witness) the persistent
+   tuple-returning version computed, without the per-level allocation. *)
+let rec best_above tree lo acc p =
   match tree with
-  | Leaf -> (neg_infinity, Float.nan)
-  | Node { l; key; delta; r; _ } ->
-      let here = acc +. sum l +. delta in
-      if Float.compare key lo <= 0 then best_above r lo here
-      else
-        let best, best_at = best_above l lo acc in
-        let best, best_at = if here > best then (here, key) else (best, best_at) in
-        (match r with
-        | Leaf -> (best, best_at)
-        | Node n ->
-            let rb = here +. n.best in
-            if rb > best then (rb, n.best_at) else (best, best_at))
+  | Leaf -> ()
+  | Node n ->
+      let here = acc +. sum n.l +. n.f.delta in
+      if Float.compare n.f.key lo <= 0 then best_above n.r lo here p
+      else begin
+        best_above n.l lo acc p;
+        if here > p.pbest then begin
+          p.pbest <- here;
+          p.pbest_at <- n.f.key
+        end;
+        match n.r with
+        | Leaf -> ()
+        | Node rn ->
+            let rb = here +. rn.f.best in
+            if rb > p.pbest then begin
+              p.pbest <- rb;
+              p.pbest_at <- rn.f.best_at
+            end
+      end
 
 (* Symmetric: keys < hi. *)
-let rec best_below tree hi acc =
+let rec best_below tree hi acc p =
   match tree with
-  | Leaf -> (neg_infinity, Float.nan)
-  | Node { l; key; delta; r; _ } ->
-      if Float.compare key hi >= 0 then best_below l hi acc
-      else
-        let here = acc +. sum l +. delta in
-        let best, best_at =
-          match l with
-          | Leaf -> (here, key)
-          | Node n -> if here > acc +. n.best then (here, key) else (acc +. n.best, n.best_at)
-        in
-        let rb, ra = best_below r hi here in
-        if rb > best then (rb, ra) else (best, best_at)
+  | Leaf -> ()
+  | Node n ->
+      if Float.compare n.f.key hi >= 0 then best_below n.l hi acc p
+      else begin
+        let here = acc +. sum n.l +. n.f.delta in
+        (match n.l with
+        | Leaf -> ()
+        | Node ln ->
+            let lb = acc +. ln.f.best in
+            if lb > p.pbest then begin
+              p.pbest <- lb;
+              p.pbest_at <- ln.f.best_at
+            end);
+        if here > p.pbest then begin
+          p.pbest <- here;
+          p.pbest_at <- n.f.key
+        end;
+        best_below n.r hi here p
+      end
 
 (* Keys strictly inside (lo, hi): descend to the split node, then the two
    one-sided searches above. *)
-let rec best_between tree ~lo ~hi acc =
+let rec best_between tree ~lo ~hi acc p =
   match tree with
-  | Leaf -> (neg_infinity, Float.nan)
-  | Node { l; key; delta; r; _ } ->
-      if Float.compare key lo <= 0 then best_between r ~lo ~hi (acc +. sum l +. delta)
-      else if Float.compare key hi >= 0 then best_between l ~lo ~hi acc
-      else
-        let here = acc +. sum l +. delta in
-        let best, best_at = best_above l lo acc in
-        let best, best_at = if here > best then (here, key) else (best, best_at) in
-        let rb, ra = best_below r hi here in
-        if rb > best then (rb, ra) else (best, best_at)
+  | Leaf -> ()
+  | Node n ->
+      if Float.compare n.f.key lo <= 0 then best_between n.r ~lo ~hi (acc +. sum n.l +. n.f.delta) p
+      else if Float.compare n.f.key hi >= 0 then best_between n.l ~lo ~hi acc p
+      else begin
+        let here = acc +. sum n.l +. n.f.delta in
+        best_above n.l lo acc p;
+        if here > p.pbest then begin
+          p.pbest <- here;
+          p.pbest_at <- n.f.key
+        end;
+        best_below n.r hi here p
+      end
 
 (* --- public interface --- *)
 
-let create () = { root = Leaf }
-let copy t = { root = t.root }
+let create () = { root = Leaf; probe = { pbest = neg_infinity; pbest_at = Float.nan } }
+
+let rec copy_tree = function
+  | Leaf -> Leaf
+  | Node n ->
+      Node
+        {
+          l = copy_tree n.l;
+          r = copy_tree n.r;
+          h = n.h;
+          f =
+            {
+              key = n.f.key;
+              delta = n.f.delta;
+              sum = n.f.sum;
+              best = n.f.best;
+              best_at = n.f.best_at;
+            };
+        }
+
+let copy t = { root = copy_tree t.root; probe = { pbest = neg_infinity; pbest_at = Float.nan } }
 let clear t = t.root <- Leaf
 let is_empty t = t.root = Leaf
 
@@ -198,20 +323,26 @@ let usage_at t time = prefix_sum t.root time
 let max_over t ~from_ ~until =
   if from_ >= until then invalid_arg "Timeline.max_over: empty interval";
   let start_level = prefix_sum t.root from_ in
-  let best, _ = best_between t.root ~lo:from_ ~hi:until 0. in
-  Float.max start_level best
+  let p = t.probe in
+  p.pbest <- neg_infinity;
+  p.pbest_at <- Float.nan;
+  best_between t.root ~lo:from_ ~hi:until 0. p;
+  Float.max start_level p.pbest
 
 let argmax_over t ~from_ ~until =
   if from_ >= until then invalid_arg "Timeline.argmax_over: empty interval";
   let start_level = prefix_sum t.root from_ in
-  let best, best_at = best_between t.root ~lo:from_ ~hi:until 0. in
-  if best > start_level then (best_at, best) else (from_, start_level)
+  let p = t.probe in
+  p.pbest <- neg_infinity;
+  p.pbest_at <- Float.nan;
+  best_between t.root ~lo:from_ ~hi:until 0. p;
+  if p.pbest > start_level then (p.pbest_at, p.pbest) else (from_, start_level)
 
-let peak t = match t.root with Leaf -> 0.0 | Node n -> Float.max 0.0 n.best
+let peak t = match t.root with Leaf -> 0.0 | Node n -> Float.max 0.0 n.f.best
 
 let breakpoints t =
   let rec walk tree acc =
-    match tree with Leaf -> acc | Node { l; key; r; _ } -> walk l (key :: walk r acc)
+    match tree with Leaf -> acc | Node n -> walk n.l (n.f.key :: walk n.r acc)
   in
   walk t.root []
 
@@ -219,12 +350,14 @@ let fold_segments t ~init ~f =
   let rec walk tree (acc, level, prev) =
     match tree with
     | Leaf -> (acc, level, prev)
-    | Node { l; key; delta; r; _ } ->
-        let acc, level, prev = walk l (acc, level, prev) in
+    | Node n ->
+        let acc, level, prev = walk n.l (acc, level, prev) in
         let acc =
-          match prev with Some p when p < key -> f acc ~from_:p ~until:key level | _ -> acc
+          match prev with
+          | Some p when p < n.f.key -> f acc ~from_:p ~until:n.f.key level
+          | _ -> acc
         in
-        walk r (acc, level +. delta, Some key)
+        walk n.r (acc, level +. n.f.delta, Some n.f.key)
   in
   let acc, _, _ = walk t.root (init, 0.0, None) in
   acc

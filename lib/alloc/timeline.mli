@@ -20,9 +20,9 @@ val create : unit -> t
 (** A fresh, empty timeline. *)
 
 val copy : t -> t
-(** O(1) snapshot: the underlying tree is immutable, only the root pointer
-    is duplicated.  Later [add]/[remove] on either copy do not affect the
-    other. *)
+(** Independent deep copy, O(n): nodes are mutated in place by
+    [add]/[remove], so a snapshot duplicates the tree.  Later
+    [add]/[remove] on either copy do not affect the other. *)
 
 val clear : t -> unit
 

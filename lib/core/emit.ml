@@ -11,13 +11,6 @@ module Event = Gridbw_obs.Event
 
 let reason_name reason = Format.asprintf "%a" Types.pp_reason reason
 
-(* Merge an optional durable store into the telemetry context: with a
-   store attached the returned ctx journals every emitted event (teeing
-   with any existing sink).  Entry points call this once, then thread the
-   merged ctx as plain [~obs]. *)
-let with_store ?store obs =
-  match store with None -> obs | Some s -> Gridbw_store.Store.attach s obs
-
 (* Input-list position of every request, recorded on Arrival events so a
    trace replay can restore the original list order (summary float sums
    are order-sensitive). *)

@@ -33,8 +33,8 @@ let collect all decisions =
     decisions;
   { Types.all; accepted = List.rev !accepted; rejected = List.rev !rejected }
 
-let greedy ?(obs = Obs.disabled) ?store fabric policy requests =
-  let obs = Emit.with_store ?store obs in
+let greedy ?obs ?store ?ctx fabric policy requests =
+  let obs = Runtime.observed (Runtime.resolve ?obs ?store ?ctx ()) in
   check_routing fabric requests;
   Policy.validate policy;
   let ctl = Online.create fabric in
@@ -60,9 +60,9 @@ let greedy ?(obs = Obs.disabled) ?store fabric policy requests =
    The result's [accepted] is the full run (restored ++ resumed, decision
    order); [rejected] only covers post-crash decisions — journaled
    rejections carry no state and are not reconstructed into reasons. *)
-let greedy_resume ?(obs = Obs.disabled) ?store fabric policy ~restored ~decided
+let greedy_resume ?obs ?store ?ctx fabric policy ~restored ~decided
     ?(arrived = fun _ -> false) requests =
-  let obs = Emit.with_store ?store obs in
+  let obs = Runtime.observed (Runtime.resolve ?obs ?store ?ctx ()) in
   check_routing fabric requests;
   Policy.validate policy;
   let ctl = Online.create fabric in
@@ -84,30 +84,35 @@ let greedy_resume ?(obs = Obs.disabled) ?store fabric policy ~restored ~decided
   { res with Types.accepted = List.map snd restored @ res.Types.accepted }
 
 (* Group requests by the [step]-interval their arrival falls into, in
-   interval order, each batch in arrival order. *)
+   interval order, each batch in arrival order.  One array sort and a
+   backward sweep over consecutive runs: arrival order makes the interval
+   keys non-decreasing, so no per-interval table is needed.
+   [arrival_compare] is total (id tie-break), so the unstable array sort
+   produces exactly the processing order of {!arrival_order}.  Generated
+   and journaled workloads already arrive in that order, so sortedness is
+   checked in O(n) first and the sort skipped when it would be a no-op. *)
 let batches ~step requests =
-  let by_interval = Hashtbl.create 64 in
-  List.iter
-    (fun (r : Request.t) ->
-      let k = int_of_float (Float.floor (r.ts /. step)) in
-      Hashtbl.replace by_interval k
-        (r :: Option.value ~default:[] (Hashtbl.find_opt by_interval k)))
-    (arrival_order requests);
-  Hashtbl.fold (fun k _ acc -> k :: acc) by_interval []
-  |> List.sort Int.compare
-  |> List.map (fun k -> (k, List.rev (Hashtbl.find by_interval k)))
-
-(* Candidate state while packing one WINDOW batch: the port usage at the
-   candidate's own start instant is cached and updated incrementally as
-   batch mates are accepted, so the O(batch) min-cost scan does no ledger
-   folds. *)
-type candidate = {
-  creq : Request.t;
-  cbw : float;
-  mutable use_in : float;  (* reserved bandwidth at creq.ts on its ingress *)
-  mutable use_out : float;
-  mutable alive : bool;
-}
+  let arr = Array.of_list requests in
+  let sorted = ref true in
+  let i = ref 1 in
+  while !sorted && !i < Array.length arr do
+    if arrival_compare arr.(!i - 1) arr.(!i) > 0 then sorted := false;
+    incr i
+  done;
+  if not !sorted then Array.sort arrival_compare arr;
+  let interval (r : Request.t) = int_of_float (Float.floor (r.ts /. step)) in
+  let res = ref [] in
+  let i = ref (Array.length arr - 1) in
+  while !i >= 0 do
+    let k = interval arr.(!i) in
+    let batch = ref [] in
+    while !i >= 0 && interval arr.(!i) = k do
+      batch := arr.(!i) :: !batch;
+      decr i
+    done;
+    res := (k, !batch) :: !res
+  done;
+  !res
 
 (* One WINDOW batch against a shared ledger — Algorithm 3's inner loop.
    Exposed so the fault subsystem can re-pack residual requests with the
@@ -133,117 +138,228 @@ let pack_batch ?(obs = Obs.disabled) ?now policy ledger ~decide batch =
     Emit.emit_decision obs ~time:now ?blocked r d;
     decide r d
   in
-  let cost c =
-    Float.max
-      ((c.use_in +. c.cbw) /. Fabric.ingress_capacity fabric c.creq.Request.ingress)
-      ((c.use_out +. c.cbw) /. Fabric.egress_capacity fabric c.creq.Request.egress)
-  in
-  (* The saturated side of a candidate, from its cached usage counters. *)
-  let sat_info c =
-    let cap_in = Fabric.ingress_capacity fabric c.creq.Request.ingress in
-    let cap_out = Fabric.egress_capacity fabric c.creq.Request.egress in
-    if (c.use_in +. c.cbw) /. cap_in >= (c.use_out +. c.cbw) /. cap_out then
-      Some ((Event.Ingress, c.creq.Request.ingress), cap_in -. c.use_in)
-    else Some ((Event.Egress, c.creq.Request.egress), cap_out -. c.use_out)
-  in
   Obs.span obs "pack_batch" @@ fun () ->
-  (* Every candidate keeps its arrival start, so the policy rate is the
+  match batch with
+  | [] -> ()
+  | first :: _ ->
+  (* Candidate state lives in parallel flat arrays — floats unboxed, ids
+     and liveness immediate — so the min-cost scan, the post-accept
+     refresh, and the cut sweep plain array cells instead of chasing
+     per-candidate records.  [use_in]/[use_out] cache the port usage at
+     the candidate's own start instant and are updated incrementally as
+     batch mates are accepted, so the scan does no ledger folds; the
+     cost only changes when an accepted mate lands on a shared port, and
+     the refresh reaches exactly those candidates through per-port index
+     lists instead of a full-batch walk.
+
+     Every candidate keeps its arrival start, so the policy rate is the
      one of section 5.1 (MinRate or f x MaxRate at ts) and is always
      defined. *)
-  let candidates =
-    List.filter_map
-      (fun (r : Request.t) ->
-        match Policy.assign policy r ~now:r.ts with
-        | Some bw ->
-            Some
-              {
-                creq = r;
-                cbw = bw;
-                use_in = Ledger.usage_at ledger (Port.Ingress r.ingress) r.ts;
-                use_out = Ledger.usage_at ledger (Port.Egress r.egress) r.ts;
-                alive = true;
-              }
-        | None ->
-            record r (Types.Rejected Types.Deadline_unreachable);
-            None)
-      batch
-    |> Array.of_list
+  let cap = List.length batch in
+  let reqs = Array.make cap first in
+  let cbw = Array.make cap 0. in
+  let cap_in = Array.make cap 0. in
+  let cap_out = Array.make cap 0. in
+  let use_in = Array.make cap 0. in
+  let use_out = Array.make cap 0. in
+  let costs = Array.make cap 0. in
+  let ids = Array.make cap 0 in
+  let alive = Array.make cap false in
+  let n = ref 0 in
+  List.iter
+    (fun (r : Request.t) ->
+      match Policy.assign policy r ~now:r.ts with
+      | Some bw ->
+          let i = !n in
+          reqs.(i) <- r;
+          cbw.(i) <- bw;
+          cap_in.(i) <- Fabric.ingress_capacity fabric r.ingress;
+          cap_out.(i) <- Fabric.egress_capacity fabric r.egress;
+          use_in.(i) <- Ledger.usage_at ledger (Port.Ingress r.ingress) r.ts;
+          use_out.(i) <- Ledger.usage_at ledger (Port.Egress r.egress) r.ts;
+          costs.(i) <-
+            Float.max ((use_in.(i) +. bw) /. cap_in.(i)) ((use_out.(i) +. bw) /. cap_out.(i));
+          ids.(i) <- r.Request.id;
+          alive.(i) <- true;
+          incr n
+      | None -> record r (Types.Rejected Types.Deadline_unreachable))
+    batch;
+  let n = !n in
+  let cost i =
+    Float.max
+      ((use_in.(i) +. cbw.(i)) /. cap_in.(i))
+      ((use_out.(i) +. cbw.(i)) /. cap_out.(i))
   in
-  let remaining = ref (Array.length candidates) in
-  while !remaining > 0 do
-    (* Cheapest alive candidate (ties: smaller id). *)
-    let best = ref None in
-    Array.iter
-      (fun c ->
-        if c.alive then
-          match !best with
-          | None -> best := Some (c, cost c)
-          | Some (b, bc) ->
-              let cc = cost c in
-              if cc < bc || (cc = bc && c.creq.Request.id < b.creq.Request.id) then
-                best := Some (c, cc))
-      candidates;
-    match !best with
-    | None -> remaining := 0
-    | Some (c, best_cost) ->
-        if best_cost > 1. +. 1e-9 then begin
-          (* Algorithm 3's cut: the cheapest candidate saturates a port,
-             so every remaining candidate does too. *)
-          Array.iter
-            (fun c ->
-              if c.alive then begin
-                c.alive <- false;
-                record ?blocked:(sat_info c) c.creq (Types.Rejected Types.Port_saturated)
-              end)
-            candidates;
-          remaining := 0
+  (* The saturated side of a candidate, from its cached usage counters. *)
+  let sat_info i =
+    if (use_in.(i) +. cbw.(i)) /. cap_in.(i) >= (use_out.(i) +. cbw.(i)) /. cap_out.(i) then
+      Some ((Event.Ingress, reqs.(i).Request.ingress), cap_in.(i) -. use_in.(i))
+    else Some ((Event.Egress, reqs.(i).Request.egress), cap_out.(i) -. use_out.(i))
+  in
+  (* Per-port candidate index arrays, ascending — candidate order is
+     arrival order, so each array is sorted by start instant and the
+     refresh after an accept binary-searches the [sigma, tau) window
+     instead of filtering the whole port list. *)
+  let port_index count port_of =
+    let cnt = Array.make count 0 in
+    for i = 0 to n - 1 do
+      let p = port_of reqs.(i) in
+      cnt.(p) <- cnt.(p) + 1
+    done;
+    let idx = Array.map (fun c -> Array.make c 0) cnt in
+    Array.fill cnt 0 count 0;
+    for i = 0 to n - 1 do
+      let p = port_of reqs.(i) in
+      idx.(p).(cnt.(p)) <- i;
+      cnt.(p) <- cnt.(p) + 1
+    done;
+    idx
+  in
+  let by_in = port_index (Fabric.ingress_count fabric) (fun r -> r.Request.ingress) in
+  let by_out = port_index (Fabric.egress_count fabric) (fun r -> r.Request.egress) in
+  (* First position in [idxs] whose candidate starts at or after [t]. *)
+  let lower_bound (idxs : int array) t =
+    let lo = ref 0 and hi = ref (Array.length idxs) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if reqs.(idxs.(mid)).Request.ts < t then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  (* Lazy min-heap on (cost, id).  Costs only ever increase while packing
+     (mates landing on a shared port push usage up), so an entry's stored
+     cost is a lower bound on its current cost: when a stale or dead entry
+     surfaces it is refreshed in place (or dropped) and re-sunk, and a
+     root whose stored cost is current is the exact (cost, id) argmin —
+     the same candidate the linear scan would pick. *)
+  let hcost = Array.make (max n 1) 0. in
+  let hidx = Array.make (max n 1) 0 in
+  let hsize = ref n in
+  let hless c1 i1 c2 i2 = c1 < c2 || (c1 = c2 && ids.(i1) < ids.(i2)) in
+  let rec sift_down p =
+    let l = (2 * p) + 1 in
+    if l < !hsize then begin
+      let r = l + 1 in
+      let s =
+        if r < !hsize && hless hcost.(r) hidx.(r) hcost.(l) hidx.(l) then r else l
+      in
+      if hless hcost.(s) hidx.(s) hcost.(p) hidx.(p) then begin
+        let c = hcost.(p) and i = hidx.(p) in
+        hcost.(p) <- hcost.(s);
+        hidx.(p) <- hidx.(s);
+        hcost.(s) <- c;
+        hidx.(s) <- i;
+        sift_down s
+      end
+    end
+  in
+  for i = 0 to n - 1 do
+    hcost.(i) <- costs.(i);
+    hidx.(i) <- i
+  done;
+  for p = (n / 2) - 1 downto 0 do
+    sift_down p
+  done;
+  let drop_root () =
+    hsize := !hsize - 1;
+    if !hsize > 0 then begin
+      hcost.(0) <- hcost.(!hsize);
+      hidx.(0) <- hidx.(!hsize);
+      sift_down 0
+    end
+  in
+  (* Cheapest alive candidate (ties: smaller id), from the cached costs. *)
+  let rec next_best () =
+    let i = hidx.(0) in
+    if not alive.(i) then begin
+      drop_root ();
+      next_best ()
+    end
+    else if hcost.(0) < costs.(i) then begin
+      hcost.(0) <- costs.(i);
+      sift_down 0;
+      next_best ()
+    end
+    else i
+  in
+  let live = ref n in
+  let kill i =
+    alive.(i) <- false;
+    decr live
+  in
+  while !live > 0 do
+    let bi = next_best () in
+    if costs.(bi) > 1. +. 1e-9 then begin
+      (* Algorithm 3's cut: the cheapest candidate saturates a port, so
+         every remaining candidate does too.  Rejections are recorded in
+         candidate order, as the pre-compaction walk did. *)
+      let tracing = Obs.tracing obs in
+      for i = 0 to n - 1 do
+        if alive.(i) then begin
+          alive.(i) <- false;
+          record
+            ?blocked:(if tracing then sat_info i else None)
+            reqs.(i)
+            (Types.Rejected Types.Port_saturated)
         end
-        else begin
-          let r = c.creq in
-          let a = Allocation.make ~request:r ~bw:c.cbw ~sigma:r.Request.ts in
-          if Ledger.fits ledger a then begin
-            Ledger.reserve ledger a;
-            record r (Types.Accepted a);
-            (* Refresh the cached usage of batch mates whose start falls
-               inside the accepted transmission interval. *)
-            Array.iter
-              (fun m ->
-                if m.alive && m != c then begin
-                  let ts = m.creq.Request.ts in
-                  if ts >= a.Allocation.sigma && ts < a.Allocation.tau then begin
-                    if m.creq.Request.ingress = r.Request.ingress then
-                      m.use_in <- m.use_in +. c.cbw;
-                    if m.creq.Request.egress = r.Request.egress then
-                      m.use_out <- m.use_out +. c.cbw
-                  end
-                end)
-              candidates
-          end
-          else
-            (* Instantaneously cheap but blocked by a reservation spike
-               later in its transmission interval. *)
-            record ?blocked:(Emit.spike_port obs ledger a) r (Types.Rejected Types.Port_saturated);
-          c.alive <- false;
-          decr remaining
-        end
+      done;
+      live := 0
+    end
+    else begin
+      let r = reqs.(bi) in
+      let bw = cbw.(bi) in
+      let a = Allocation.make ~request:r ~bw ~sigma:r.Request.ts in
+      if Ledger.fits ledger a then begin
+        (* [fits] just vouched for the whole interval; reserve without the
+           redundant re-probe. *)
+        Ledger.reserve_interval ledger ~ingress:r.Request.ingress ~egress:r.Request.egress
+          ~bw ~from_:a.Allocation.sigma ~until:a.Allocation.tau;
+        record r (Types.Accepted a);
+        (* Refresh the cached usage (and cost) of batch mates on the
+           accepted ports whose start falls inside the accepted
+           transmission interval — exactly the [sigma, tau) slice of the
+           port's ts-sorted index array. *)
+        let touch (use : float array) (idxs : int array) =
+          let stop = lower_bound idxs a.Allocation.tau in
+          for k = lower_bound idxs a.Allocation.sigma to stop - 1 do
+            let i = idxs.(k) in
+            if alive.(i) && i <> bi then begin
+              use.(i) <- use.(i) +. bw;
+              costs.(i) <- cost i
+            end
+          done
+        in
+        touch use_in by_in.(r.Request.ingress);
+        touch use_out by_out.(r.Request.egress)
+      end
+      else
+        (* Instantaneously cheap but blocked by a reservation spike
+           later in its transmission interval. *)
+        record ?blocked:(Emit.spike_port obs ledger a) r (Types.Rejected Types.Port_saturated);
+      kill bi
+    end
   done
 
-let window ?(obs = Obs.disabled) ?store fabric policy ~step requests =
-  let obs = Emit.with_store ?store obs in
+let window ?obs ?store ?ctx fabric policy ~step requests =
+  let obs = Runtime.observed (Runtime.resolve ?obs ?store ?ctx ()) in
   if step <= 0. || not (Float.is_finite step) then
     invalid_arg "Flexible.window: step must be positive and finite";
   check_routing fabric requests;
   Policy.validate policy;
   let ledger = Ledger.create fabric in
   let seqs = if Obs.tracing obs then Emit.seq_table requests else Hashtbl.create 1 in
-  let decisions = ref [] in
-  let decide r d = decisions := (r, d) :: !decisions in
+  let accepted = ref [] and rejected = ref [] in
+  let decide r d =
+    match d with
+    | Types.Accepted a -> accepted := a :: !accepted
+    | Types.Rejected reason -> rejected := (r, reason) :: !rejected
+  in
   List.iter
     (fun (k, batch) ->
       Emit.emit_arrivals obs seqs batch;
       pack_batch ~obs ~now:(float_of_int (k + 1) *. step) policy ledger ~decide batch)
     (batches ~step requests);
-  collect requests (List.rev !decisions)
+  { Types.all = requests; accepted = List.rev !accepted; rejected = List.rev !rejected }
 
 let book_ahead ?(obs = Obs.disabled) fabric policy ~announce requests =
   check_routing fabric requests;
@@ -297,8 +413,8 @@ let book_ahead ?(obs = Obs.disabled) fabric policy ~announce requests =
   in
   collect requests decisions
 
-let window_deferred ?(obs = Obs.disabled) ?store fabric policy ~step requests =
-  let obs = Emit.with_store ?store obs in
+let window_deferred ?obs ?store ?ctx fabric policy ~step requests =
+  let obs = Runtime.observed (Runtime.resolve ?obs ?store ?ctx ()) in
   if step <= 0. || not (Float.is_finite step) then
     invalid_arg "Flexible.window_deferred: step must be positive and finite";
   check_routing fabric requests;
@@ -316,52 +432,74 @@ let window_deferred ?(obs = Obs.disabled) ?store fabric policy ~step requests =
       let decision_time = float_of_int (k + 1) *. step in
       Emit.emit_arrivals obs seqs batch;
       Online.advance_to ctl decision_time;
-      (* Candidates that can still meet their deadline after the delay. *)
+      (* Candidates that can still meet their deadline after the delay,
+         with their saturation cost cached: within the batch the clock is
+         pinned at [decision_time], so a candidate's cost only changes
+         when an admission lands on one of its ports — recompute exactly
+         those instead of re-scoring the whole remainder every round. *)
       let candidates =
-        List.filter
+        List.filter_map
           (fun (r : Request.t) ->
             match Online.peek_cost ctl policy r ~at:decision_time with
             | None ->
                 reject_at decision_time r Types.Deadline_unreachable;
                 decide r (Types.Rejected Types.Deadline_unreachable);
-                false
-            | Some _ -> true)
+                None
+            | Some (_, c) -> Some (r, ref c, ref true))
           batch
+        |> Array.of_list
       in
+      let live = ref (Array.length candidates) in
       (* Admit in increasing saturation cost; stop as soon as the cheapest
          candidate no longer fits (Algorithm 3's cut). *)
-      let rec pack = function
-        | [] -> ()
-        | remaining -> (
-            let scored =
-              List.filter_map
-                (fun r ->
-                  match Online.peek_cost ctl policy r ~at:decision_time with
-                  | Some (_, c) -> Some (r, c)
-                  | None -> None)
-                remaining
-            in
-            match scored with
-            | [] -> ()
-            | (first, first_cost) :: rest ->
-                let best, best_cost =
-                  List.fold_left
-                    (fun ((b, bc) as acc) ((r, c) as cur) ->
-                      if c < bc || (c = bc && r.Request.id < b.Request.id) then cur else acc)
-                    (first, first_cost) rest
-                in
-                if best_cost > 1. +. 1e-9 then
-                  List.iter
-                    (fun (r, _) ->
-                      reject_at decision_time r Types.Port_saturated;
-                      decide r (Types.Rejected Types.Port_saturated))
-                    scored
-                else begin
-                  decide best (Online.try_admit ~obs ctl policy best ~at:decision_time);
-                  pack (List.filter (fun r -> not (Request.equal r best)) remaining)
-                end)
-      in
-      pack candidates)
+      while !live > 0 do
+        let best = ref None in
+        Array.iter
+          (fun (r, c, alive) ->
+            if !alive then
+              match !best with
+              | None -> best := Some (r, c)
+              | Some ((b : Request.t), bc) ->
+                  if !c < !bc || (!c = !bc && r.Request.id < b.Request.id) then best := Some (r, c))
+          candidates;
+        match !best with
+        | None -> live := 0
+        | Some (best_r, best_cost) ->
+            if !best_cost > 1. +. 1e-9 then begin
+              (* The cut rejects the survivors in candidate order, as the
+                 per-round re-scoring walk did. *)
+              Array.iter
+                (fun (r, _, alive) ->
+                  if !alive then begin
+                    alive := false;
+                    reject_at decision_time r Types.Port_saturated;
+                    decide r (Types.Rejected Types.Port_saturated)
+                  end)
+                candidates;
+              live := 0
+            end
+            else begin
+              let d = Online.try_admit ~obs ctl policy best_r ~at:decision_time in
+              decide best_r d;
+              Array.iter (fun (r, _, alive) -> if !alive && Request.equal r best_r then alive := false) candidates;
+              decr live;
+              match d with
+              | Types.Accepted _ ->
+                  (* Only shared-port candidates see different counters. *)
+                  Array.iter
+                    (fun (r, c, alive) ->
+                      if
+                        !alive
+                        && (r.Request.ingress = best_r.Request.ingress
+                           || r.Request.egress = best_r.Request.egress)
+                      then
+                        match Online.peek_cost ctl policy r ~at:decision_time with
+                        | Some (_, c') -> c := c'
+                        | None -> ())
+                    candidates
+              | Types.Rejected _ -> ()
+            end
+      done)
     (batches ~step requests);
   collect requests (List.rev !decisions)
 
@@ -370,8 +508,8 @@ let heuristic_name = function
   | `Window step -> Printf.sprintf "window(%g)" step
   | `Window_deferred step -> Printf.sprintf "window-deferred(%g)" step
 
-let run ?obs ?store kind fabric policy requests =
+let run ?obs ?store ?ctx kind fabric policy requests =
   match kind with
-  | `Greedy -> greedy ?obs ?store fabric policy requests
-  | `Window step -> window ?obs ?store fabric policy ~step requests
-  | `Window_deferred step -> window_deferred ?obs ?store fabric policy ~step requests
+  | `Greedy -> greedy ?obs ?store ?ctx fabric policy requests
+  | `Window step -> window ?obs ?store ?ctx fabric policy ~step requests
+  | `Window_deferred step -> window_deferred ?obs ?store ?ctx fabric policy ~step requests

@@ -9,11 +9,17 @@
     {e knowledge} (more candidates compared against each other) at the
     price of a longer response time to the user — exactly the trade-off of
     section 5.2.  {!window_deferred} is a stricter variant where a request
-    cannot start before its batch is decided; see DESIGN.md (ablation A1). *)
+    cannot start before its batch is decided; see DESIGN.md (ablation A1).
+
+    Every entry point takes the runtime context as [?ctx]
+    ({!Runtime.ctx}: telemetry + durable store + shard).  The separate
+    [?obs]/[?store] arguments are a deprecated shim kept for one release
+    ({!Runtime.resolve}); new code should pass [?ctx]. *)
 
 val greedy :
   ?obs:Gridbw_obs.Obs.ctx ->
   ?store:Gridbw_store.Store.t ->
+  ?ctx:Runtime.ctx ->
   Gridbw_topology.Fabric.t ->
   Policy.t ->
   Gridbw_request.Request.t list ->
@@ -28,6 +34,7 @@ val greedy :
 val greedy_resume :
   ?obs:Gridbw_obs.Obs.ctx ->
   ?store:Gridbw_store.Store.t ->
+  ?ctx:Runtime.ctx ->
   Gridbw_topology.Fabric.t ->
   Policy.t ->
   restored:(float * Gridbw_alloc.Allocation.t) list ->
@@ -52,6 +59,7 @@ val greedy_resume :
 val window :
   ?obs:Gridbw_obs.Obs.ctx ->
   ?store:Gridbw_store.Store.t ->
+  ?ctx:Runtime.ctx ->
   Gridbw_topology.Fabric.t ->
   Policy.t ->
   step:float ->
@@ -70,6 +78,7 @@ val window :
 val window_deferred :
   ?obs:Gridbw_obs.Obs.ctx ->
   ?store:Gridbw_store.Store.t ->
+  ?ctx:Runtime.ctx ->
   Gridbw_topology.Fabric.t ->
   Policy.t ->
   step:float ->
@@ -149,6 +158,7 @@ val heuristic_name : [ `Greedy | `Window of float | `Window_deferred of float ] 
 val run :
   ?obs:Gridbw_obs.Obs.ctx ->
   ?store:Gridbw_store.Store.t ->
+  ?ctx:Runtime.ctx ->
   [ `Greedy | `Window of float | `Window_deferred of float ] ->
   Gridbw_topology.Fabric.t ->
   Policy.t ->

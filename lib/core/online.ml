@@ -60,8 +60,8 @@ let blocking_port t (r : Request.t) =
   if head_in <= head_out then ((Event.Ingress, r.ingress), head_in)
   else ((Event.Egress, r.egress), head_out)
 
-let try_admit ?(obs = Obs.disabled) ?store t policy (r : Request.t) ~at =
-  let obs = Emit.with_store ?store obs in
+let try_admit ?obs ?store ?ctx t policy (r : Request.t) ~at =
+  let obs = Runtime.observed (Runtime.resolve ?obs ?store ?ctx ()) in
   let at = clamp_past t at in
   advance_to t at;
   let blocked = ref None in
@@ -115,8 +115,8 @@ let restore t (a : Allocation.t) ~at =
   Event_queue.push t.releases ~time:a.Allocation.tau a;
   t.active <- a :: t.active
 
-let preempt ?(obs = Obs.disabled) ?store t (a : Allocation.t) =
-  let obs = Emit.with_store ?store obs in
+let preempt ?obs ?store ?ctx t (a : Allocation.t) =
+  let obs = Runtime.observed (Runtime.resolve ?obs ?store ?ctx ()) in
   if is_active t a then begin
     Live.release t.live ~ingress:a.Allocation.request.Request.ingress
       ~egress:a.Allocation.request.Request.egress ~bw:a.Allocation.bw;

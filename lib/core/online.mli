@@ -24,6 +24,7 @@ val advance_to : t -> float -> unit
 val try_admit :
   ?obs:Gridbw_obs.Obs.ctx ->
   ?store:Gridbw_store.Store.t ->
+  ?ctx:Runtime.ctx ->
   t ->
   Policy.t ->
   Gridbw_request.Request.t ->
@@ -42,7 +43,8 @@ val try_admit :
     headroom at decision time.
 
     With [store], the decision is also journaled to the durable store
-    (the store's sink is merged into [obs]). *)
+    (the store's sink is merged into [obs]).  Both arguments are a
+    deprecated shim for [ctx] ({!Runtime.resolve}). *)
 
 val restore : t -> Gridbw_alloc.Allocation.t -> at:float -> unit
 (** Re-book a recovered allocation exactly as {!try_admit} booked it at
@@ -62,7 +64,12 @@ val peek_cost : t -> Policy.t -> Gridbw_request.Request.t -> at:float -> (float 
     not modify the controller (apart from an implicit {!advance_to}). *)
 
 val preempt :
-  ?obs:Gridbw_obs.Obs.ctx -> ?store:Gridbw_store.Store.t -> t -> Gridbw_alloc.Allocation.t -> bool
+  ?obs:Gridbw_obs.Obs.ctx ->
+  ?store:Gridbw_store.Store.t ->
+  ?ctx:Runtime.ctx ->
+  t ->
+  Gridbw_alloc.Allocation.t ->
+  bool
 (** Revoke a still-held allocation (matched by physical identity),
     returning its bandwidth to both ports immediately.  Returns [false]
     if the allocation already finished or was already preempted.  The

@@ -19,6 +19,7 @@ val cost_name : cost_kind -> string
 
 val fcfs :
   ?obs:Gridbw_obs.Obs.ctx ->
+  ?ctx:Runtime.ctx ->
   Gridbw_topology.Fabric.t ->
   Gridbw_request.Request.t list ->
   Types.result
@@ -30,6 +31,7 @@ val fcfs :
 
 val fifo_blocking :
   ?obs:Gridbw_obs.Obs.ctx ->
+  ?ctx:Runtime.ctx ->
   Gridbw_topology.Fabric.t ->
   Gridbw_request.Request.t list ->
   Types.result
@@ -43,6 +45,7 @@ val fifo_blocking :
 
 val slots :
   ?obs:Gridbw_obs.Obs.ctx ->
+  ?ctx:Runtime.ctx ->
   cost:cost_kind ->
   Gridbw_topology.Fabric.t ->
   Gridbw_request.Request.t list ->
@@ -57,6 +60,7 @@ val slots :
 
 val run :
   ?obs:Gridbw_obs.Obs.ctx ->
+  ?ctx:Runtime.ctx ->
   [ `Fcfs | `Fifo_blocking | `Slots of cost_kind ] ->
   Gridbw_topology.Fabric.t ->
   Gridbw_request.Request.t list ->

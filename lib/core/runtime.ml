@@ -1,0 +1,28 @@
+module Obs = Gridbw_obs.Obs
+module Store = Gridbw_store.Store
+
+type ctx = {
+  obs : Obs.ctx;
+  store : Store.t option;
+  shard : int option;
+}
+
+let default = { obs = Obs.disabled; store = None; shard = None }
+let make ?(obs = Obs.disabled) ?store ?shard () = { obs; store; shard }
+let with_obs c obs = { c with obs }
+let with_store c store = { c with store = Some store }
+
+(* The deprecated-argument shim: an explicit [ctx] wins; otherwise the
+   legacy [?obs]/[?store] pair is packed into one.  Passing both a ctx
+   and a legacy argument is an error — silently preferring one would
+   hide a caller bug. *)
+let resolve ?obs ?store ?ctx () =
+  match (ctx, obs, store) with
+  | Some c, None, None -> c
+  | Some _, _, _ -> invalid_arg "Runtime.resolve: pass either ?ctx or ?obs/?store, not both"
+  | None, _, _ -> { obs = Option.value obs ~default:Obs.disabled; store; shard = None }
+
+(* The telemetry context an admission path should emit into: with a
+   durable store present, every event is also journaled (the store's
+   sink tees with any tracing sink already attached). *)
+let observed c = match c.store with None -> c.obs | Some s -> Store.attach s c.obs

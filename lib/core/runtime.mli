@@ -1,0 +1,41 @@
+(** The runtime context threaded through every admission engine.
+
+    The engines used to take a pair of optional arguments — [?obs] for
+    the telemetry plane and [?store] for the durable journal — and each
+    new cross-cutting concern would have added a third.  [ctx] packs
+    them into one record (with a [shard] slot reserved for the planned
+    multi-fabric partitioning), so engine signatures stay fixed as the
+    runtime grows.
+
+    The legacy [?obs]/[?store] arguments still work on every entry point
+    this release, via {!resolve}; they are deprecated and will be removed
+    next release — pass [?ctx] instead. *)
+
+type ctx = {
+  obs : Gridbw_obs.Obs.ctx;  (** telemetry: counters, trace sink *)
+  store : Gridbw_store.Store.t option;  (** durable admission journal *)
+  shard : int option;
+      (** reserved: fabric shard this engine instance owns (multi-fabric
+          partitioning; no engine consults it yet) *)
+}
+
+val default : ctx
+(** Disabled telemetry, no store, no shard — the zero-cost context. *)
+
+val make : ?obs:Gridbw_obs.Obs.ctx -> ?store:Gridbw_store.Store.t -> ?shard:int -> unit -> ctx
+
+val with_obs : ctx -> Gridbw_obs.Obs.ctx -> ctx
+val with_store : ctx -> Gridbw_store.Store.t -> ctx
+
+val resolve :
+  ?obs:Gridbw_obs.Obs.ctx -> ?store:Gridbw_store.Store.t -> ?ctx:ctx -> unit -> ctx
+(** Merge the deprecated [?obs]/[?store] arguments with the new [?ctx]:
+    an explicit [ctx] wins when it is the only one given; legacy
+    arguments build a shardless context.  Raises [Invalid_argument] if
+    both forms are passed — mixing them is a caller bug, not a
+    preference to guess at. *)
+
+val observed : ctx -> Gridbw_obs.Obs.ctx
+(** The telemetry context an engine should emit into: [obs], teed with
+    the store's journaling sink when a store is attached.  Engines call
+    this once at entry and thread the merged context internally. *)

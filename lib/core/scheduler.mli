@@ -14,6 +14,7 @@ module type S = sig
 
   val run :
     ?obs:Gridbw_obs.Obs.ctx ->
+    ?ctx:Runtime.ctx ->
     Gridbw_workload.Spec.t ->
     Gridbw_request.Request.t list ->
     Types.result
@@ -22,7 +23,9 @@ module type S = sig
       but only [spec.fabric] (and, for batch heuristics, timing derived
       from the requests themselves) is consulted.  [obs] is the telemetry
       context: decisions feed its admission counters and, when a trace
-      sink is attached, its event stream. *)
+      sink is attached, its event stream.  [ctx] is the full runtime
+      context ({!Runtime.ctx}); [obs] is its deprecated one-field shim,
+      kept for one release. *)
 end
 
 type t = (module S)
@@ -31,6 +34,7 @@ val name : t -> string
 
 val run :
   ?obs:Gridbw_obs.Obs.ctx ->
+  ?ctx:Runtime.ctx ->
   t ->
   Gridbw_workload.Spec.t ->
   Gridbw_request.Request.t list ->
@@ -39,6 +43,7 @@ val run :
 val make :
   name:string ->
   (?obs:Gridbw_obs.Obs.ctx ->
+  ?ctx:Runtime.ctx ->
   Gridbw_workload.Spec.t ->
   Gridbw_request.Request.t list ->
   Types.result) ->

@@ -635,12 +635,9 @@ let run_window ?(obs = Obs.disabled) fabric cfg ~step events requests =
   Engine.run engine;
   (!decisions, logs)
 
-let run ?obs ?store fabric cfg events requests =
-  let obs =
-    match store with
-    | None -> obs
-    | Some s -> Some (Gridbw_store.Store.attach s (Option.value obs ~default:Obs.disabled))
-  in
+let run ?obs ?store ?ctx fabric cfg events requests =
+  let module Runtime = Gridbw_core.Runtime in
+  let obs = Some (Runtime.observed (Runtime.resolve ?obs ?store ?ctx ())) in
   validate_inputs fabric cfg events requests;
   let decisions, logs =
     match cfg.admission with
@@ -675,5 +672,5 @@ let scheduler cfg events : Gridbw_core.Scheduler.t =
   let name =
     Printf.sprintf "faulty-%s[%d events]" (admission_name cfg.admission) (List.length events)
   in
-  Gridbw_core.Scheduler.make ~name (fun ?obs spec requests ->
-      (run ?obs spec.Gridbw_workload.Spec.fabric cfg events requests).result)
+  Gridbw_core.Scheduler.make ~name (fun ?obs ?ctx spec requests ->
+      (run ?obs ?ctx spec.Gridbw_workload.Spec.fabric cfg events requests).result)

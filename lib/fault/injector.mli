@@ -56,6 +56,7 @@ type report = {
 val run :
   ?obs:Gridbw_obs.Obs.ctx ->
   ?store:Gridbw_store.Store.t ->
+  ?ctx:Gridbw_core.Runtime.ctx ->
   Gridbw_topology.Fabric.t ->
   config ->
   Fault.event list ->

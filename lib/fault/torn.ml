@@ -1,8 +1,11 @@
-(* Crash-site carving over a durable store directory.  Format-agnostic on
-   purpose: a WAL segment is a sequence of newline-terminated lines, and
-   a crash can cut the byte stream anywhere.  Working at the byte level
-   (rather than through Gridbw_store) keeps the test harness independent
-   of the code under test. *)
+(* Crash-site carving over a durable store directory.  A crash can cut
+   the byte stream anywhere; the carving itself is pure byte surgery.
+   Finding record boundaries needs just enough framing knowledge to walk
+   records — a 0xB1 first byte opens a binary frame (u32 LE payload
+   length at offset 2, 10 bytes of framing overhead), anything else is a
+   newline-terminated text line.  That parsing is re-derived here at the
+   byte level (rather than calling into Gridbw_store) to keep the test
+   harness independent of the code under test. *)
 
 let is_segment name =
   String.length name = 18
@@ -49,14 +52,31 @@ let record_boundaries ~dir =
   List.iter
     (fun name ->
       let data = read_file (Filename.concat dir name) in
-      String.iteri
-        (fun i c ->
-          if c = '\n' then bounds := (!off + i + 1) :: !bounds)
-        data;
+      let len = String.length data in
+      let pos = ref 0 in
       (* a segment starts a record even if the previous one was torn *)
-      if String.length data > 0 && not (List.mem !off !bounds) then
-        bounds := !off :: !bounds;
-      off := !off + String.length data)
+      (try
+         while !pos < len do
+           bounds := (!off + !pos) :: !bounds;
+           if data.[!pos] = '\xB1' then begin
+             if !pos + 6 > len then raise Exit;
+             let plen =
+               Char.code data.[!pos + 2]
+               lor (Char.code data.[!pos + 3] lsl 8)
+               lor (Char.code data.[!pos + 4] lsl 16)
+               lor (Char.code data.[!pos + 5] lsl 24)
+             in
+             let next = !pos + 10 + plen in
+             if next > len then raise Exit;
+             pos := next
+           end
+           else
+             match String.index_from_opt data !pos '\n' with
+             | None -> raise Exit
+             | Some nl -> pos := nl + 1
+         done
+       with Exit -> ());
+      off := !off + len)
     (segments dir);
   let bounds = List.sort_uniq compare (0 :: !bounds) in
   (List.filter (fun b -> b < !off) bounds, !off)

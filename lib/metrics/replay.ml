@@ -62,20 +62,33 @@ let of_lines lines =
   in
   match parse 1 [] lines with Ok events -> of_events events | Error _ as e -> e
 
+(* Binary (or mixed-format) traces: decode record by record, sniffing
+   each one's form from its first byte. *)
+let of_binary content =
+  let module Codec = Gridbw_wire.Codec in
+  let len = String.length content in
+  let rec go n acc pos =
+    if pos >= len then of_events (List.rev acc)
+    else
+      match Gridbw_obs.Event_codec.sniff_decode content ~pos with
+      | Codec.Value (e, next) -> go (n + 1) (e :: acc) next
+      | Codec.Incomplete -> Error (Printf.sprintf "record %d: truncated trace" n)
+      | Codec.Corrupt msg -> Error (Printf.sprintf "record %d: %s" n msg)
+  in
+  go 1 [] 0
+
 let of_file path =
-  let ic = open_in path in
-  let lines =
+  let ic = open_in_bin path in
+  let content =
     Fun.protect
       ~finally:(fun () -> close_in ic)
-      (fun () ->
-        let rec go acc =
-          match input_line ic with
-          | line -> go (line :: acc)
-          | exception End_of_file -> List.rev acc
-        in
-        go [])
+      (fun () -> really_input_string ic (in_channel_length ic))
   in
-  of_lines lines
+  (* The binary magic byte is not printable ASCII: a trace opening with
+     it is binary (possibly mixed), anything else is plain JSONL. *)
+  if String.length content > 0 && Gridbw_wire.Frame.is_binary content.[0] then
+    of_binary content
+  else of_lines (String.split_on_char '\n' content)
 
 let fabric t =
   let rec leading acc = function

@@ -20,6 +20,23 @@ let jsonl_buffer buf =
     flush = (fun () -> ());
   }
 
+(* Binary-framed trace sink; the default for hot paths.  One scratch
+   buffer is reused across events so steady-state emission allocates
+   only the event payload itself. *)
+let binary oc =
+  let scratch = Buffer.create 256 in
+  {
+    emit =
+      (fun ev ->
+        Buffer.clear scratch;
+        Event_codec.Binary.encode scratch ev;
+        Buffer.output_buffer oc scratch);
+    flush = (fun () -> flush oc);
+  }
+
+let binary_buffer buf =
+  { emit = (fun ev -> Event_codec.Binary.encode buf ev); flush = (fun () -> ()) }
+
 let pretty oc =
   let ppf = Format.formatter_of_out_channel oc in
   {

@@ -16,6 +16,13 @@ val jsonl : out_channel -> t
 val jsonl_buffer : Buffer.t -> t
 (** Same format, appended to a buffer — for tests and benchmarks. *)
 
+val binary : out_channel -> t
+(** Length-prefixed binary frames ({!Event_codec.Binary}); the default
+    trace form on hot paths.  [flush] flushes the channel. *)
+
+val binary_buffer : Buffer.t -> t
+(** Same binary frames, appended to a buffer. *)
+
 val pretty : out_channel -> t
 (** Human-readable lines ({!Event.pp}). *)
 

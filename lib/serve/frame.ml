@@ -1,11 +1,23 @@
-(* Length-prefixed framing.  See frame.mli for the format. *)
+(* Length-prefixed framing.  See frame.mli for the two wire forms. *)
 
-type error = Oversized of int | Malformed_length of string | Missing_terminator
+module Wire_frame = Gridbw_wire.Frame
+module Binio = Gridbw_wire.Binio
+
+type format = Text | Binary
+
+let format_name = function Text -> "text" | Binary -> "binary"
+
+type error =
+  | Oversized of int
+  | Malformed_length of string
+  | Missing_terminator
+  | Corrupt_frame of string
 
 let describe = function
   | Oversized n -> Printf.sprintf "oversized frame (%d bytes declared)" n
   | Malformed_length what -> "malformed length prefix: " ^ what
   | Missing_terminator -> "missing frame terminator (framing desynchronized)"
+  | Corrupt_frame what -> "corrupt binary frame: " ^ what
 
 let max_frame_default = 1024 * 1024
 
@@ -14,21 +26,35 @@ let max_frame_default = 1024 * 1024
    how much garbage a broken peer can make us buffer. *)
 let max_digits = 10
 
+(* Frame tag for serve-protocol payloads on the binary form; the event
+   codec owns 0x01 and the WAL 0x02. *)
+let binary_tag = 0x03
+
 let encode payload =
-  let len = string_of_int (String.length payload) in
-  let b = Buffer.create (String.length payload + String.length len + 2) in
-  Buffer.add_string b len;
-  Buffer.add_char b ' ';
-  Buffer.add_string b payload;
-  Buffer.add_char b '\n';
+  let b = Buffer.create (String.length payload + 16) in
+  Wire_frame.Line.encode b payload;
   Buffer.contents b
 
-type decoder = { max_frame : int; mutable data : string; mutable err : error option }
+let encode_binary payload =
+  let b = Buffer.create (String.length payload + Wire_frame.overhead) in
+  Wire_frame.add b ~tag:binary_tag payload;
+  Buffer.contents b
 
-let decoder ?(max_frame = max_frame_default) () = { max_frame; data = ""; err = None }
+let encode_as = function Text -> encode | Binary -> encode_binary
+
+type decoder = {
+  max_frame : int;
+  mutable data : string;
+  mutable err : error option;
+  mutable last : format;  (* format of the last completed frame *)
+}
+
+let decoder ?(max_frame = max_frame_default) () =
+  { max_frame; data = ""; err = None; last = Text }
 
 let feed d s = if String.length s > 0 then d.data <- d.data ^ s
 let buffered d = String.length d.data
+let last_format d = d.last
 
 let is_digit c = c >= '0' && c <= '9'
 
@@ -36,39 +62,63 @@ let fail d e =
   d.err <- Some e;
   Error e
 
+let next_text d s n =
+  let j = ref 0 in
+  while !j < n && is_digit s.[!j] do incr j done;
+  let j = !j in
+  if j > max_digits then fail d (Malformed_length "length field too long")
+  else if j >= n then Ok None (* possibly a truncated prefix: wait for more bytes *)
+  else if j = 0 then
+    fail d (Malformed_length (Printf.sprintf "expected a digit, got %C" s.[0]))
+  else if s.[j] <> ' ' then
+    fail d (Malformed_length (Printf.sprintf "expected ' ' after length, got %C" s.[j]))
+  else
+    let len = int_of_string (String.sub s 0 j) in
+    if len > d.max_frame then fail d (Oversized len)
+    else
+      let need = j + 1 + len + 1 in
+      if n < need then Ok None
+      else if s.[j + 1 + len] <> '\n' then fail d Missing_terminator
+      else begin
+        let payload = String.sub s (j + 1) len in
+        d.data <- String.sub s need (n - need);
+        d.last <- Text;
+        Ok (Some payload)
+      end
+
+let next_binary d s n =
+  if n < Wire_frame.header_bytes then Ok None
+  else
+    let plen = Binio.get_u32 s 2 in
+    if plen > d.max_frame then fail d (Oversized plen)
+    else
+      match Wire_frame.decode s ~pos:0 with
+      | Incomplete -> Ok None
+      | Corrupt msg -> fail d (Corrupt_frame msg)
+      | Value ((tag, payload), next) ->
+          if tag <> binary_tag then
+            fail d (Corrupt_frame (Printf.sprintf "unexpected frame tag %d" tag))
+          else begin
+            d.data <- String.sub s next (n - next);
+            d.last <- Binary;
+            Ok (Some payload)
+          end
+
 let next d =
   match d.err with
   | Some e -> Error e
   | None ->
       let s = d.data in
       let n = String.length s in
-      let j = ref 0 in
-      while !j < n && is_digit s.[!j] do incr j done;
-      let j = !j in
-      if j > max_digits then fail d (Malformed_length "length field too long")
-      else if j >= n then Ok None (* possibly a truncated prefix: wait for more bytes *)
-      else if j = 0 then
-        fail d (Malformed_length (Printf.sprintf "expected a digit, got %C" s.[0]))
-      else if s.[j] <> ' ' then
-        fail d (Malformed_length (Printf.sprintf "expected ' ' after length, got %C" s.[j]))
-      else
-        let len = int_of_string (String.sub s 0 j) in
-        if len > d.max_frame then fail d (Oversized len)
-        else
-          let need = j + 1 + len + 1 in
-          if n < need then Ok None
-          else if s.[j + 1 + len] <> '\n' then fail d Missing_terminator
-          else begin
-            let payload = String.sub s (j + 1) len in
-            d.data <- String.sub s need (n - need);
-            Ok (Some payload)
-          end
+      if n = 0 then Ok None
+      else if Wire_frame.is_binary s.[0] then next_binary d s n
+      else next_text d s n
 
 (* --- blocking channel helpers (the loadgen / test client side) --- *)
 
-let input ?(max_frame = max_frame_default) ic =
+let input_text ?(max_frame = max_frame_default) first ic =
   let rec read_len acc digits =
-    match input_char ic with
+    match if digits = 0 then first else input_char ic with
     | exception End_of_file -> Error `Eof
     | ' ' when digits > 0 -> Ok acc
     | c when is_digit c ->
@@ -90,6 +140,34 @@ let input ?(max_frame = max_frame_default) ic =
             | _ -> Error (`Frame Missing_terminator))
       end
 
-let output oc payload =
-  output_string oc (encode payload);
+let input_binary ?(max_frame = max_frame_default) ic =
+  (* The magic byte was already consumed; read the rest of the frame. *)
+  match really_input_string ic (Wire_frame.header_bytes - 1) with
+  | exception End_of_file -> Error `Eof
+  | rest -> (
+      let header = String.make 1 Wire_frame.magic ^ rest in
+      let plen = Binio.get_u32 header 2 in
+      if plen > max_frame then Error (`Frame (Oversized plen))
+      else
+        match really_input_string ic (plen + Wire_frame.trailer_bytes) with
+        | exception End_of_file -> Error `Eof
+        | tail -> (
+            match Wire_frame.decode (header ^ tail) ~pos:0 with
+            | Value ((tag, payload), _) ->
+                if tag <> binary_tag then
+                  Error (`Frame (Corrupt_frame (Printf.sprintf "unexpected frame tag %d" tag)))
+                else Ok payload
+            | Corrupt msg -> Error (`Frame (Corrupt_frame msg))
+            | Incomplete -> Error `Eof))
+
+let input ?max_frame ic =
+  match input_char ic with
+  | exception End_of_file -> Error `Eof
+  | c when Wire_frame.is_binary c -> input_binary ?max_frame ic
+  | c -> input_text ?max_frame c ic
+
+let output_as fmt oc payload =
+  output_string oc (encode_as fmt payload);
   flush oc
+
+let output oc payload = output_as Text oc payload

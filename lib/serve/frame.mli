@@ -1,15 +1,28 @@
-(** Length-prefixed framing for the [gridbw serve] wire protocol.
+(** Framing for the [gridbw serve] wire protocol, two forms behind one
+    decoder:
 
-    One frame is ["%d %s\n"] — the payload byte length in ASCII decimal,
-    one space, the payload, one newline.  The prefix makes frame
-    boundaries explicit (the payload may contain anything, newlines
-    included), the trailing newline is a cheap integrity check: a peer
-    whose framing drifted out of sync fails loudly instead of silently
-    re-interpreting payload bytes as lengths.
+    - [Text] (the default): ["%d %s\n"] — the payload byte length in
+      ASCII decimal, one space, the payload, one newline
+      ({!Gridbw_wire.Frame.Line}).  The trailing newline is a cheap
+      integrity check: a peer whose framing drifted out of sync fails
+      loudly instead of silently re-interpreting payload bytes as
+      lengths.
+    - [Binary]: the length-prefixed binary frame from
+      {!Gridbw_wire.Frame} (0xB1 magic, tag byte, LE length, payload,
+      CRC32 trailer).
+
+    The binary magic byte is not printable ASCII, so the first byte of a
+    frame selects its form — clients opt into binary simply by sending
+    binary frames, no handshake, and the session replies in whatever
+    form the client last spoke ({!last_format}).
 
     Decoding is incremental and total: {!feed} bytes as they arrive,
     {!next} yields complete payloads or a typed {!error} — malformed
     input never raises. *)
+
+type format = Text | Binary
+
+val format_name : format -> string
 
 type error =
   | Oversized of int  (** declared payload length exceeds [max_frame] *)
@@ -20,6 +33,8 @@ type error =
   | Missing_terminator
       (** the byte after the declared payload is not ['\n'] — framing
           has desynchronized *)
+  | Corrupt_frame of string
+      (** a binary frame failed its CRC or carries an unexpected tag *)
 
 val describe : error -> string
 
@@ -27,7 +42,12 @@ val max_frame_default : int
 (** 1 MiB. *)
 
 val encode : string -> string
-(** The framed bytes for one payload. *)
+(** The [Text]-framed bytes for one payload. *)
+
+val encode_binary : string -> string
+(** The [Binary]-framed bytes for one payload. *)
+
+val encode_as : format -> string -> string
 
 (** {2 Incremental decoding} *)
 
@@ -39,17 +59,26 @@ val feed : decoder -> string -> unit
 (** Append raw bytes from the wire. *)
 
 val next : decoder -> (string option, error) result
-(** [Ok (Some payload)] — one complete frame consumed; [Ok None] — more
-    bytes needed; [Error _] — the stream is broken (the decoder stays
-    broken: framing errors are not recoverable). *)
+(** [Ok (Some payload)] — one complete frame consumed (either form);
+    [Ok None] — more bytes needed; [Error _] — the stream is broken (the
+    decoder stays broken: framing errors are not recoverable). *)
 
 val buffered : decoder -> int
 (** Bytes fed but not yet consumed by {!next}. *)
 
+val last_format : decoder -> format
+(** Form of the most recently completed frame; [Text] before any frame
+    has decoded.  Responses are encoded in this form, so a client that
+    switches to binary mid-stream gets binary replies from then on. *)
+
 (** {2 Blocking helpers (client side)} *)
 
 val input : ?max_frame:int -> in_channel -> (string, [ `Frame of error | `Eof ]) result
-(** Read exactly one frame from a blocking channel. *)
+(** Read exactly one frame from a blocking channel, sniffing its form
+    from the first byte. *)
 
 val output : out_channel -> string -> unit
-(** Write one framed payload and flush the channel. *)
+(** Write one [Text]-framed payload and flush the channel. *)
+
+val output_as : format -> out_channel -> string -> unit
+(** Write one framed payload in the given form and flush the channel. *)

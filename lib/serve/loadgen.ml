@@ -18,13 +18,14 @@ type config = {
   fabric : Fabric.t;
   cancel_every : int;
   acks : out_channel option;
+  binary : bool;
   tolerate_disconnect : bool;
 }
 
 let default_config ?(connections = 4) ?(requests = 10_000) ?(seed = 1L)
     ?(mean_interarrival = 0.25) ?(max_slack = 4.0)
     ?(fabric = Fabric.paper_default ()) ?(cancel_every = 0) ?acks
-    ?(tolerate_disconnect = false) target =
+    ?(binary = false) ?(tolerate_disconnect = false) target =
   {
     target;
     connections;
@@ -35,6 +36,7 @@ let default_config ?(connections = 4) ?(requests = 10_000) ?(seed = 1L)
     fabric;
     cancel_every;
     acks;
+    binary;
     tolerate_disconnect;
   }
 
@@ -123,8 +125,9 @@ let record_ack sh payload =
    the ack journal carries the exact wire bytes. *)
 let exchange sh st ic oc req =
   st.sent <- st.sent + 1;
+  let fmt = if sh.cfg.binary then Frame.Binary else Frame.Text in
   let t0 = Unix.gettimeofday () in
-  match Frame.output oc (Protocol.encode_request req) with
+  match Frame.output_as fmt oc (Protocol.encode_request req) with
   | exception (Sys_error _ | Unix.Unix_error _) ->
       st.disconnects <- st.disconnects + 1;
       Error `Disconnect

@@ -24,6 +24,9 @@ type config = {
   fabric : Gridbw_topology.Fabric.t;  (** must match the daemon's *)
   cancel_every : int;  (** cancel every Nth admitted transfer; 0 = never *)
   acks : out_channel option;  (** record every received response payload *)
+  binary : bool;
+      (** speak the binary frame form ({!Frame.Binary}); the daemon
+          notices from the first frame and replies in kind *)
   tolerate_disconnect : bool;
       (** a dropped connection stops that client quietly instead of
           failing the run — for kill drills where the daemon dies on
@@ -39,11 +42,12 @@ val default_config :
   ?fabric:Gridbw_topology.Fabric.t ->
   ?cancel_every:int ->
   ?acks:out_channel ->
+  ?binary:bool ->
   ?tolerate_disconnect:bool ->
   Daemon.transport ->
   config
 (** 4 connections, 10k requests, seed 1, paper fabric, §5.3 arrivals at
-    0.25 s mean, slack 4, no cancels. *)
+    0.25 s mean, slack 4, no cancels, text frames. *)
 
 type report = {
   sent : int;

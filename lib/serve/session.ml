@@ -53,7 +53,9 @@ let next t =
 
 let queue t resp =
   t.responses_out <- t.responses_out + 1;
-  t.out <- t.out ^ Frame.encode (Protocol.encode_response resp)
+  (* Reply in the form the client last spoke: sending one binary frame
+     switches the response stream to binary, no handshake needed. *)
+  t.out <- t.out ^ Frame.encode_as (Frame.last_format t.decoder) (Protocol.encode_response resp)
 
 let pending t = String.length t.out > 0
 let out_chunk t = t.out

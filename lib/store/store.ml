@@ -7,9 +7,35 @@ module Request = Gridbw_request.Request
 module Allocation = Gridbw_alloc.Allocation
 module Ledger = Gridbw_alloc.Ledger
 
-type config = { wal : Wal.config; snapshot_bytes : int; kill_after : int option }
+type config = {
+  wal : Wal.config;
+  snapshot_bytes : int;
+  kill_after : int option;
+  codec : Wal.format;  (* framing + payload form for new WAL appends *)
+}
 
-let default_config = { wal = Wal.default_config; snapshot_bytes = 4 * 1024 * 1024; kill_after = None }
+let default_config =
+  {
+    wal = Wal.default_config;
+    snapshot_bytes = 4 * 1024 * 1024;
+    kill_after = None;
+    codec = Wal.Binary;
+  }
+
+(* WAL record payloads: JSONL journals carry the JSON text line, binary
+   journals carry the bare binary event body (the WAL frame supplies
+   length and CRC).  Reading back is keyed by the per-record format the
+   scanner sniffed, never by the store's own codec, so mixed-format
+   journals recover cleanly. *)
+let payload_of_event codec ev =
+  match codec with
+  | Wal.Jsonl -> Event.to_json ev
+  | Wal.Binary -> Gridbw_obs.Event_codec.Binary.body_of ev
+
+let event_of_record (r : Wal.record) =
+  match r.Wal.format with
+  | Wal.Jsonl -> Event.of_line r.Wal.payload
+  | Wal.Binary -> Gridbw_obs.Event_codec.Binary.of_body r.Wal.payload
 
 type t = {
   dir : string;
@@ -97,7 +123,7 @@ let relevant = function Event.Dispatch _ -> false | _ -> true
 let log t ev =
   if relevant ev then begin
     apply t ev;
-    Wal.append t.writer (Event.to_json ev);
+    Wal.append t.writer (payload_of_event t.config.codec ev);
     Obs.count t.obs "store_wal_records_total";
     maybe_snapshot t
   end
@@ -185,7 +211,7 @@ let create ?(config = default_config) ?obs ?(time = 0.) ~dir fabric =
   mkdir_p dir;
   write_header ~dir fabric;
   let writer =
-    Wal.create ~config:config.wal ?kill_after:config.kill_after
+    Wal.create ~config:config.wal ~format:config.codec ?kill_after:config.kill_after
       ~on_sync:(fun n ->
         Obs.count obs "store_fsync_total";
         Obs.observe obs "store_fsync_batch_size" (float_of_int n))
@@ -263,7 +289,7 @@ let recover ?(config = default_config) ?obs ~dir () =
       let rec parse acc = function
         | [] -> (List.rev acc, None)
         | (r : Wal.record) :: rest -> (
-            match Event.of_line r.Wal.payload with
+            match event_of_record r with
             | Ok e -> parse (e :: acc) rest
             | Error _ -> (List.rev acc, Some r.Wal.index))
       in
@@ -301,7 +327,8 @@ let recover ?(config = default_config) ?obs ~dir () =
               (* Physically drop the torn tail before reopening for append. *)
               Wal.truncate ~dir s ~keep;
               let writer =
-                Wal.reopen ~config:config.wal ?kill_after:config.kill_after
+                Wal.reopen ~config:config.wal ~format:config.codec
+                  ?kill_after:config.kill_after
                   ~on_sync:(fun n ->
                     Obs.count obs "store_fsync_total";
                     Obs.observe obs "store_fsync_batch_size" (float_of_int n))

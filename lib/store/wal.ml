@@ -1,62 +1,32 @@
-(* CRC32-framed JSONL write-ahead log.  See wal.mli for the format. *)
+(* Write-ahead log with group commit and segment rotation.  Record
+   framing is delegated to lib/wire: the historical CRC32-hex JSONL line
+   ({!Gridbw_wire.Frame.Hexline}) and the length-prefixed binary frame
+   (tag {!record_tag}), selected per writer via [format].  Readers sniff
+   the format per record — the binary magic byte 0xB1 is not printable
+   ASCII — so one segment may mix both forms (a journal created under
+   one format and reopened under the other keeps replaying cleanly). *)
 
-(* IEEE 802.3 CRC32 (reflected, the zlib polynomial), table-driven.  The
-   state fits in a native [int] (63-bit on every supported platform), so
-   the per-byte loop runs unboxed; only the API surface is [int32]. *)
-let crc_table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref n in
-         for _ = 0 to 7 do
-           if !c land 1 <> 0 then c := 0xEDB88320 lxor (!c lsr 1) else c := !c lsr 1
-         done;
-         !c))
+module Codec = Gridbw_wire.Codec
+module Crc32 = Gridbw_wire.Crc32
+module Frame = Gridbw_wire.Frame
 
-let crc32 s =
-  let table = Lazy.force crc_table in
-  let c = ref 0xFFFFFFFF in
-  for i = 0 to String.length s - 1 do
-    c := Array.unsafe_get table ((!c lxor Char.code (String.unsafe_get s i)) land 0xff)
-         lxor (!c lsr 8)
-  done;
-  Int32.of_int (!c lxor 0xFFFFFFFF)
+type format = Jsonl | Binary
 
-let hex = "0123456789abcdef"
+let format_name = function Jsonl -> "jsonl" | Binary -> "binary"
+
+(* Frame tag for WAL records; the event codec owns 0x01. *)
+let record_tag = 0x02
+
+(* Compatibility wrappers over the shared implementations; the WAL was
+   the original home of this CRC/framing code. *)
+let crc32 = Crc32.digest
 
 let frame payload =
-  if String.contains payload '\n' then invalid_arg "Wal.append: payload contains a newline";
-  let crc = Int32.to_int (crc32 payload) land 0xFFFFFFFF in
-  let len = string_of_int (String.length payload) in
-  let b = Buffer.create (String.length payload + String.length len + 10) in
-  for i = 7 downto 0 do
-    Buffer.add_char b hex.[(crc lsr (4 * i)) land 0xf]
-  done;
-  Buffer.add_char b ' ';
-  Buffer.add_string b len;
-  Buffer.add_char b ' ';
-  Buffer.add_string b payload;
-  Buffer.add_char b '\n';
+  let b = Buffer.create (String.length payload + 16) in
+  Frame.Hexline.encode b payload;
   Buffer.contents b
 
-(* [line] is one record without its trailing newline. *)
-let parse_frame line =
-  match String.index_opt line ' ' with
-  | None -> Error "missing crc field"
-  | Some i -> (
-      match String.index_from_opt line (i + 1) ' ' with
-      | None -> Error "missing length field"
-      | Some j -> (
-          let crc_hex = String.sub line 0 i in
-          let len_s = String.sub line (i + 1) (j - i - 1) in
-          match (Int32.of_string_opt ("0x" ^ crc_hex), int_of_string_opt len_s) with
-          | None, _ -> Error "malformed crc"
-          | _, None -> Error "malformed length"
-          | Some crc, Some len ->
-              let start = j + 1 in
-              if String.length line - start <> len then Error "length mismatch"
-              else
-                let payload = String.sub line start len in
-                if crc32 payload <> crc then Error "crc mismatch" else Ok payload))
+let parse_frame = Frame.Hexline.parse_frame
 
 type config = { batch : int; delay : float; segment_bytes : int }
 
@@ -71,6 +41,7 @@ let validate_config c =
 type writer = {
   dir : string;
   config : config;
+  format : format;
   on_sync : int -> unit;
   kill_after : int option;
   mutable oc : out_channel;
@@ -103,12 +74,13 @@ let segments dir =
 let open_segment path =
   open_out_gen [ Open_wronly; Open_creat; Open_append; Open_binary ] 0o644 path
 
-let make_writer ?(config = default_config) ?kill_after ?(on_sync = fun _ -> ()) ~dir ~records
-    ~total_bytes ~seg_path ~seg_bytes () =
+let make_writer ?(config = default_config) ?(format = Binary) ?kill_after
+    ?(on_sync = fun _ -> ()) ~dir ~records ~total_bytes ~seg_path ~seg_bytes () =
   validate_config config;
   {
     dir;
     config;
+    format;
     on_sync;
     kill_after;
     oc = open_segment seg_path;
@@ -121,11 +93,12 @@ let make_writer ?(config = default_config) ?kill_after ?(on_sync = fun _ -> ()) 
     oldest_unsynced = 0.;
   }
 
-let create ?config ?kill_after ?on_sync ~dir () =
+let create ?config ?format ?kill_after ?on_sync ~dir () =
   let seg_path = Filename.concat dir (seg_name 0) in
-  make_writer ?config ?kill_after ?on_sync ~dir ~records:0 ~total_bytes:0 ~seg_path ~seg_bytes:0 ()
+  make_writer ?config ?format ?kill_after ?on_sync ~dir ~records:0 ~total_bytes:0 ~seg_path
+    ~seg_bytes:0 ()
 
-let reopen ?config ?kill_after ?on_sync ~dir ~records () =
+let reopen ?config ?format ?kill_after ?on_sync ~dir ~records () =
   let segs = segments dir in
   let total_bytes =
     List.fold_left (fun acc (_, p) -> acc + (Unix.stat p).Unix.st_size) 0 segs
@@ -135,7 +108,8 @@ let reopen ?config ?kill_after ?on_sync ~dir ~records () =
     | (_, p) :: _ -> (p, (Unix.stat p).Unix.st_size)
     | [] -> (Filename.concat dir (seg_name records), 0)
   in
-  make_writer ?config ?kill_after ?on_sync ~dir ~records ~total_bytes ~seg_path ~seg_bytes ()
+  make_writer ?config ?format ?kill_after ?on_sync ~dir ~records ~total_bytes ~seg_path
+    ~seg_bytes ()
 
 let sync w =
   if w.unsynced > 0 then begin
@@ -154,7 +128,11 @@ let rotate w =
   w.seg_bytes <- 0
 
 let append w payload =
-  let framed = frame payload in
+  let b = Buffer.create (String.length payload + 24) in
+  (match w.format with
+  | Jsonl -> Frame.Hexline.encode b payload
+  | Binary -> Frame.add b ~tag:record_tag payload);
+  let framed = Buffer.contents b in
   (match w.kill_after with
   | Some n when w.appended + 1 >= n ->
       (* Crash drill: leave a genuinely torn record on disk and die the
@@ -180,7 +158,14 @@ let close w =
 
 (* --- torn-tolerant scanning --- *)
 
-type record = { index : int; seg : string; off : int; bytes : int; payload : string }
+type record = {
+  index : int;
+  seg : string;
+  off : int;
+  bytes : int;
+  format : format;
+  payload : string;
+}
 
 type scan = {
   records : record list;
@@ -195,6 +180,22 @@ let read_file path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Decode one record at [pos], sniffing its format from the first byte. *)
+let decode_record content ~pos : (format * string) Codec.decoded =
+  if Frame.is_binary content.[pos] then
+    match Frame.decode content ~pos with
+    | Codec.Value ((tag, payload), next) ->
+        if tag <> record_tag then
+          Corrupt (Printf.sprintf "unexpected frame tag %d in WAL" tag)
+        else Value ((Binary, payload), next)
+    | Incomplete -> Incomplete
+    | Corrupt msg -> Corrupt msg
+  else
+    match Frame.Hexline.decode content ~pos with
+    | Codec.Value (payload, next) -> Value ((Jsonl, payload), next)
+    | Incomplete -> Incomplete
+    | Corrupt msg -> Corrupt msg
 
 let scan ~dir =
   let segs = segments dir in
@@ -220,28 +221,26 @@ let scan ~dir =
          let len = String.length content in
          let pos = ref 0 in
          while !pos < len do
-           match String.index_from_opt content !pos '\n' with
-           | None ->
-               stop seg !pos "torn record (no trailing newline)";
+           match decode_record content ~pos:!pos with
+           | Codec.Value ((format, payload), next) ->
+               records :=
+                 {
+                   index = !index;
+                   seg;
+                   off = !pos;
+                   bytes = next - !pos;
+                   format;
+                   payload;
+                 }
+                 :: !records;
+               incr index;
+               pos := next
+           | Incomplete ->
+               stop seg !pos "torn record at end of segment";
                raise Exit
-           | Some nl -> (
-               let line = String.sub content !pos (nl - !pos) in
-               match parse_frame line with
-               | Ok payload ->
-                   records :=
-                     {
-                       index = !index;
-                       seg;
-                       off = !pos;
-                       bytes = nl + 1 - !pos;
-                       payload;
-                     }
-                     :: !records;
-                   incr index;
-                   pos := nl + 1
-               | Error reason ->
-                   stop seg !pos reason;
-                   raise Exit)
+           | Corrupt reason ->
+               stop seg !pos reason;
+               raise Exit
          done)
        segs
    with Exit -> ());

@@ -1,10 +1,19 @@
-(** CRC32-framed write-ahead log with group commit and segment rotation.
+(** Write-ahead log with group commit and segment rotation.
 
-    One record per line: ["%08x %d %s\n"] — the IEEE CRC32 of the payload
-    in hex, the payload byte length, and the payload itself (a single-line
-    JSON event; the codec never emits raw newlines).  The framing makes
-    every torn or corrupted tail detectable: a record is valid iff it ends
-    in a newline, its declared length matches, and its CRC matches.
+    Record framing comes from {!Gridbw_wire.Frame} and is selected per
+    writer:
+
+    - [Jsonl]: the historical text line ["%08x %d %s\n"] — CRC32 of the
+      payload in hex, payload byte length, payload (a single-line JSON
+      event; this form never carries raw newlines).
+    - [Binary] (the default): a length-prefixed binary frame — 0xB1
+      magic, tag byte, little-endian length, payload, CRC32 trailer.
+
+    Either way the framing makes every torn or corrupted tail
+    detectable, and because the binary magic byte is not printable
+    ASCII, readers sniff the format {e per record}: segments may mix
+    both forms, so reopening an old JSONL journal with a binary writer
+    (or vice versa) keeps the log replayable.
 
     Segments are files [wal-<index>.log] named by the global index of
     their first record, so the directory listing alone orders the log and
@@ -14,6 +23,10 @@
     channel buffer and the writer [fsync]s once per [batch] records, or
     sooner when the oldest unsynced record is older than [delay] seconds
     (checked on the next append), or on {!sync}/{!close}. *)
+
+type format = Jsonl | Binary
+
+val format_name : format -> string
 
 type config = {
   batch : int;  (** records per fsync group; 1 = fsync every record *)
@@ -25,20 +38,20 @@ val default_config : config
 (** [{ batch = 64; delay = 0.05; segment_bytes = 4 MiB }] *)
 
 val crc32 : string -> int32
-(** IEEE 802.3 CRC32 (the zlib polynomial), table-driven. *)
+(** IEEE 802.3 CRC32 — alias of {!Gridbw_wire.Crc32.digest}. *)
 
 val frame : string -> string
-(** One framed record, newline included.  Raises [Invalid_argument] when
-    the payload contains a newline. *)
+(** One [Jsonl]-framed record, newline included.  Raises
+    [Invalid_argument] when the payload contains a newline. *)
 
 val parse_frame : string -> (string, string) result
-(** Validate one record line (without its newline) back to its payload;
-    [Error] names what broke (missing field, malformed/mismatched length
-    or CRC). *)
+(** Validate one [Jsonl] record line (without its newline) back to its
+    payload; [Error] names what broke. *)
 
 type writer = {
   dir : string;
   config : config;
+  format : format;  (** framing used for new appends *)
   on_sync : int -> unit;
   kill_after : int option;
   mutable oc : out_channel;
@@ -52,16 +65,19 @@ type writer = {
 }
 
 val create :
-  ?config:config -> ?kill_after:int -> ?on_sync:(int -> unit) -> dir:string -> unit -> writer
+  ?config:config -> ?format:format -> ?kill_after:int -> ?on_sync:(int -> unit) ->
+  dir:string -> unit -> writer
 (** Open a fresh log in [dir] (first segment [wal-0000000000.log]).
-    [on_sync n] is called after every fsync with the number of records in
-    the synced group.  [kill_after n] is a crash-injection hook: the [n]th
-    append writes only half of its frame, flushes, and SIGKILLs the
-    process — a deterministically torn tail for recovery drills. *)
+    [format] defaults to [Binary].  [on_sync n] is called after every
+    fsync with the number of records in the synced group.  [kill_after n]
+    is a crash-injection hook: the [n]th append writes only half of its
+    frame, flushes, and SIGKILLs the process — a deterministically torn
+    tail for recovery drills. *)
 
 val append : writer -> string -> unit
 (** Frame and buffer one payload, then group-commit per the config.
-    The payload must not contain a newline. *)
+    [Jsonl] payloads must not contain a newline; [Binary] payloads are
+    arbitrary bytes. *)
 
 val sync : writer -> unit
 (** Flush and fsync any unsynced records now. *)
@@ -75,7 +91,8 @@ type record = {
   index : int;  (** global record index *)
   seg : string;  (** segment path *)
   off : int;  (** byte offset of the record inside its segment *)
-  bytes : int;  (** framed size including the newline *)
+  bytes : int;  (** framed size on disk *)
+  format : format;  (** framing this record was found in *)
   payload : string;
 }
 
@@ -90,10 +107,11 @@ type scan = {
 }
 
 val scan : dir:string -> scan
-(** Read every segment in index order and validate each frame.  Scanning
-    stops at the first invalid record (missing newline, malformed frame,
-    length or CRC mismatch, segment-index gap); everything after it —
-    including later segments — is reported beyond the cut. *)
+(** Read every segment in index order, sniff each record's format, and
+    validate its frame.  Scanning stops at the first invalid record
+    (torn frame, malformed field, length or CRC mismatch, segment-index
+    gap); everything after it — including later segments — is reported
+    beyond the cut. *)
 
 val truncate : dir:string -> scan -> keep:int -> unit
 (** Physically truncate the log so exactly the first [keep] valid records
@@ -102,7 +120,9 @@ val truncate : dir:string -> scan -> keep:int -> unit
     when a CRC-valid record fails event parsing). *)
 
 val reopen :
-  ?config:config -> ?kill_after:int -> ?on_sync:(int -> unit) -> dir:string -> records:int ->
-  unit -> writer
+  ?config:config -> ?format:format -> ?kill_after:int -> ?on_sync:(int -> unit) ->
+  dir:string -> records:int -> unit -> writer
 (** Open the (already truncated) log for append: the last remaining
-    segment is continued, [records] restates the global record count. *)
+    segment is continued, [records] restates the global record count.
+    [format] (default [Binary]) governs new appends only — existing
+    records keep whatever framing they were written with. *)

@@ -1,0 +1,19 @@
+(* Little-endian primitive readers/writers shared by the binary codecs.
+   Floats travel as their IEEE 754 bit patterns ([Int64.bits_of_float]),
+   so every value round-trips bit-exactly — including -0., infinities and
+   NaN payloads — which is what keeps binary and JSONL decision streams
+   comparable without a tolerance. *)
+
+let add_u8 b v = Buffer.add_char b (Char.unsafe_chr (v land 0xff))
+let add_u32 b v = Buffer.add_int32_le b (Int32.of_int v)
+let add_i64 b v = Buffer.add_int64_le b (Int64.of_int v)
+let add_f64 b v = Buffer.add_int64_le b (Int64.bits_of_float v)
+
+let add_str b s =
+  add_u32 b (String.length s);
+  Buffer.add_string b s
+
+let get_u8 s pos = Char.code (String.get s pos)
+let get_u32 s pos = Int32.to_int (String.get_int32_le s pos) land 0xFFFFFFFF
+let get_i64 s pos = Int64.to_int (String.get_int64_le s pos)
+let get_f64 s pos = Int64.float_of_bits (String.get_int64_le s pos)

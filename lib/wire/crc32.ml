@@ -1,0 +1,26 @@
+(* IEEE 802.3 CRC32 (reflected, the zlib polynomial), table-driven.  The
+   state fits in a native [int] (63-bit on every supported platform), so
+   the per-byte loop runs unboxed; only the API surface is [int32].
+   Moved here from lib/store's WAL so the WAL, the binary trace frames,
+   and the serve layer all share one implementation. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 <> 0 then c := 0xEDB88320 lxor (!c lsr 1) else c := !c lsr 1
+         done;
+         !c))
+
+let sub s ~pos ~len =
+  let table = Lazy.force table in
+  let c = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    c :=
+      Array.unsafe_get table ((!c lxor Char.code (String.unsafe_get s i)) land 0xff)
+      lxor (!c lsr 8)
+  done;
+  Int32.of_int (!c lxor 0xFFFFFFFF)
+
+let digest s = sub s ~pos:0 ~len:(String.length s)

@@ -37,10 +37,11 @@ let with_tmpdir f =
 let wal_config ?(batch = 4) ?(segment_bytes = Wal.default_config.Wal.segment_bytes) () =
   { Wal.batch; delay = 3600.; segment_bytes }
 
-let store_config ?batch ?segment_bytes ?(snapshot_bytes = max_int) () =
+let store_config ?batch ?segment_bytes ?(snapshot_bytes = max_int) ?codec () =
   { Store.default_config with
     wal = wal_config ?batch ?segment_bytes ();
-    snapshot_bytes }
+    snapshot_bytes;
+    codec = Option.value codec ~default:Store.default_config.Store.codec }
 
 (* --- WAL unit tests --- *)
 
@@ -129,11 +130,11 @@ let baseline requests =
   let result = Flexible.greedy (fabric2 ()) policy requests in
   Summary.compute (fabric2 ()) ~all:requests ~accepted:result.Types.accepted
 
-let journal_run ?batch ?segment_bytes ?snapshot_bytes ~dir requests =
+let journal_run ?batch ?segment_bytes ?snapshot_bytes ?codec ~dir requests =
   let t0 = List.fold_left (fun t (r : Request.t) -> Float.min t r.Request.ts) 0.0 requests in
   let store =
-    Store.create ~config:(store_config ?batch ?segment_bytes ?snapshot_bytes ()) ~time:t0 ~dir
-      (fabric2 ())
+    Store.create ~config:(store_config ?batch ?segment_bytes ?snapshot_bytes ?codec ())
+      ~time:t0 ~dir (fabric2 ())
   in
   let result = Flexible.greedy ~store (fabric2 ()) policy requests in
   Store.close store;
@@ -170,13 +171,13 @@ let carve ~src ~scratch n =
   Torn.truncate_at ~dir:scratch n;
   scratch
 
-let crash_matrix seed () =
+let crash_matrix ?codec seed () =
   let requests = workload_of_seed ~n:30 seed in
   let expected = baseline requests in
   with_tmpdir (fun tmp ->
       let src = Filename.concat tmp "src" in
       let scratch = Filename.concat tmp "carved" in
-      ignore (journal_run ~batch:4 ~dir:src requests);
+      ignore (journal_run ~batch:4 ?codec ~dir:src requests);
       let boundaries, total = Torn.record_boundaries ~dir:src in
       Alcotest.(check bool) "journal is non-trivial" true (List.length boundaries > n_prefix);
       List.iteri
@@ -389,6 +390,35 @@ let test_flush_forces_group_commit () =
             (Store.records r.Store.store);
           Store.close r.Store.store)
 
+(* The new Runtime.ctx plumbing and the deprecated ?store argument must
+   journal byte-identically: same WAL payload stream, same decisions. *)
+let test_ctx_journal_matches_legacy () =
+  let requests = random_requests ~seed:21L ~n:40 (fabric2 ()) in
+  let journal run =
+    with_tmpdir (fun dir ->
+        let store = Store.create ~config:(store_config ()) ~time:0.0 ~dir (fabric2 ()) in
+        let result = run store in
+        Store.close store;
+        let s = Wal.scan ~dir in
+        ( List.length result.Types.accepted,
+          List.map (fun (r : Wal.record) -> r.Wal.payload) s.Wal.records ))
+  in
+  let legacy = journal (fun store -> Flexible.greedy ~store (fabric2 ()) policy requests) in
+  let ctxed =
+    journal (fun store ->
+        Flexible.greedy
+          ~ctx:(Gridbw_core.Runtime.make ~store ())
+          (fabric2 ()) policy requests)
+  in
+  Alcotest.(check int) "same accept count" (fst legacy) (fst ctxed);
+  Alcotest.(check bool) "identical journal payloads" true (snd legacy = snd ctxed)
+
+let test_resolve_refuses_mixing () =
+  let module Runtime = Gridbw_core.Runtime in
+  match Runtime.resolve ~obs:Obs.disabled ~ctx:Runtime.default () with
+  | _ -> Alcotest.fail "mixing ?ctx with ?obs must raise"
+  | exception Invalid_argument _ -> ()
+
 let suites =
   [
     ( "store",
@@ -401,10 +431,13 @@ let suites =
         case "store: create refuses an existing store" test_create_refuses_existing;
         case "crash matrix: every boundary and torn record (seed 3)" (crash_matrix 3);
         case "crash matrix: every boundary and torn record (seed 17)" (crash_matrix 17);
+        case "crash matrix: jsonl-codec journal (seed 3)" (crash_matrix ~codec:Wal.Jsonl 3);
         case "crash: flipped byte truncates at the CRC" test_flipped_byte_truncates;
         case "crash: snapshot + WAL tail recovery" test_snapshot_recovery;
         case "crash: double crash, recover twice" test_double_crash;
         case "metrics: store counters land in the registry" test_store_metrics;
+        case "ctx: Runtime.ctx journals identically to ?store" test_ctx_journal_matches_legacy;
+        case "ctx: resolve refuses ?ctx mixed with ?obs" test_resolve_refuses_mixing;
         prop_random_offset_recovers;
       ] );
   ]

@@ -1,0 +1,251 @@
+(* lib/wire: the two wire forms of every event constructor must agree —
+   encode with either codec, decode, and land on the same event — plus
+   frame-level corruption detection, truncation handling, and
+   mixed-format streams (trace files and WAL segments may interleave
+   JSONL lines and binary frames freely). *)
+
+open Helpers
+module Codec = Gridbw_wire.Codec
+module Frame = Gridbw_wire.Frame
+module Crc32 = Gridbw_wire.Crc32
+module Event = Gridbw_obs.Event
+module Event_codec = Gridbw_obs.Event_codec
+module Wal = Gridbw_store.Wal
+
+(* %.17g is injective on finite floats (17 significant digits
+   round-trip), so JSON text equality is event equality — and it is the
+   very representation the JSONL codec ships, so comparing through it
+   checks exactly what the wire preserves. *)
+let event_eq a b = Event.to_json a = Event.to_json b
+
+let pp_event fmt e = Format.pp_print_string fmt (Event.to_json e)
+let event_testable = Alcotest.testable pp_event event_eq
+
+(* --- generators --- *)
+
+let gen_float =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun f -> if Float.is_finite f then f else 0.) float;
+        float_range (-1e6) 1e6;
+        oneofl [ 0.; -0.; 1e-300; 1e300; 4910.25 ];
+      ])
+
+let gen_id = QCheck2.Gen.int_range 0 1_000_000
+let gen_side = QCheck2.Gen.oneofl [ Event.Ingress; Event.Egress ]
+
+let gen_reason =
+  QCheck2.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 0 24))
+
+let gen_event =
+  let open QCheck2.Gen in
+  let* k = int_range 1 7 in
+  match k with
+  | 1 ->
+      let* time = gen_float and* seq = gen_id and* id = gen_id in
+      let* ingress = gen_id and* egress = gen_id in
+      let* volume = gen_float and* ts = gen_float and* tf = gen_float in
+      let* max_rate = gen_float in
+      return (Event.Arrival { time; seq; id; ingress; egress; volume; ts; tf; max_rate })
+  | 2 ->
+      let* time = gen_float and* id = gen_id in
+      let* ingress = gen_id and* egress = gen_id in
+      let* volume = gen_float and* ts = gen_float and* tf = gen_float in
+      let* max_rate = gen_float and* bw = gen_float and* sigma = gen_float in
+      return (Event.Accept { time; id; ingress; egress; volume; ts; tf; max_rate; bw; sigma })
+  | 3 ->
+      let* time = gen_float and* id = gen_id and* reason = gen_reason in
+      let* port = option (pair gen_side gen_id) in
+      let* headroom = option gen_float in
+      return (Event.Reject { time; id; reason; port; headroom })
+  | 4 ->
+      let* time = gen_float and* id = gen_id and* bw = gen_float in
+      return (Event.Preempt { time; id; bw })
+  | 5 ->
+      let* time = gen_float and* side = gen_side and* port = gen_id in
+      let* excess = gen_float and* victims = gen_id in
+      return (Event.Shed { time; side; port; excess; victims })
+  | 6 ->
+      let* time = gen_float and* side = gen_side and* port = gen_id in
+      let* capacity = gen_float in
+      return (Event.Capacity { time; side; port; capacity })
+  | _ ->
+      let* time = gen_float and* pending = gen_id in
+      return (Event.Dispatch { time; pending })
+
+(* One fixed exemplar per constructor, so every constructor is pinned
+   even if a qcheck run draws unevenly. *)
+let exemplars =
+  [
+    Event.Arrival
+      { time = 1.5; seq = 0; id = 7; ingress = 1; egress = 2; volume = 100.;
+        ts = 0.; tf = 10.; max_rate = 12.5 };
+    Event.Accept
+      { time = 2.; id = 7; ingress = 1; egress = 2; volume = 100.; ts = 0.;
+        tf = 10.; max_rate = 12.5; bw = 10.; sigma = 2. };
+    Event.Reject
+      { time = 3.; id = 8; reason = "spike"; port = Some (Event.Egress, 4);
+        headroom = Some 0.25 };
+    Event.Reject { time = 3.5; id = 9; reason = "deadline"; port = None; headroom = None };
+    Event.Preempt { time = 4.; id = 7; bw = 10. };
+    Event.Shed { time = 5.; side = Event.Ingress; port = 0; excess = 12.; victims = 2 };
+    Event.Capacity { time = 0.; side = Event.Egress; port = 3; capacity = 100. };
+    Event.Dispatch { time = 6.; pending = 11 };
+  ]
+
+(* --- codec round-trips and cross-format equality --- *)
+
+let roundtrip (module C : Codec.S with type t = Event.t) ev =
+  match Codec.of_string (module C) (Codec.to_string (module C) ev) with
+  | Ok ev' -> ev'
+  | Error msg -> Alcotest.failf "%s: %s" C.name msg
+
+let test_exemplar_roundtrips () =
+  List.iter
+    (fun ev ->
+      Alcotest.check event_testable "binary round-trip" ev
+        (roundtrip (module Event_codec.Binary) ev);
+      Alcotest.check event_testable "jsonl round-trip" ev
+        (roundtrip (module Event_codec.Jsonl) ev))
+    exemplars
+
+let prop_codecs_agree =
+  qcase ~count:500 "wire: binary and jsonl decode to the same event" gen_event (fun ev ->
+      let b = roundtrip (module Event_codec.Binary) ev in
+      let j = roundtrip (module Event_codec.Jsonl) ev in
+      event_eq b ev && event_eq j ev && event_eq b j)
+
+let prop_mixed_stream =
+  (* Interleave the two forms in one byte stream; the sniffing reader
+     must recover the exact event sequence. *)
+  qcase ~count:100 "wire: mixed binary/jsonl streams sniff per record"
+    QCheck2.Gen.(list_size (int_range 1 20) (pair gen_event bool))
+    (fun entries ->
+      let buf = Buffer.create 1024 in
+      List.iter
+        (fun (ev, binary) ->
+          if binary then Event_codec.Binary.encode buf ev
+          else Event_codec.Jsonl.encode buf ev)
+        entries;
+      let s = Buffer.contents buf in
+      let rec decode acc pos =
+        if pos >= String.length s then List.rev acc
+        else
+          match Event_codec.sniff_decode s ~pos with
+          | Codec.Value (ev, next) -> decode (ev :: acc) next
+          | Codec.Incomplete -> Alcotest.fail "mixed stream: truncated"
+          | Codec.Corrupt msg -> Alcotest.failf "mixed stream: %s" msg
+      in
+      List.for_all2 (fun (ev, _) got -> event_eq ev got) entries (decode [] 0))
+
+(* --- frame-level corruption and truncation --- *)
+
+let prop_bitflip_never_passes =
+  qcase ~count:300 "wire: a flipped byte never decodes back to the event"
+    QCheck2.Gen.(pair gen_event (int_range 0 10_000))
+    (fun (ev, raw) ->
+      let s = Codec.to_string (module Event_codec.Binary) ev in
+      let i = raw mod String.length s in
+      let b = Bytes.of_string s in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+      match Event_codec.Binary.decode (Bytes.to_string b) ~pos:0 with
+      | Codec.Value (ev', _) -> not (event_eq ev' ev)
+      | Codec.Incomplete | Codec.Corrupt _ -> true)
+
+let prop_truncation_is_incomplete =
+  qcase ~count:300 "wire: every strict prefix of a binary frame is Incomplete"
+    QCheck2.Gen.(pair gen_event (int_range 0 10_000))
+    (fun (ev, raw) ->
+      let s = Codec.to_string (module Event_codec.Binary) ev in
+      let n = raw mod String.length s in
+      match Event_codec.Binary.decode (String.sub s 0 n) ~pos:0 with
+      | Codec.Incomplete -> true
+      | Codec.Value _ | Codec.Corrupt _ -> false)
+
+let test_frame_tag_validation () =
+  let b = Buffer.create 32 in
+  Frame.add b ~tag:0x7f "payload";
+  let s = Buffer.contents b in
+  (match Frame.decode s ~pos:0 with
+  | Codec.Value ((tag, payload), next) ->
+      Alcotest.(check int) "tag survives" 0x7f tag;
+      Alcotest.(check string) "payload survives" "payload" payload;
+      Alcotest.(check int) "frame size" (String.length s) next
+  | _ -> Alcotest.fail "frame does not decode");
+  (* An event decoder must refuse a frame with someone else's tag. *)
+  match Event_codec.Binary.decode s ~pos:0 with
+  | Codec.Corrupt _ -> ()
+  | _ -> Alcotest.fail "wrong-tag frame accepted as an event"
+
+let test_line_hexline_roundtrip () =
+  List.iter
+    (fun payload ->
+      let b = Buffer.create 32 in
+      Frame.Line.encode b payload;
+      (match Frame.Line.decode (Buffer.contents b) ~pos:0 with
+      | Codec.Value (p, _) -> Alcotest.(check string) "line payload" payload p
+      | _ -> Alcotest.fail "line frame does not decode");
+      let b = Buffer.create 32 in
+      Frame.Hexline.encode b payload;
+      match Frame.Hexline.decode (Buffer.contents b) ~pos:0 with
+      | Codec.Value (p, _) -> Alcotest.(check string) "hexline payload" payload p
+      | _ -> Alcotest.fail "hexline frame does not decode")
+    [ ""; "x"; {|{"ev":"accept","id":7}|}; String.make 300 'z' ]
+
+(* --- WAL: mixed-format segments --- *)
+
+(* A journal written under one format and continued under the other must
+   stay fully replayable: the scanner sniffs per record. *)
+let test_wal_mixed_segment () =
+  let dir = Filename.temp_file "gridbw-wire-wal" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let rm_rf d =
+    Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+    Sys.rmdir d
+  in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let cfg = { Wal.default_config with Wal.batch = 1 } in
+      let w = Wal.create ~config:cfg ~format:Wal.Jsonl ~dir () in
+      for i = 0 to 4 do
+        Wal.append w (Printf.sprintf "jsonl-record-%d" i)
+      done;
+      Wal.close w;
+      let w2 = Wal.reopen ~config:cfg ~format:Wal.Binary ~dir ~records:5 () in
+      for i = 5 to 9 do
+        Wal.append w2 (Printf.sprintf "binary-record-%d" i)
+      done;
+      Wal.close w2;
+      let s = Wal.scan ~dir in
+      Alcotest.(check int) "all records valid" 10 s.Wal.valid;
+      Alcotest.(check bool) "clean tail" true (s.Wal.torn = None);
+      let formats = List.map (fun (r : Wal.record) -> r.Wal.format) s.Wal.records in
+      Alcotest.(check bool) "first half jsonl, second half binary" true
+        (formats
+        = [ Wal.Jsonl; Wal.Jsonl; Wal.Jsonl; Wal.Jsonl; Wal.Jsonl;
+            Wal.Binary; Wal.Binary; Wal.Binary; Wal.Binary; Wal.Binary ]);
+      List.iteri
+        (fun i (r : Wal.record) ->
+          let prefix = if i < 5 then "jsonl" else "binary" in
+          Alcotest.(check string) "payload survives"
+            (Printf.sprintf "%s-record-%d" prefix i)
+            r.Wal.payload)
+        s.Wal.records)
+
+let suites =
+  [
+    ( "wire",
+      [
+        case "every constructor round-trips through both codecs" test_exemplar_roundtrips;
+        prop_codecs_agree;
+        prop_mixed_stream;
+        prop_bitflip_never_passes;
+        prop_truncation_is_incomplete;
+        case "frame: tag byte validated by record codecs" test_frame_tag_validation;
+        case "frame: Line and Hexline round-trip" test_line_hexline_roundtrip;
+        case "wal: mixed jsonl/binary segment replays" test_wal_mixed_segment;
+      ] );
+  ]
