@@ -40,6 +40,9 @@ module Table = Gridbw_report.Table
 module Provenance = Gridbw_report.Provenance
 module Obs = Gridbw_obs.Obs
 module Sink = Gridbw_obs.Sink
+module Span = Gridbw_obs.Span
+module Flight = Gridbw_obs.Flight
+module Runtime = Gridbw_core.Runtime
 module Store = Gridbw_store.Store
 module Wal = Gridbw_store.Wal
 
@@ -210,12 +213,14 @@ let obs_tests =
       (Staged.stage (fun () -> Flexible.greedy fabric policy flexible_workload));
     Test.make ~name:"obs:greedy-metrics-noop"
       (Staged.stage (fun () ->
-           Flexible.greedy ~obs:(Obs.create ()) fabric policy flexible_workload));
+           Flexible.greedy
+             ~ctx:(Runtime.make ~obs:(Obs.create ()) ())
+             fabric policy flexible_workload));
     Test.make ~name:"obs:greedy-jsonl-buffer"
       (Staged.stage (fun () ->
            Buffer.clear buf;
            Flexible.greedy
-             ~obs:(Obs.create ~sink:(Sink.jsonl_buffer buf) ())
+             ~ctx:(Runtime.make ~obs:(Obs.create ~sink:(Sink.jsonl_buffer buf) ()) ())
              fabric policy flexible_workload));
     Test.make ~name:"obs:window-disabled"
       (Staged.stage (fun () ->
@@ -224,8 +229,47 @@ let obs_tests =
       (Staged.stage (fun () ->
            Buffer.clear buf;
            Flexible.window
-             ~obs:(Obs.create ~sink:(Sink.jsonl_buffer buf) ())
+             ~ctx:(Runtime.make ~obs:(Obs.create ~sink:(Sink.jsonl_buffer buf) ()) ())
              fabric policy ~step:400. flexible_workload));
+  ]
+
+(* --- span tracing overhead benchmarks ---
+
+   The per-request cost of the serve path's trace spans, isolated from
+   the serve loop: open/record/finish one span, encode it in each wire
+   form, and persist it to the flight-recorder ring.  BENCH_obs.json
+   records these; the lifecycle cost bounds what `--span-out` can add
+   per request. *)
+
+let span_tests =
+  let buf = Buffer.create 256 in
+  let flight_path = Filename.temp_file "gridbw-bench-flight" ".bin" in
+  at_exit (fun () -> if Sys.file_exists flight_path then Sys.remove flight_path);
+  let flight = lazy (Flight.create ~size:(1 lsl 16) flight_path) in
+  let finished =
+    let sp = Span.start ~conn:1 () in
+    Span.set_req sp 42;
+    List.iter (fun st -> Span.record sp st 123.) Span.all_stages;
+    Span.finish sp;
+    sp
+  in
+  [
+    Test.make ~name:"span:lifecycle"
+      (Staged.stage (fun () ->
+           let sp = Span.start ~conn:1 () in
+           Span.set_req sp 42;
+           List.iter (fun st -> Span.timed (Some sp) st (fun () -> ())) Span.all_stages;
+           Span.finish sp;
+           Span.total_ns sp));
+    Test.make ~name:"span:binary-encode"
+      (Staged.stage (fun () ->
+           Buffer.clear buf;
+           Span.Binary.encode buf finished;
+           Buffer.length buf));
+    Test.make ~name:"span:jsonl-encode"
+      (Staged.stage (fun () -> String.length (Span.to_json finished)));
+    Test.make ~name:"span:flight-append"
+      (Staged.stage (fun () -> Flight.append (Lazy.force flight) finished));
   ]
 
 (* --- durable store benchmarks ---
@@ -270,7 +314,7 @@ let store_tests =
     incr seq;
     let name = Printf.sprintf "wal%d-%d" batch !seq in
     let s = store_at ~batch name in
-    let r = Flexible.greedy ~store:s fabric policy flexible_workload in
+    let r = Flexible.greedy ~ctx:(Runtime.make ~store:s ()) fabric policy flexible_workload in
     Store.close s;
     rm_rf (Filename.concat root name);
     r
@@ -279,7 +323,7 @@ let store_tests =
   let seeded =
     lazy
       (let s = store_at ~batch:64 "recover" in
-       ignore (Flexible.greedy ~store:s fabric policy flexible_workload);
+       ignore (Flexible.greedy ~ctx:(Runtime.make ~store:s ()) fabric policy flexible_workload);
        Store.close s)
   in
   [
@@ -398,7 +442,7 @@ let base_tests =
     ]
 
 let tests =
-  let all = base_tests @ admission_tests @ obs_tests @ store_tests in
+  let all = base_tests @ admission_tests @ obs_tests @ span_tests @ store_tests in
   let selected =
     match only_filter with
     | None -> all

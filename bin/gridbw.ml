@@ -21,6 +21,9 @@ module Replay = Gridbw_metrics.Replay
 module Obs = Gridbw_obs.Obs
 module Sink = Gridbw_obs.Sink
 module Event = Gridbw_obs.Event
+module Span = Gridbw_obs.Span
+module Flight = Gridbw_obs.Flight
+module Runtime = Gridbw_core.Runtime
 module Store = Gridbw_store.Store
 module Wal = Gridbw_store.Wal
 module Json = Gridbw_obs.Json
@@ -359,7 +362,10 @@ let run_cmd =
     in
     let result =
       match store_dir with
-      | None -> Scheduler.run ?obs sched (Spec.for_replay fabric) requests
+      | None ->
+          Scheduler.run
+            ?ctx:(Option.map (fun o -> Runtime.make ~obs:o ()) obs)
+            sched (Spec.for_replay fabric) requests
       | Some dir when not (Store.exists ~dir) ->
           (* Fresh journal: stamp the capacity prefix at/before the first
              arrival so the event stream stays monotone. *)
@@ -369,8 +375,10 @@ let run_cmd =
               0.0 requests
           in
           let store = Store.create ~config:store_config ?obs ~time:t0 ~dir fabric in
-          let obs = Store.attach store (Option.value obs ~default:Obs.disabled) in
-          let result = Scheduler.run ~obs sched (Spec.for_replay fabric) requests in
+          let result =
+            Scheduler.run ~ctx:(Runtime.make ?obs ~store ()) sched (Spec.for_replay fabric)
+              requests
+          in
           Store.close store;
           Printf.eprintf "journaled %d records to %s\n%!" (Store.records store) dir;
           result
@@ -392,7 +400,8 @@ let run_cmd =
                 dir (Store.records r.Store.store) r.Store.snapshot_cursor r.Store.replayed
                 r.Store.truncated_bytes;
               let result =
-                Gridbw_core.Flexible.greedy_resume ?obs ~store:r.Store.store
+                Gridbw_core.Flexible.greedy_resume
+                  ~ctx:(Runtime.make ?obs ~store:r.Store.store ())
                   r.Store.initial_fabric policy ~restored:r.Store.accepted
                   ~decided:r.Store.decided ~arrived:r.Store.arrived requests
               in
@@ -465,6 +474,37 @@ let replay_trace_cmd =
        ~doc:"Rebuild a run's summary from its event trace alone (binary or JSONL).")
     Term.(const run $ trace_t)
 
+(* --- trace-report command --- *)
+
+let trace_report_cmd =
+  let trace_t =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"TRACE"
+             ~doc:"Any trace holding span records: a serve --span-out file (binary or \
+                   JSONL), or a mixed trace — non-span records are skipped.")
+  in
+  let top_t =
+    Arg.(value & opt int 10
+         & info [ "top" ] ~docv:"K" ~doc:"How many of the slowest requests to list.")
+  in
+  let run trace top =
+    match Gridbw_metrics.Trace_report.load trace with
+    | Error msg ->
+        Printf.eprintf "trace-report: %s\n" msg;
+        exit 1
+    | Ok t ->
+        if Gridbw_metrics.Trace_report.spans t = [] then begin
+          Printf.eprintf "trace-report: no span records in %s\n" trace;
+          exit 1
+        end;
+        print_string (Gridbw_metrics.Trace_report.render ~top t)
+  in
+  Cmd.v
+    (Cmd.info "trace-report"
+       ~doc:"Aggregate request trace spans offline: per-stage latency breakdown \
+             (p50/p95/p99) and the slowest requests.")
+    Term.(const run $ trace_t $ top_t)
+
 (* --- recover command --- *)
 
 let recover_cmd =
@@ -484,10 +524,28 @@ let recover_cmd =
                    counts, the audit verdict, and every surviving accepted allocation \
                    (bit-exact floats).  Exit status 1 when the audit fails.")
   in
+  let flight_t =
+    Arg.(value & opt (some file) None
+         & info [ "flight" ] ~docv:"FILE"
+             ~doc:"Also scan the crash-surviving flight-recorder ring written by \
+                   serve --flight-recorder and dump the last spans before the crash \
+                   (--flight-last of them).")
+  in
+  let flight_last_t =
+    Arg.(value & opt int 20
+         & info [ "flight-last" ] ~docv:"N" ~doc:"How many of the newest spans to dump.")
+  in
+  let flight_spans path last =
+    match Flight.scan path with
+    | Error msg ->
+        Printf.eprintf "recover: flight recorder %s: %s\n" path msg;
+        exit 1
+    | Ok spans -> (List.length spans, Flight.last last spans)
+  in
   (* The machine-readable path the serve-smoke drill consumes: recover,
      audit, and dump every surviving accepted allocation with bit-exact
      floats so acked responses can be compared field by field. *)
-  let run_json dir =
+  let run_json dir flight flight_last =
     let obs = Obs.create () in
     match Store.recover ~obs ~dir () with
     | Error msg ->
@@ -533,10 +591,34 @@ let recover_cmd =
                 ])
             r.Store.accepted
         in
+        let flight_fields =
+          match flight with
+          | None -> []
+          | Some path ->
+              let total, spans = flight_spans path flight_last in
+              [
+                ("flight_total", Json.Num (float_of_int total));
+                ("flight_last",
+                 Json.List
+                   (List.map
+                      (fun sp ->
+                        Json.Obj
+                          (("span", Json.Num (float_of_int (Span.id sp)))
+                           :: (match Span.req sp with
+                              | Some r -> [ ("req", Json.Num (float_of_int r)) ]
+                              | None -> [])
+                          @ [
+                              ("conn", Json.Num (float_of_int (Span.conn sp)));
+                              ("total_ns", Json.Num (Span.total_ns sp));
+                              ("probes", Json.Num (float_of_int (Span.probes sp)));
+                            ]))
+                      spans));
+              ]
+        in
         print_endline
           (Json.to_string
              (Json.Obj
-                [
+                ([
                   ("ok", Json.Bool (audit <> "failed"));
                   ("records", Json.Num (float_of_int (Store.records r.Store.store)));
                   ("snapshot_cursor", Json.Num (float_of_int r.Store.snapshot_cursor));
@@ -552,12 +634,13 @@ let recover_cmd =
                           | Event.Preempt { id; _ } -> Some (Json.Num (float_of_int id))
                           | _ -> None)
                         r.Store.events));
-                ]));
+                ]
+                @ flight_fields)));
         Store.close r.Store.store;
         if audit = "failed" then exit 1
   in
-  let run dir json metrics_out =
-    if json then run_json dir
+  let run dir json metrics_out flight flight_last =
+    if json then run_json dir flight flight_last
     else
     let obs = Obs.create () in
     match Store.recover ~obs ~dir () with
@@ -619,6 +702,13 @@ let recover_cmd =
         Store.close r.Store.store;
         Option.iter
           (fun path ->
+            let total, spans = flight_spans path flight_last in
+            Printf.eprintf "flight recorder: %d spans recovered; newest %d:\n%!" total
+              (List.length spans);
+            List.iter (fun sp -> Format.eprintf "  %a@." Span.pp sp) spans)
+          flight;
+        Option.iter
+          (fun path ->
             let oc = open_out path in
             Fun.protect
               ~finally:(fun () -> close_out oc)
@@ -629,8 +719,9 @@ let recover_cmd =
   Cmd.v
     (Cmd.info "recover"
        ~doc:"Recover a durable store: truncate the torn WAL tail, rebuild and audit the \
-             journaled admission state, print the journaled run's summary.")
-    Term.(const run $ dir_t $ json_t $ metrics_out_t)
+             journaled admission state, print the journaled run's summary.  With \
+             --flight, also dump the tail of a crash-surviving flight-recorder ring.")
+    Term.(const run $ dir_t $ json_t $ metrics_out_t $ flight_t $ flight_last_t)
 
 (* --- fuzz command --- *)
 
@@ -838,7 +929,39 @@ let serve_cmd =
     Arg.(value & opt int Gridbw_serve.Frame.max_frame_default
          & info [ "max-frame" ] ~docv:"BYTES" ~doc:"Largest accepted frame payload.")
   in
-  let run socket tcp policy store_dir store_batch store_kill max_frame =
+  let metrics_port_t =
+    Arg.(value & opt (some int) None
+         & info [ "metrics-port" ] ~docv:"PORT"
+             ~doc:"Serve GET /metrics (Prometheus text exposition) over HTTP/1.0 on \
+                   127.0.0.1:$(docv), from the same event loop as the protocol socket.")
+  in
+  let span_out_t =
+    Arg.(value & opt (some string) None
+         & info [ "span-out" ] ~docv:"FILE"
+             ~doc:"Trace every request as a span record (per-stage latencies, ledger \
+                   probes) into $(docv).  Binary frames by default; see --span-format. \
+                   trace-report aggregates the file offline.")
+  in
+  let span_format_t =
+    let fmt = Arg.enum [ ("binary", `Binary); ("jsonl", `Jsonl) ] in
+    Arg.(value & opt fmt `Binary
+         & info [ "span-format" ] ~docv:"F"
+             ~doc:"Span sink encoding: 'binary' (length-prefixed frames, the default) or \
+                   'jsonl'.  trace-report reads either, sniffing record by record.")
+  in
+  let flight_t =
+    Arg.(value & opt (some string) None
+         & info [ "flight-recorder" ] ~docv:"FILE"
+             ~doc:"Keep the newest spans in a fixed-size crash-surviving ring file at \
+                   $(docv) (one write per span, no fsync).  After a crash, \
+                   'gridbw recover --flight $(docv)' dumps the last moments.")
+  in
+  let flight_size_t =
+    Arg.(value & opt int Flight.default_size
+         & info [ "flight-size" ] ~docv:"BYTES" ~doc:"Flight-recorder ring size.")
+  in
+  let run socket tcp policy store_dir store_batch store_kill max_frame metrics_port span_out
+      span_format flight_recorder flight_size =
     let transport = transport_of "serve" socket tcp in
     let store_config =
       { Store.default_config with
@@ -846,7 +969,9 @@ let serve_cmd =
         kill_after = store_kill }
     in
     let cfg =
-      { (Daemon.default_config ~policy ?store_dir transport) with
+      { (Daemon.default_config ~policy ?store_dir ?metrics_port ?span_out
+           ~span_binary:(span_format = `Binary) ?flight_recorder ~flight_size transport)
+        with
         Daemon.store_config; max_frame }
     in
     match Daemon.create ~log:(fun s -> Printf.eprintf "serve: %s\n%!" s) cfg with
@@ -862,7 +987,8 @@ let serve_cmd =
        ~doc:"Run the admission daemon: a durable, auditable admission service speaking \
              the versioned JSONL protocol over a Unix or TCP socket.")
     Term.(const run $ socket_t $ tcp_t $ policy_t $ store_dir_t $ store_batch_t
-          $ store_kill_t $ max_frame_t)
+          $ store_kill_t $ max_frame_t $ metrics_port_t $ span_out_t $ span_format_t
+          $ flight_t $ flight_size_t)
 
 let loadgen_cmd =
   let conns_t =
@@ -911,17 +1037,27 @@ let loadgen_cmd =
     Arg.(value & flag
          & info [ "shutdown" ] ~doc:"Send the shutdown verb once the run completes.")
   in
+  let json_t =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Machine-readable output: stdout is exactly one JSON object (the same \
+                   shape --bench-out writes, p50/p95/p99 latencies included); the human \
+                   report and provenance move to stderr.")
+  in
   let run socket tcp conns requests seed mean_ia slack cancel_every acks_path tolerate
-      binary bench_out shutdown =
+      binary bench_out shutdown json =
     let transport = transport_of "loadgen" socket tcp in
     let acks = Option.map open_out acks_path in
     let cfg =
       Loadgen.default_config ~connections:conns ~requests ~seed ~mean_interarrival:mean_ia
         ~max_slack:slack ~cancel_every ?acks ~binary ~tolerate_disconnect:tolerate transport
     in
-    Provenance.print ~cmd:"loadgen"
+    let provenance =
       [ Provenance.seed seed; Provenance.int "requests" requests;
-        Provenance.int "connections" conns ];
+        Provenance.int "connections" conns ]
+    in
+    if json then Printf.eprintf "%s\n%!" (Provenance.line ~cmd:"loadgen" provenance)
+    else Provenance.print ~cmd:"loadgen" provenance;
     match Loadgen.run ~log:(fun s -> Printf.eprintf "%s\n%!" s) cfg with
     | Error e ->
         Option.iter close_out acks;
@@ -930,7 +1066,11 @@ let loadgen_cmd =
     | Ok report ->
         Option.iter close_out acks;
         Option.iter (Printf.eprintf "wrote %s\n%!") acks_path;
-        Format.printf "%a@." Loadgen.pp_report report;
+        if json then begin
+          Format.eprintf "%a@." Loadgen.pp_report report;
+          print_endline (Loadgen.report_to_json report)
+        end
+        else Format.printf "%a@." Loadgen.pp_report report;
         Option.iter
           (fun path ->
             let oc = open_out path in
@@ -951,13 +1091,14 @@ let loadgen_cmd =
        ~doc:"Drive a running admission daemon with a seeded closed-loop workload and \
              report throughput and latency percentiles.")
     Term.(const run $ socket_t $ tcp_t $ conns_t $ requests_t $ lg_seed_t $ mean_ia_t
-          $ slack_t $ cancel_t $ acks_t $ tolerate_t $ binary_t $ bench_out_t $ shutdown_t)
+          $ slack_t $ cancel_t $ acks_t $ tolerate_t $ binary_t $ bench_out_t $ shutdown_t
+          $ json_t)
 
 let main_cmd =
   Cmd.group
     (Cmd.info "gridbw" ~version:"1.0.0"
        ~doc:"Optimal bandwidth sharing in grid environments (HPDC'06) — reproduction toolkit.")
-    [ figure_cmd; table_cmd; all_cmd; workload_cmd; run_cmd; replay_trace_cmd; recover_cmd;
-      fuzz_cmd; hotspot_cmd; serve_cmd; loadgen_cmd ]
+    [ figure_cmd; table_cmd; all_cmd; workload_cmd; run_cmd; replay_trace_cmd;
+      trace_report_cmd; recover_cmd; fuzz_cmd; hotspot_cmd; serve_cmd; loadgen_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

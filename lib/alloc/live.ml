@@ -1,13 +1,21 @@
 module Fabric = Gridbw_topology.Fabric
 
-type t = { mutable fabric : Fabric.t; ali : float array; ale : float array }
+type t = {
+  mutable fabric : Fabric.t;
+  ali : float array;
+  ale : float array;
+  mutable probes : int;
+}
 
 let create fabric =
   {
     fabric;
     ali = Array.make (Fabric.ingress_count fabric) 0.0;
     ale = Array.make (Fabric.egress_count fabric) 0.0;
+    probes = 0;
   }
+
+let probe_count t = t.probes
 
 let fabric t = t.fabric
 
@@ -21,6 +29,7 @@ let egress_used t e = t.ale.(e)
 let le_cap used cap = used <= cap *. (1. +. 1e-9)
 
 let fits t ~ingress ~egress ~bw =
+  t.probes <- t.probes + 2;
   le_cap (t.ali.(ingress) +. bw) (Fabric.ingress_capacity t.fabric ingress)
   && le_cap (t.ale.(egress) +. bw) (Fabric.egress_capacity t.fabric egress)
 
@@ -40,6 +49,7 @@ let try_grab t ~ingress ~egress ~bw =
   ok
 
 let saturation t ~ingress ~egress ~bw =
+  t.probes <- t.probes + 2;
   Float.max
     ((t.ali.(ingress) +. bw) /. Fabric.ingress_capacity t.fabric ingress)
     ((t.ale.(egress) +. bw) /. Fabric.egress_capacity t.fabric egress)

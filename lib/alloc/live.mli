@@ -17,6 +17,13 @@ val set_fabric : t -> Gridbw_topology.Fabric.t -> unit
     over-committed — callers are expected to preempt until {!fits} holds
     again (the fault subsystem's capacity-revision path). *)
 
+val probe_count : t -> int
+(** Port-counter probes performed so far: each {!fits} (and so each
+    {!try_grab}) and each {!saturation} compares the two counters of a
+    route against their capacities and counts 2.  The on-line analogue of
+    {!Gridbw_alloc.Ledger.probe_count} — admission spans record the delta
+    across a decision as the search's work. *)
+
 val ingress_used : t -> int -> float
 (** [ali(i)]. *)
 

@@ -33,8 +33,9 @@ let collect all decisions =
     decisions;
   { Types.all; accepted = List.rev !accepted; rejected = List.rev !rejected }
 
-let greedy ?obs ?store ?ctx fabric policy requests =
-  let obs = Runtime.observed (Runtime.resolve ?obs ?store ?ctx ()) in
+let greedy ?(ctx = Runtime.default) fabric policy requests =
+  let obs = Runtime.observed ctx in
+  let ictx = Runtime.make ~obs () in
   check_routing fabric requests;
   Policy.validate policy;
   let ctl = Online.create fabric in
@@ -43,7 +44,7 @@ let greedy ?obs ?store ?ctx fabric policy requests =
     List.map
       (fun (r : Request.t) ->
         if Obs.tracing obs then Emit.emit_arrival obs seqs r;
-        (r, Online.try_admit ~obs ctl policy r ~at:r.ts))
+        (r, Online.try_admit ~ctx:ictx ctl policy r ~at:r.ts))
       (arrival_order requests)
   in
   collect requests decisions
@@ -60,9 +61,10 @@ let greedy ?obs ?store ?ctx fabric policy requests =
    The result's [accepted] is the full run (restored ++ resumed, decision
    order); [rejected] only covers post-crash decisions — journaled
    rejections carry no state and are not reconstructed into reasons. *)
-let greedy_resume ?obs ?store ?ctx fabric policy ~restored ~decided
+let greedy_resume ?(ctx = Runtime.default) fabric policy ~restored ~decided
     ?(arrived = fun _ -> false) requests =
-  let obs = Runtime.observed (Runtime.resolve ?obs ?store ?ctx ()) in
+  let obs = Runtime.observed ctx in
+  let ictx = Runtime.make ~obs () in
   check_routing fabric requests;
   Policy.validate policy;
   let ctl = Online.create fabric in
@@ -76,7 +78,7 @@ let greedy_resume ?obs ?store ?ctx fabric policy ~restored ~decided
           (* A request whose arrival was journaled but whose decision was
              lost must not arrive twice in the journal. *)
           if Obs.tracing obs && not (arrived r.id) then Emit.emit_arrival obs seqs r;
-          Some (r, Online.try_admit ~obs ctl policy r ~at:r.ts)
+          Some (r, Online.try_admit ~ctx:ictx ctl policy r ~at:r.ts)
         end)
       (arrival_order requests)
   in
@@ -340,8 +342,8 @@ let pack_batch ?(obs = Obs.disabled) ?now policy ledger ~decide batch =
     end
   done
 
-let window ?obs ?store ?ctx fabric policy ~step requests =
-  let obs = Runtime.observed (Runtime.resolve ?obs ?store ?ctx ()) in
+let window ?(ctx = Runtime.default) fabric policy ~step requests =
+  let obs = Runtime.observed ctx in
   if step <= 0. || not (Float.is_finite step) then
     invalid_arg "Flexible.window: step must be positive and finite";
   check_routing fabric requests;
@@ -361,7 +363,8 @@ let window ?obs ?store ?ctx fabric policy ~step requests =
     (batches ~step requests);
   { Types.all = requests; accepted = List.rev !accepted; rejected = List.rev !rejected }
 
-let book_ahead ?(obs = Obs.disabled) fabric policy ~announce requests =
+let book_ahead ?(ctx = Runtime.default) fabric policy ~announce requests =
+  let obs = Runtime.observed ctx in
   check_routing fabric requests;
   Policy.validate policy;
   let ledger = Ledger.create fabric in
@@ -413,8 +416,9 @@ let book_ahead ?(obs = Obs.disabled) fabric policy ~announce requests =
   in
   collect requests decisions
 
-let window_deferred ?obs ?store ?ctx fabric policy ~step requests =
-  let obs = Runtime.observed (Runtime.resolve ?obs ?store ?ctx ()) in
+let window_deferred ?(ctx = Runtime.default) fabric policy ~step requests =
+  let obs = Runtime.observed ctx in
+  let ictx = Runtime.make ~obs () in
   if step <= 0. || not (Float.is_finite step) then
     invalid_arg "Flexible.window_deferred: step must be positive and finite";
   check_routing fabric requests;
@@ -479,7 +483,7 @@ let window_deferred ?obs ?store ?ctx fabric policy ~step requests =
               live := 0
             end
             else begin
-              let d = Online.try_admit ~obs ctl policy best_r ~at:decision_time in
+              let d = Online.try_admit ~ctx:ictx ctl policy best_r ~at:decision_time in
               decide best_r d;
               Array.iter (fun (r, _, alive) -> if !alive && Request.equal r best_r then alive := false) candidates;
               decr live;
@@ -508,8 +512,8 @@ let heuristic_name = function
   | `Window step -> Printf.sprintf "window(%g)" step
   | `Window_deferred step -> Printf.sprintf "window-deferred(%g)" step
 
-let run ?obs ?store ?ctx kind fabric policy requests =
+let run ?ctx kind fabric policy requests =
   match kind with
-  | `Greedy -> greedy ?obs ?store ?ctx fabric policy requests
-  | `Window step -> window ?obs ?store ?ctx fabric policy ~step requests
-  | `Window_deferred step -> window_deferred ?obs ?store ?ctx fabric policy ~step requests
+  | `Greedy -> greedy ?ctx fabric policy requests
+  | `Window step -> window ?ctx fabric policy ~step requests
+  | `Window_deferred step -> window_deferred ?ctx fabric policy ~step requests

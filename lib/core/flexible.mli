@@ -12,13 +12,13 @@
     cannot start before its batch is decided; see DESIGN.md (ablation A1).
 
     Every entry point takes the runtime context as [?ctx]
-    ({!Runtime.ctx}: telemetry + durable store + shard).  The separate
-    [?obs]/[?store] arguments are a deprecated shim kept for one release
-    ({!Runtime.resolve}); new code should pass [?ctx]. *)
+    ({!Runtime.ctx}: telemetry + durable store + span + shard); a store
+    in the context journals every arrival and decision.  The packing
+    kernel {!pack_batch} is the one exception — it takes the already
+    merged telemetry context directly, as the fault injector drives it
+    mid-revision. *)
 
 val greedy :
-  ?obs:Gridbw_obs.Obs.ctx ->
-  ?store:Gridbw_store.Store.t ->
   ?ctx:Runtime.ctx ->
   Gridbw_topology.Fabric.t ->
   Policy.t ->
@@ -27,13 +27,11 @@ val greedy :
 (** Algorithm 2.  Requests are processed in arrival order ([ts], ties by
     smaller [MinRate] then id, as in section 5.1); each is granted the
     policy rate at [sigma = ts] iff both its ports currently have room.
-    With [store], every arrival and decision is journaled to the durable
-    store (in processing order — the property {!greedy_resume} relies
-    on). *)
+    With a store in [ctx], every arrival and decision is journaled to
+    the durable store (in processing order — the property
+    {!greedy_resume} relies on). *)
 
 val greedy_resume :
-  ?obs:Gridbw_obs.Obs.ctx ->
-  ?store:Gridbw_store.Store.t ->
   ?ctx:Runtime.ctx ->
   Gridbw_topology.Fabric.t ->
   Policy.t ->
@@ -57,8 +55,6 @@ val greedy_resume :
     resumed decisions into the same log. *)
 
 val window :
-  ?obs:Gridbw_obs.Obs.ctx ->
-  ?store:Gridbw_store.Store.t ->
   ?ctx:Runtime.ctx ->
   Gridbw_topology.Fabric.t ->
   Policy.t ->
@@ -76,8 +72,6 @@ val window :
     Accepted requests transmit on [\[ts, ts + vol/bw)). *)
 
 val window_deferred :
-  ?obs:Gridbw_obs.Obs.ctx ->
-  ?store:Gridbw_store.Store.t ->
   ?ctx:Runtime.ctx ->
   Gridbw_topology.Fabric.t ->
   Policy.t ->
@@ -94,7 +88,7 @@ val window_deferred :
     WINDOW gain is knowledge versus batching. *)
 
 val book_ahead :
-  ?obs:Gridbw_obs.Obs.ctx ->
+  ?ctx:Runtime.ctx ->
   Gridbw_topology.Fabric.t ->
   Policy.t ->
   announce:(Gridbw_request.Request.t -> float) ->
@@ -156,8 +150,6 @@ val heuristic_name : [ `Greedy | `Window of float | `Window_deferred of float ] 
 (** "greedy", "window(400)" or "window-deferred(400)". *)
 
 val run :
-  ?obs:Gridbw_obs.Obs.ctx ->
-  ?store:Gridbw_store.Store.t ->
   ?ctx:Runtime.ctx ->
   [ `Greedy | `Window of float | `Window_deferred of float ] ->
   Gridbw_topology.Fabric.t ->

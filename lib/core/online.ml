@@ -5,6 +5,7 @@ module Live = Gridbw_alloc.Live
 module Event_queue = Gridbw_sim.Event_queue
 module Obs = Gridbw_obs.Obs
 module Event = Gridbw_obs.Event
+module Span = Gridbw_obs.Span
 
 type t = {
   live : Live.t;
@@ -60,8 +61,8 @@ let blocking_port t (r : Request.t) =
   if head_in <= head_out then ((Event.Ingress, r.ingress), head_in)
   else ((Event.Egress, r.egress), head_out)
 
-let try_admit ?obs ?store ?ctx t policy (r : Request.t) ~at =
-  let obs = Runtime.observed (Runtime.resolve ?obs ?store ?ctx ()) in
+let try_admit ?(ctx = Runtime.default) t policy (r : Request.t) ~at =
+  let obs = Runtime.observed ctx in
   let at = clamp_past t at in
   advance_to t at;
   let blocked = ref None in
@@ -82,8 +83,17 @@ let try_admit ?obs ?store ?ctx t policy (r : Request.t) ~at =
   in
   if not obs.Obs.enabled then decide ()
   else begin
+    let span = ctx.Runtime.span in
+    let t0 = match span with Some _ -> Span.now_ns () | None -> 0. in
+    let p0 = match span with Some _ -> Live.probe_count t.live | None -> 0 in
     let decision = Obs.span obs "admit" decide in
-    Emit.emit_decision obs ~time:at ?blocked:!blocked r decision;
+    (match span with
+    | None -> Emit.emit_decision obs ~time:at ?blocked:!blocked r decision
+    | Some sp ->
+        Span.record sp Span.Admit_search (Span.now_ns () -. t0);
+        Span.add_probes sp (Live.probe_count t.live - p0);
+        Span.timed span Span.Wal_append (fun () ->
+            Emit.emit_decision obs ~time:at ?blocked:!blocked r decision));
     decision
   end
 
@@ -115,8 +125,8 @@ let restore t (a : Allocation.t) ~at =
   Event_queue.push t.releases ~time:a.Allocation.tau a;
   t.active <- a :: t.active
 
-let preempt ?obs ?store ?ctx t (a : Allocation.t) =
-  let obs = Runtime.observed (Runtime.resolve ?obs ?store ?ctx ()) in
+let preempt ?(ctx = Runtime.default) t (a : Allocation.t) =
+  let obs = Runtime.observed ctx in
   if is_active t a then begin
     Live.release t.live ~ingress:a.Allocation.request.Request.ingress
       ~egress:a.Allocation.request.Request.egress ~bw:a.Allocation.bw;

@@ -22,8 +22,6 @@ val advance_to : t -> float -> unit
     [time] raises [Invalid_argument]. *)
 
 val try_admit :
-  ?obs:Gridbw_obs.Obs.ctx ->
-  ?store:Gridbw_store.Store.t ->
   ?ctx:Runtime.ctx ->
   t ->
   Policy.t ->
@@ -36,15 +34,17 @@ val try_admit :
     [sigma = max at ts(r)] and its bandwidth is held until {!advance_to}
     passes its [tau].
 
-    With [obs]: the decision runs under the ["admit"] profiling span,
-    bumps [admit_requests_total] / [admit_accepted_total] /
-    [admit_rejected_total], and (when tracing) emits an [Accept] or
-    [Reject] event — saturated rejects carry the tighter port and its
-    headroom at decision time.
+    With [ctx.obs] enabled: the decision runs under the ["admit"]
+    profiling span, bumps [admit_requests_total] /
+    [admit_accepted_total] / [admit_rejected_total], and (when tracing)
+    emits an [Accept] or [Reject] event — saturated rejects carry the
+    tighter port and its headroom at decision time.
 
-    With [store], the decision is also journaled to the durable store
-    (the store's sink is merged into [obs]).  Both arguments are a
-    deprecated shim for [ctx] ({!Runtime.resolve}). *)
+    With [ctx.store], the decision is also journaled to the durable
+    store (the store's sink is merged into the telemetry context).  With
+    [ctx.span], the decision search and the journaling append are
+    accumulated onto the request's trace span as the [Admit_search] and
+    [Wal_append] stages. *)
 
 val restore : t -> Gridbw_alloc.Allocation.t -> at:float -> unit
 (** Re-book a recovered allocation exactly as {!try_admit} booked it at
@@ -63,18 +63,12 @@ val peek_cost : t -> Policy.t -> Gridbw_request.Request.t -> at:float -> (float 
     (section 5.2); [None] when the deadline is no longer reachable.  Does
     not modify the controller (apart from an implicit {!advance_to}). *)
 
-val preempt :
-  ?obs:Gridbw_obs.Obs.ctx ->
-  ?store:Gridbw_store.Store.t ->
-  ?ctx:Runtime.ctx ->
-  t ->
-  Gridbw_alloc.Allocation.t ->
-  bool
+val preempt : ?ctx:Runtime.ctx -> t -> Gridbw_alloc.Allocation.t -> bool
 (** Revoke a still-held allocation (matched by physical identity),
     returning its bandwidth to both ports immediately.  Returns [false]
     if the allocation already finished or was already preempted.  The
     fault subsystem's capacity-revision path uses this to shed load after
-    a port degradation.  With [obs], a successful preemption bumps
+    a port degradation.  With [ctx.obs], a successful preemption bumps
     [preempted_total] and emits a [Preempt] event. *)
 
 val set_fabric : t -> Gridbw_topology.Fabric.t -> unit

@@ -32,8 +32,8 @@ let arrival_compare (a : Request.t) (b : Request.t) =
       | c -> c)
   | c -> c
 
-let fcfs ?obs ?ctx fabric requests =
-  let obs = Runtime.observed (Runtime.resolve ?obs ?ctx ()) in
+let fcfs ?(ctx = Runtime.default) fabric requests =
+  let obs = Runtime.observed ctx in
   check_routing fabric requests;
   let ledger = Ledger.create fabric in
   let seqs = if Obs.tracing obs then Emit.seq_table requests else Hashtbl.create 1 in
@@ -59,8 +59,8 @@ let fcfs ?obs ?ctx fabric requests =
 (* Per-request scheduling state during the slice sweep of Algorithm 1. *)
 type state = Alive of { held_before : bool } | Dead of Types.reason
 
-let slots ?obs ?ctx ~cost fabric requests =
-  let obs = Runtime.observed (Runtime.resolve ?obs ?ctx ()) in
+let slots ?(ctx = Runtime.default) ~cost fabric requests =
+  let obs = Runtime.observed ctx in
   check_routing fabric requests;
   let arr = Array.of_list requests in
   let n = Array.length arr in
@@ -148,8 +148,8 @@ let slots ?obs ?ctx ~cost fabric requests =
    free; a head request that does not fit at its start time keeps the
    scheduler busy until the bandwidth it wanted frees up (earliest instant
    both ports could have carried it), and only then is it dropped. *)
-let fifo_blocking ?obs ?ctx fabric requests =
-  let obs = Runtime.observed (Runtime.resolve ?obs ?ctx ()) in
+let fifo_blocking ?(ctx = Runtime.default) fabric requests =
+  let obs = Runtime.observed ctx in
   check_routing fabric requests;
   let ledger = Ledger.create fabric in
   let seqs = if Obs.tracing obs then Emit.seq_table requests else Hashtbl.create 1 in
@@ -214,11 +214,11 @@ let fifo_blocking ?obs ?ctx fabric requests =
     order;
   { Types.all = requests; accepted = List.rev !accepted; rejected = List.rev !rejected }
 
-let run ?obs ?ctx kind fabric requests =
+let run ?ctx kind fabric requests =
   match kind with
-  | `Fcfs -> fcfs ?obs ?ctx fabric requests
-  | `Fifo_blocking -> fifo_blocking ?obs ?ctx fabric requests
-  | `Slots cost -> slots ?obs ?ctx ~cost fabric requests
+  | `Fcfs -> fcfs ?ctx fabric requests
+  | `Fifo_blocking -> fifo_blocking ?ctx fabric requests
+  | `Slots cost -> slots ?ctx ~cost fabric requests
 
 let heuristic_name = function
   | `Fcfs -> "fcfs"

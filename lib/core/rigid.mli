@@ -18,7 +18,6 @@ val cost_name : cost_kind -> string
 (** "cumulated-slots", "minbw-slots", "minvol-slots". *)
 
 val fcfs :
-  ?obs:Gridbw_obs.Obs.ctx ->
   ?ctx:Runtime.ctx ->
   Gridbw_topology.Fabric.t ->
   Gridbw_request.Request.t list ->
@@ -30,7 +29,6 @@ val fcfs :
     a rejected request does not delay the queue. *)
 
 val fifo_blocking :
-  ?obs:Gridbw_obs.Obs.ctx ->
   ?ctx:Runtime.ctx ->
   Gridbw_topology.Fabric.t ->
   Gridbw_request.Request.t list ->
@@ -44,7 +42,6 @@ val fifo_blocking :
     behaviour selective rejection (fcfs and the slot heuristics) fixes. *)
 
 val slots :
-  ?obs:Gridbw_obs.Obs.ctx ->
   ?ctx:Runtime.ctx ->
   cost:cost_kind ->
   Gridbw_topology.Fabric.t ->
@@ -59,7 +56,6 @@ val slots :
     slices are accepted at [bw = MinRate], [sigma = ts]. *)
 
 val run :
-  ?obs:Gridbw_obs.Obs.ctx ->
   ?ctx:Runtime.ctx ->
   [ `Fcfs | `Fifo_blocking | `Slots of cost_kind ] ->
   Gridbw_topology.Fabric.t ->

@@ -1,26 +1,19 @@
 module Obs = Gridbw_obs.Obs
+module Span = Gridbw_obs.Span
 module Store = Gridbw_store.Store
 
 type ctx = {
   obs : Obs.ctx;
   store : Store.t option;
+  span : Span.t option;
   shard : int option;
 }
 
-let default = { obs = Obs.disabled; store = None; shard = None }
-let make ?(obs = Obs.disabled) ?store ?shard () = { obs; store; shard }
+let default = { obs = Obs.disabled; store = None; span = None; shard = None }
+let make ?(obs = Obs.disabled) ?store ?span ?shard () = { obs; store; span; shard }
 let with_obs c obs = { c with obs }
 let with_store c store = { c with store = Some store }
-
-(* The deprecated-argument shim: an explicit [ctx] wins; otherwise the
-   legacy [?obs]/[?store] pair is packed into one.  Passing both a ctx
-   and a legacy argument is an error — silently preferring one would
-   hide a caller bug. *)
-let resolve ?obs ?store ?ctx () =
-  match (ctx, obs, store) with
-  | Some c, None, None -> c
-  | Some _, _, _ -> invalid_arg "Runtime.resolve: pass either ?ctx or ?obs/?store, not both"
-  | None, _, _ -> { obs = Option.value obs ~default:Obs.disabled; store; shard = None }
+let with_span c span = { c with span = Some span }
 
 (* The telemetry context an admission path should emit into: with a
    durable store present, every event is also journaled (the store's

@@ -3,37 +3,40 @@
     The engines used to take a pair of optional arguments — [?obs] for
     the telemetry plane and [?store] for the durable journal — and each
     new cross-cutting concern would have added a third.  [ctx] packs
-    them into one record (with a [shard] slot reserved for the planned
-    multi-fabric partitioning), so engine signatures stay fixed as the
-    runtime grows.
+    them into one record, so engine signatures stay fixed as the runtime
+    grows: the [span] slot carries the current request's trace through
+    the serve path, and [shard] is reserved for the planned multi-fabric
+    partitioning.
 
-    The legacy [?obs]/[?store] arguments still work on every entry point
-    this release, via {!resolve}; they are deprecated and will be removed
-    next release — pass [?ctx] instead. *)
+    The deprecated [?obs]/[?store] arguments (and the [resolve] shim
+    that merged them) are gone — every entry point takes [?ctx] only. *)
 
 type ctx = {
   obs : Gridbw_obs.Obs.ctx;  (** telemetry: counters, trace sink *)
   store : Gridbw_store.Store.t option;  (** durable admission journal *)
+  span : Gridbw_obs.Span.t option;
+      (** the in-flight request's trace span: engines accumulate stage
+          durations onto it (admit-search, WAL-append) when present *)
   shard : int option;
       (** reserved: fabric shard this engine instance owns (multi-fabric
           partitioning; no engine consults it yet) *)
 }
 
 val default : ctx
-(** Disabled telemetry, no store, no shard — the zero-cost context. *)
+(** Disabled telemetry, no store, no span, no shard — the zero-cost
+    context. *)
 
-val make : ?obs:Gridbw_obs.Obs.ctx -> ?store:Gridbw_store.Store.t -> ?shard:int -> unit -> ctx
+val make :
+  ?obs:Gridbw_obs.Obs.ctx ->
+  ?store:Gridbw_store.Store.t ->
+  ?span:Gridbw_obs.Span.t ->
+  ?shard:int ->
+  unit ->
+  ctx
 
 val with_obs : ctx -> Gridbw_obs.Obs.ctx -> ctx
 val with_store : ctx -> Gridbw_store.Store.t -> ctx
-
-val resolve :
-  ?obs:Gridbw_obs.Obs.ctx -> ?store:Gridbw_store.Store.t -> ?ctx:ctx -> unit -> ctx
-(** Merge the deprecated [?obs]/[?store] arguments with the new [?ctx]:
-    an explicit [ctx] wins when it is the only one given; legacy
-    arguments build a shardless context.  Raises [Invalid_argument] if
-    both forms are passed — mixing them is a caller bug, not a
-    preference to guess at. *)
+val with_span : ctx -> Gridbw_obs.Span.t -> ctx
 
 val observed : ctx -> Gridbw_obs.Obs.ctx
 (** The telemetry context an engine should emit into: [obs], teed with

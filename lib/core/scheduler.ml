@@ -4,13 +4,13 @@ module Obs = Gridbw_obs.Obs
 
 module type S = sig
   val name : string
-  val run : ?obs:Obs.ctx -> ?ctx:Runtime.ctx -> Spec.t -> Request.t list -> Types.result
+  val run : ?ctx:Runtime.ctx -> Spec.t -> Request.t list -> Types.result
 end
 
 type t = (module S)
 
 let name (module M : S) = M.name
-let run ?obs ?ctx (module M : S) spec requests = M.run ?obs ?ctx spec requests
+let run ?ctx (module M : S) spec requests = M.run ?ctx spec requests
 
 let make ~name:n f : t =
   (module struct
@@ -19,13 +19,13 @@ let make ~name:n f : t =
   end)
 
 let of_rigid kind =
-  make ~name:(Rigid.heuristic_name kind) (fun ?obs ?ctx spec requests ->
-      Rigid.run ?obs ?ctx kind spec.Spec.fabric requests)
+  make ~name:(Rigid.heuristic_name kind) (fun ?ctx spec requests ->
+      Rigid.run ?ctx kind spec.Spec.fabric requests)
 
 let of_flexible kind policy =
   make
     ~name:(Printf.sprintf "%s/%s" (Flexible.heuristic_name kind) (Policy.name policy))
-    (fun ?obs ?ctx spec requests -> Flexible.run ?obs ?ctx kind spec.Spec.fabric policy requests)
+    (fun ?ctx spec requests -> Flexible.run ?ctx kind spec.Spec.fabric policy requests)
 
 let rigid_all = List.map of_rigid [ `Fcfs; `Fifo_blocking; `Slots Rigid.Cumulated; `Slots Rigid.Min_bw; `Slots Rigid.Min_vol ]
 

@@ -13,7 +13,6 @@ module type S = sig
   (** Stable label used in tables, CSV columns and the CLI. *)
 
   val run :
-    ?obs:Gridbw_obs.Obs.ctx ->
     ?ctx:Runtime.ctx ->
     Gridbw_workload.Spec.t ->
     Gridbw_request.Request.t list ->
@@ -21,11 +20,10 @@ module type S = sig
   (** Decide every request of the trace against the spec's fabric.  The
       trace is normally drawn from the same spec ({!Gridbw_workload.Gen}),
       but only [spec.fabric] (and, for batch heuristics, timing derived
-      from the requests themselves) is consulted.  [obs] is the telemetry
-      context: decisions feed its admission counters and, when a trace
-      sink is attached, its event stream.  [ctx] is the full runtime
-      context ({!Runtime.ctx}); [obs] is its deprecated one-field shim,
-      kept for one release. *)
+      from the requests themselves) is consulted.  [ctx] is the runtime
+      context ({!Runtime.ctx}): decisions feed its telemetry counters
+      and, when a trace sink is attached, its event stream; a store in
+      the context journals them durably. *)
 end
 
 type t = (module S)
@@ -33,7 +31,6 @@ type t = (module S)
 val name : t -> string
 
 val run :
-  ?obs:Gridbw_obs.Obs.ctx ->
   ?ctx:Runtime.ctx ->
   t ->
   Gridbw_workload.Spec.t ->
@@ -42,8 +39,7 @@ val run :
 
 val make :
   name:string ->
-  (?obs:Gridbw_obs.Obs.ctx ->
-  ?ctx:Runtime.ctx ->
+  (?ctx:Runtime.ctx ->
   Gridbw_workload.Spec.t ->
   Gridbw_request.Request.t list ->
   Types.result) ->

@@ -72,9 +72,9 @@ let flexible_spec p ~mean_interarrival =
 let summary_of_result fabric (result : Types.result) =
   Summary.compute fabric ~all:result.Types.all ~accepted:result.Types.accepted
 
-let scheduler_summary ?obs p spec sched ~rep =
+let scheduler_summary ?ctx p spec sched ~rep =
   let requests = Gen.generate (Rng.create ~seed:(seed_for p ~rep) ()) spec in
-  summary_of_result spec.Spec.fabric (Scheduler.run ?obs sched spec requests)
+  summary_of_result spec.Spec.fabric (Scheduler.run ?ctx sched spec requests)
 
 let rigid_summary p ~load kind ~rep =
   scheduler_summary p (rigid_spec p ~load) (Scheduler.of_rigid kind) ~rep

@@ -54,7 +54,7 @@ val offered_load_of_interarrival : float -> float
     volumes on the paper platform. *)
 
 val scheduler_summary :
-  ?obs:Gridbw_obs.Obs.ctx ->
+  ?ctx:Gridbw_core.Runtime.ctx ->
   params ->
   Gridbw_workload.Spec.t ->
   Gridbw_core.Scheduler.t ->

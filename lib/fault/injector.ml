@@ -201,6 +201,7 @@ let validate_inputs fabric cfg events requests =
    Faults interleave as engine events; at equal timestamps arrivals decide
    before faults strike (both before any renegotiation scheduled then). *)
 let run_greedy ?(obs = Obs.disabled) fabric cfg events requests =
+  let ictx = Gridbw_core.Runtime.make ~obs () in
   let ctl = Online.create fabric in
   let caps = caps_of fabric in
   let engine = Engine.create ~obs () in
@@ -276,7 +277,7 @@ let run_greedy ?(obs = Obs.disabled) fabric cfg events requests =
           Request.make ~id:r.Request.id ~ingress:r.Request.ingress ~egress:r.Request.egress
             ~volume:residual ~ts:now ~tf:r.Request.tf ~max_rate:r.Request.max_rate
         in
-        match Online.try_admit ~obs ctl cfg.policy r' ~at:now with
+        match Online.try_admit ~ctx:ictx ctl cfg.policy r' ~at:now with
         | Types.Accepted a' ->
             lg.violation <- lg.violation +. Float.max 0. (a'.Allocation.sigma -. down);
             lg.down_since <- None;
@@ -293,7 +294,7 @@ let run_greedy ?(obs = Obs.disabled) fabric cfg events requests =
   in
   let rec preempt_now engine lg (a : Allocation.t) ~recover =
     let now = Engine.now engine in
-    ignore (Online.preempt ~obs ctl a);
+    ignore (Online.preempt ~ctx:ictx ctl a);
     lg.cur <- None;
     lg.preemptions <- lg.preemptions + 1;
     let served = Float.max 0. (now -. a.Allocation.sigma) in
@@ -344,7 +345,7 @@ let run_greedy ?(obs = Obs.disabled) fabric cfg events requests =
     (fun (r : Request.t) ->
       sched r.ts (fun engine ->
           if Obs.tracing obs then Emit.emit_arrival obs seqs r;
-          let d = Online.try_admit ~obs ctl cfg.policy r ~at:(Engine.now engine) in
+          let d = Online.try_admit ~ctx:ictx ctl cfg.policy r ~at:(Engine.now engine) in
           decisions := (r, d) :: !decisions;
           match d with
           | Types.Accepted a -> note_admit (Hashtbl.find logs r.id) a
@@ -635,14 +636,14 @@ let run_window ?(obs = Obs.disabled) fabric cfg ~step events requests =
   Engine.run engine;
   (!decisions, logs)
 
-let run ?obs ?store ?ctx fabric cfg events requests =
+let run ?(ctx = Gridbw_core.Runtime.default) fabric cfg events requests =
   let module Runtime = Gridbw_core.Runtime in
-  let obs = Some (Runtime.observed (Runtime.resolve ?obs ?store ?ctx ())) in
+  let obs = Runtime.observed ctx in
   validate_inputs fabric cfg events requests;
   let decisions, logs =
     match cfg.admission with
-    | Greedy -> run_greedy ?obs fabric cfg events requests
-    | Window step -> run_window ?obs fabric cfg ~step events requests
+    | Greedy -> run_greedy ~obs fabric cfg events requests
+    | Window step -> run_window ~obs fabric cfg ~step events requests
   in
   let result = Flexible.collect requests (List.rev decisions) in
   (* Residuals still waiting for a renegotiation that never came: the
@@ -672,5 +673,5 @@ let scheduler cfg events : Gridbw_core.Scheduler.t =
   let name =
     Printf.sprintf "faulty-%s[%d events]" (admission_name cfg.admission) (List.length events)
   in
-  Gridbw_core.Scheduler.make ~name (fun ?obs ?ctx spec requests ->
-      (run ?obs ?ctx spec.Gridbw_workload.Spec.fabric cfg events requests).result)
+  Gridbw_core.Scheduler.make ~name (fun ?ctx spec requests ->
+      (run ?ctx spec.Gridbw_workload.Spec.fabric cfg events requests).result)

@@ -54,8 +54,6 @@ type report = {
 }
 
 val run :
-  ?obs:Gridbw_obs.Obs.ctx ->
-  ?store:Gridbw_store.Store.t ->
   ?ctx:Gridbw_core.Runtime.ctx ->
   Gridbw_topology.Fabric.t ->
   config ->

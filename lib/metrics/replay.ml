@@ -54,6 +54,10 @@ let of_lines lines =
     | [] -> Ok (List.rev acc)
     | line :: rest ->
         if String.trim line = "" then parse (n + 1) acc rest
+        else if Gridbw_obs.Span.looks_like_json_span line then
+          (* serve traces interleave request spans with events; replay
+             only consumes the events *)
+          parse (n + 1) acc rest
         else begin
           match Event.of_line line with
           | Ok e -> parse (n + 1) (e :: acc) rest
@@ -73,7 +77,13 @@ let of_binary content =
       match Gridbw_obs.Event_codec.sniff_decode content ~pos with
       | Codec.Value (e, next) -> go (n + 1) (e :: acc) next
       | Codec.Incomplete -> Error (Printf.sprintf "record %d: truncated trace" n)
-      | Codec.Corrupt msg -> Error (Printf.sprintf "record %d: %s" n msg)
+      | Codec.Corrupt msg -> (
+          (* Not an event: serve traces interleave span records (their
+             own frame tag / JSON shape) — skip anything that decodes
+             as a span, keep the error otherwise. *)
+          match Gridbw_obs.Span.sniff_decode content ~pos with
+          | Codec.Value (_, next) -> go (n + 1) acc next
+          | _ -> Error (Printf.sprintf "record %d: %s" n msg))
   in
   go 1 [] 0
 

@@ -1,0 +1,90 @@
+(* Crash-surviving flight recorder: the in-memory span ring persisted as
+   a fixed-size binary file.  Appends write each finished span's binary
+   frame at a rotating offset (wrapping to 0 when the tail is reached),
+   one [write(2)] per span and never an fsync — the page cache survives
+   a SIGKILL, which is the failure this recorder exists for; it makes no
+   power-loss promise (that is the WAL's job).
+
+   Recovery is a torn-tolerant scan in the WAL's style: try a frame at
+   every magic byte, CRC decides.  Wrap-around partially overwrites the
+   oldest frames; their severed bytes simply fail the CRC and drop out.
+   Spans come back ordered by (open time, id) — ids restart at 1 per
+   process, so wall time breaks ties across daemon restarts. *)
+
+type t = {
+  fd : Unix.file_descr;
+  size : int;
+  mutable pos : int;
+}
+
+let default_size = 1 lsl 20
+
+let create ?(size = default_size) path =
+  if size < Gridbw_wire.Frame.overhead then invalid_arg "Flight.create: size too small";
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ] 0o644 in
+  Unix.ftruncate fd size;
+  { fd; size; pos = 0 }
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  go 0
+
+let append t span =
+  let b = Buffer.create 128 in
+  Span.Binary.encode b span;
+  let frame = Buffer.contents b in
+  let len = String.length frame in
+  if len <= t.size then begin
+    if t.pos + len > t.size then begin
+      (* Zero the severed tail so a stale frame header there cannot pair
+         with the bytes we are about to wrap over. *)
+      ignore (Unix.lseek t.fd t.pos Unix.SEEK_SET);
+      write_all t.fd (String.make (t.size - t.pos) '\000');
+      t.pos <- 0
+    end;
+    ignore (Unix.lseek t.fd t.pos Unix.SEEK_SET);
+    write_all t.fd frame;
+    t.pos <- t.pos + len
+  end
+
+let close t = Unix.close t.fd
+
+(* --- recovery --- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let scan_string s =
+  let len = String.length s in
+  let rec go acc pos =
+    if pos >= len then acc
+    else if not (Gridbw_wire.Frame.is_binary s.[pos]) then go acc (pos + 1)
+    else
+      match Gridbw_wire.Frame.decode ~max:len s ~pos with
+      | Value ((tag, body), next) when tag = Span.frame_tag -> (
+          match Span.Binary.of_body body with
+          | Ok sp -> go (sp :: acc) next
+          | Error _ -> go acc (pos + 1))
+      | Value _ | Incomplete | Corrupt _ -> go acc (pos + 1)
+  in
+  let spans = go [] 0 in
+  List.sort
+    (fun a b ->
+      match Float.compare (Span.time a) (Span.time b) with
+      | 0 -> Int.compare (Span.id a) (Span.id b)
+      | c -> c)
+    spans
+
+let scan path =
+  match read_file path with
+  | exception Sys_error msg -> Error msg
+  | s -> Ok (scan_string s)
+
+let last n spans =
+  let len = List.length spans in
+  if len <= n then spans else List.filteri (fun i _ -> i >= len - n) spans

@@ -1,0 +1,34 @@
+(** Crash-surviving flight recorder: a bounded span ring persisted as a
+    fixed-size binary file.
+
+    Each finished span is written as its binary frame at a rotating
+    offset — one [write(2)], no fsync.  The page cache makes the file
+    survive a SIGKILL of the process; it makes no power-loss promise
+    (durability is the WAL's job).  Recovery scans the whole file
+    torn-tolerantly (try a frame at every magic byte, CRC decides), so
+    wrap-around damage to the oldest frames just drops them. *)
+
+type t
+
+val default_size : int
+(** 1 MiB. *)
+
+val create : ?size:int -> string -> t
+(** Create (truncating) a recorder file of exactly [size] bytes.
+    @raise Invalid_argument if [size] cannot hold one frame. *)
+
+val append : t -> Span.t -> unit
+(** Write one span's frame, wrapping to offset 0 when the tail is
+    reached (the severed tail is zeroed).  Spans larger than the whole
+    file are silently dropped. *)
+
+val close : t -> unit
+
+val scan : string -> (Span.t list, string) result
+(** All recoverable spans, ordered by (open time, id) — oldest first. *)
+
+val scan_string : string -> Span.t list
+(** The scan itself, on bytes already read (tests). *)
+
+val last : int -> Span.t list -> Span.t list
+(** The newest [n] spans of an ordered scan, oldest first. *)

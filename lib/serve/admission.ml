@@ -3,7 +3,9 @@
 module Obs = Gridbw_obs.Obs
 module Event = Gridbw_obs.Event
 module Metrics = Gridbw_obs.Metrics
+module Span = Gridbw_obs.Span
 module Store = Gridbw_store.Store
+module Runtime = Gridbw_core.Runtime
 module Online = Gridbw_core.Online
 module Policy = Gridbw_core.Policy
 module Types = Gridbw_core.Types
@@ -75,7 +77,7 @@ let prior_decision id = function
         { id; bw = a.Allocation.bw; sigma = a.Allocation.sigma; tau = a.Allocation.tau }
   | Refused reason -> Protocol.Rejected { id; reason }
 
-let admit t ~id ~ingress ~egress ~volume ~ts ~tf ~max_rate =
+let admit ?span t ~id ~ingress ~egress ~volume ~ts ~tf ~max_rate =
   match Hashtbl.find_opt t.entries id with
   (* At-least-once retries: a duplicate admit returns the journaled
      decision without re-deciding (or re-journaling). *)
@@ -91,11 +93,19 @@ let admit t ~id ~ingress ~egress ~volume ~ts ~tf ~max_rate =
                 (Printf.sprintf "no such route: ingress %d -> egress %d" ingress egress)
             else begin
               let at = Float.max (Online.now t.ctl) r.Request.ts in
+              Option.iter (fun sp -> Span.set_req sp id) span;
               Obs.event t.obs (fun () ->
                   Event.Arrival
                     { time = at; seq = t.seq; id; ingress; egress; volume; ts; tf; max_rate });
               t.seq <- t.seq + 1;
-              let decision = Online.try_admit ~obs:t.obs t.ctl t.policy r ~at in
+              (* [t.obs] already carries the store's journaling sink
+                 (pre-attached in [make]) — build the ctx without the
+                 store so the decision is not journaled twice.  The span
+                 rides the ctx: [try_admit] records the search timing and
+                 the live-counter probe delta onto it. *)
+              let decision =
+                Online.try_admit ~ctx:(Runtime.make ~obs:t.obs ?span ()) t.ctl t.policy r ~at
+              in
               if t.store <> None then t.dirty <- true;
               match decision with
               | Types.Accepted a ->
@@ -129,18 +139,22 @@ let cancel t id =
   | Some (Refused _) -> Protocol.Cancel_failed { id; reason = "was rejected" }
   | Some (Cancelled _) -> Protocol.Cancel_ok { id } (* idempotent retry *)
   | Some (Booked a) ->
-      if Online.preempt ~obs:t.obs t.ctl a then begin
+      if Online.preempt ~ctx:(Runtime.make ~obs:t.obs ()) t.ctl a then begin
         Hashtbl.replace t.entries id (Cancelled a);
         if t.store <> None then t.dirty <- true;
         Protocol.Cancel_ok { id }
       end
       else Protocol.Cancel_failed { id; reason = "transfer already finished" }
 
-let handle t = function
+let handle ?span t = function
   | Protocol.Admit { id; ingress; egress; volume; ts; tf; max_rate } ->
-      admit t ~id ~ingress ~egress ~volume ~ts ~tf ~max_rate
-  | Protocol.Query { id } -> query t id
-  | Protocol.Cancel { id } -> cancel t id
+      admit ?span t ~id ~ingress ~egress ~volume ~ts ~tf ~max_rate
+  | Protocol.Query { id } ->
+      Option.iter (fun sp -> Span.set_req sp id) span;
+      query t id
+  | Protocol.Cancel { id } ->
+      Option.iter (fun sp -> Span.set_req sp id) span;
+      cancel t id
   | Protocol.Stats -> Protocol.Stats_text (Metrics.to_prometheus (Obs.metrics t.obs))
   | Protocol.Shutdown -> Protocol.Goodbye { records = records t }
 

@@ -43,11 +43,16 @@ val of_recovered :
     Journals with preemptions (cancels) skip the whole-window reference
     audit, like [gridbw recover] does, but still check ledger capacity. *)
 
-val handle : t -> Protocol.request -> Protocol.response
+val handle : ?span:Gridbw_obs.Span.t -> t -> Protocol.request -> Protocol.response
 (** Decide one request.  Total: validation failures come back as typed
     [Error] responses.  Duplicate [admit] ids return the recorded
     decision again without re-deciding (at-least-once retries are safe);
-    [cancel] of an already-cancelled id is likewise idempotent. *)
+    [cancel] of an already-cancelled id is likewise idempotent.
+
+    With [span] and an [admit] verb: the request id is recorded on the
+    span, the decision accumulates its [Admit_search] / [Wal_append]
+    stage durations, and the store mirror-ledger probes performed while
+    journaling land in the span's probe count. *)
 
 val dirty : t -> bool
 (** Unflushed journal records exist: the responses of this round must not

@@ -30,16 +30,35 @@ type config = {
   store_config : Gridbw_store.Store.config;
   max_frame : int;
   tick : float;  (** select timeout: latency of noticing {!stop}, seconds *)
+  metrics_port : int option;
+      (** loopback HTTP/1.0 [GET /metrics] Prometheus scrape endpoint,
+          served from the same select loop *)
+  span_out : string option;  (** trace-span sink file; enables tracing *)
+  span_binary : bool;  (** span sink format: binary frames (default) or JSONL *)
+  flight_recorder : string option;
+      (** crash-surviving span ring file ({!Gridbw_obs.Flight});
+          enables tracing *)
+  flight_size : int;  (** flight-recorder file size, bytes *)
 }
 
 val default_config :
   ?policy:Gridbw_core.Policy.t ->
   ?fabric:Gridbw_topology.Fabric.t ->
   ?store_dir:string ->
+  ?metrics_port:int ->
+  ?span_out:string ->
+  ?span_binary:bool ->
+  ?flight_recorder:string ->
+  ?flight_size:int ->
   transport ->
   config
 (** Paper fabric, [Fraction_of_max 0.8] policy, default store config,
-    1 MiB frames, 100 ms tick. *)
+    1 MiB frames, 100 ms tick; no metrics port, no tracing.  Tracing
+    turns on when [span_out] or [flight_recorder] is set: each request
+    then carries a {!Gridbw_obs.Span} through decode → parse → admit →
+    WAL append → group-commit fsync → reply, feeding the
+    [serve_stage_*_ns] histograms, the span sink, and the flight
+    recorder. *)
 
 type t
 

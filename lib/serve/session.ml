@@ -1,26 +1,36 @@
 (* Per-connection protocol state.  See session.mli. *)
 
+module Span = Gridbw_obs.Span
+
 type t = {
   id : int;
   peer : string;
   decoder : Frame.decoder;
+  timed : bool;
   mutable out : string;  (* encoded bytes not yet on the wire *)
   mutable closing : bool;
   mutable frames_in : int;
   mutable responses_out : int;
   mutable errors : int;
+  (* Stage durations of the most recent completed message (valid right
+     after [next] returns [Some _] with [timed]). *)
+  mutable decode_ns : float;
+  mutable parse_ns : float;
 }
 
-let create ?max_frame ~id ~peer () =
+let create ?max_frame ?(timed = false) ~id ~peer () =
   {
     id;
     peer;
     decoder = Frame.decoder ?max_frame ();
+    timed;
     out = "";
     closing = false;
     frames_in = 0;
     responses_out = 0;
     errors = 0;
+    decode_ns = 0.;
+    parse_ns = 0.;
   }
 
 let id t = t.id
@@ -35,13 +45,19 @@ type incoming =
 let next t =
   if t.closing then None
   else
+    let t0 = if t.timed then Span.now_ns () else 0. in
     match Frame.next t.decoder with
     | Ok None -> None
     | Ok (Some payload) -> (
+        let t1 = if t.timed then Span.now_ns () else 0. in
+        if t.timed then t.decode_ns <- t1 -. t0;
         t.frames_in <- t.frames_in + 1;
         match Protocol.decode_request payload with
-        | Ok r -> Some (Request r)
+        | Ok r ->
+            if t.timed then t.parse_ns <- Span.now_ns () -. t1;
+            Some (Request r)
         | Error e ->
+            if t.timed then t.parse_ns <- Span.now_ns () -. t1;
             t.errors <- t.errors + 1;
             Some (Undecodable (Protocol.error_of_decode e)))
     | Error e ->
@@ -64,6 +80,7 @@ let wrote t n =
   if n < 0 || n > String.length t.out then invalid_arg "Session.wrote";
   t.out <- String.sub t.out n (String.length t.out - n)
 
+let stage_ns t = (t.decode_ns, t.parse_ns)
 let want_close t = t.closing
 let frames_in t = t.frames_in
 let responses_out t = t.responses_out

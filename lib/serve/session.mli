@@ -11,7 +11,9 @@
 
 type t
 
-val create : ?max_frame:int -> id:int -> peer:string -> unit -> t
+val create : ?max_frame:int -> ?timed:bool -> id:int -> peer:string -> unit -> t
+(** With [timed] (default off), {!next} measures its frame-decode and
+    protocol-parse phases for {!stage_ns}. *)
 
 val id : t -> int
 val peer : t -> string
@@ -33,6 +35,12 @@ type incoming =
 val next : t -> incoming option
 (** The next complete message, [None] when more bytes are needed.  Call
     repeatedly after each {!feed} until [None]. *)
+
+val stage_ns : t -> float * float
+(** [(decode_ns, parse_ns)] of the most recent completed message — the
+    frame-decode and payload-parse durations the trace span records as
+    its first two stages.  Only meaningful right after {!next} returned
+    [Some _] on a [timed] session; [(0., 0.)] otherwise. *)
 
 (** {2 Output} *)
 

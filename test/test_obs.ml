@@ -73,6 +73,27 @@ let ring_eviction () =
   Alcotest.(check (list int)) "keeps most recent, oldest first" [ 2; 3; 4 ]
     (List.map (function Event.Dispatch d -> d.pending | _ -> -1) (Sink.ring_events r))
 
+(* Property: after any number of emits, the ring holds exactly the
+   newest [capacity] events in emit order, and [ring_dropped] counts
+   every eviction — including across multiple full wraps. *)
+let ring_wrap_gen = QCheck2.Gen.(pair (int_range 1 12) (int_range 0 100))
+
+let prop_ring_wrap =
+  qcase ~count:300 "sink: ring wrap keeps newest capacity events, counts drops"
+    ring_wrap_gen
+    (fun (capacity, n) ->
+      let r = Sink.ring ~capacity in
+      let s = Sink.ring_sink r in
+      for i = 0 to n - 1 do
+        s.Sink.emit (mark i)
+      done;
+      let kept =
+        List.map (function Event.Dispatch d -> d.pending | _ -> -1) (Sink.ring_events r)
+      in
+      let k = Int.min capacity n in
+      kept = List.init k (fun j -> n - k + j)
+      && Sink.ring_dropped r = Int.max 0 (n - capacity))
+
 let tee_duplicates () =
   let a = Sink.ring ~capacity:8 and b = Sink.ring ~capacity:8 in
   let t = Sink.tee (Sink.ring_sink a) (Sink.ring_sink b) in
@@ -155,7 +176,10 @@ let tracing_does_not_change_decisions () =
   let plain = Flexible.run `Greedy f (Policy.Fraction_of_max 0.8) reqs in
   let buf = Buffer.create 1024 in
   let obs = Obs.create ~sink:(Sink.jsonl_buffer buf) () in
-  let traced = Flexible.run ~obs `Greedy f (Policy.Fraction_of_max 0.8) reqs in
+  let traced =
+    Flexible.run ~ctx:(Gridbw_core.Runtime.make ~obs ()) `Greedy f
+      (Policy.Fraction_of_max 0.8) reqs
+  in
   Alcotest.(check bool) "identical accept stream" true
     (decision_signature plain = decision_signature traced);
   Alcotest.(check int) "identical reject count" (List.length plain.Types.rejected)
@@ -200,14 +224,19 @@ let flexible_replay kind seed () =
   let requests = Gen.generate (rng ~seed ()) spec in
   let fabric = spec.Spec.fabric in
   replay_trace
-    (fun obs -> Flexible.run ~obs kind fabric (Policy.Fraction_of_max 0.8) requests)
+    (fun obs ->
+      Flexible.run ~ctx:(Gridbw_core.Runtime.make ~obs ()) kind fabric
+        (Policy.Fraction_of_max 0.8) requests)
     requests fabric
 
 let rigid_replay seed () =
   let spec = Spec.paper_rigid ~count:150 ~load:1.2 () in
   let requests = Gen.generate (rng ~seed ()) spec in
   let fabric = spec.Spec.fabric in
-  replay_trace (fun obs -> Rigid.run ~obs (`Slots Rigid.Min_bw) fabric requests) requests fabric
+  replay_trace
+    (fun obs ->
+      Rigid.run ~ctx:(Gridbw_core.Runtime.make ~obs ()) (`Slots Rigid.Min_bw) fabric requests)
+    requests fabric
 
 (* --- percentile estimator --- *)
 
@@ -306,6 +335,61 @@ let json_standard_escapes_parse () =
       ({|"é"|}, "\xc3\xa9") (* é as UTF-8 *);
     ]
 
+(* --- span codecs --- *)
+
+module Span = Gridbw_obs.Span
+
+let sample_span ?(id = 7) ?(req = Some 41) () =
+  Span.make ~id ~conn:3 ~req ~time:1722.5 ~total_ns:261_000. ~probes:2
+    ~durs:[| 120.; 850.; 3200.; 410.; 250_000.; 75. |]
+
+let span_eq a b =
+  Span.id a = Span.id b
+  && Span.conn a = Span.conn b
+  && Span.req a = Span.req b
+  && Float.equal (Span.time a) (Span.time b)
+  && Float.equal (Span.total_ns a) (Span.total_ns b)
+  && Span.probes a = Span.probes b
+  && List.for_all
+       (fun st -> Float.equal (Span.duration a st) (Span.duration b st))
+       Span.all_stages
+
+let span_codec_round_trip () =
+  List.iter
+    (fun sp ->
+      (match Gridbw_wire.Codec.of_string (module Span.Binary) (Gridbw_wire.Codec.to_string (module Span.Binary) sp) with
+      | Ok sp' -> Alcotest.(check bool) "binary round-trips" true (span_eq sp sp')
+      | Error msg -> Alcotest.fail ("binary: " ^ msg));
+      match Gridbw_wire.Codec.of_string (module Span.Jsonl) (Gridbw_wire.Codec.to_string (module Span.Jsonl) sp) with
+      | Ok sp' -> Alcotest.(check bool) "jsonl round-trips" true (span_eq sp sp')
+      | Error msg -> Alcotest.fail ("jsonl: " ^ msg))
+    [ sample_span (); sample_span ~id:9 ~req:None () ]
+
+let span_sniff_autodetects () =
+  let sp = sample_span () in
+  List.iter
+    (fun (label, encoded) ->
+      match Span.sniff_decode encoded ~pos:0 with
+      | Gridbw_wire.Codec.Value (sp', n) ->
+          Alcotest.(check int) (label ^ " consumed") (String.length encoded) n;
+          Alcotest.(check bool) (label ^ " fields") true (span_eq sp sp')
+      | _ -> Alcotest.fail (label ^ ": sniff_decode failed"))
+    [
+      ("binary", Gridbw_wire.Codec.to_string (module Span.Binary) sp);
+      ("jsonl", Gridbw_wire.Codec.to_string (module Span.Jsonl) sp);
+    ];
+  Alcotest.(check bool) "json line is recognized" true
+    (Span.looks_like_json_span (Span.to_json sp));
+  Alcotest.(check bool) "event line is not" false
+    (Span.looks_like_json_span (Event.to_json (mark 1)))
+
+let replay_skips_span_lines () =
+  let sp = sample_span () in
+  let lines = [ Event.to_json (mark 0); Span.to_json sp; Event.to_json (mark 1) ] in
+  match Replay.of_lines lines with
+  | Error msg -> Alcotest.failf "mixed trace did not parse: %s" msg
+  | Ok r -> Alcotest.(check int) "spans skipped, events kept" 2 (List.length r.Replay.events)
+
 let replay_reports_bad_line () =
   match Replay.of_lines [ Event.to_json (mark 0); "{not json" ] with
   | Error msg -> Alcotest.(check bool) "names line 2" true (contains ~affix:"line 2" msg)
@@ -323,7 +407,17 @@ let suites =
         prop_percentile_oracle;
       ] );
     ( "obs.sink",
-      [ case "ring keeps most recent" ring_eviction; case "tee duplicates" tee_duplicates ] );
+      [
+        case "ring keeps most recent" ring_eviction;
+        prop_ring_wrap;
+        case "tee duplicates" tee_duplicates;
+      ] );
+    ( "obs.span",
+      [
+        case "binary and jsonl codecs round-trip" span_codec_round_trip;
+        case "sniff_decode autodetects either form" span_sniff_autodetects;
+        case "replay skips span lines in mixed traces" replay_skips_span_lines;
+      ] );
     ( "obs.event",
       [ case "every variant round-trips" event_round_trip; float_fields_round_trip ] );
     ( "obs.json",

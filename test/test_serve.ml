@@ -470,6 +470,74 @@ let end_to_end_live_daemon () =
                   let th2 = Thread.create Daemon.run d2 in
                   Thread.join th2)))
 
+(* --- flight recorder --- *)
+
+module Span = Gridbw_obs.Span
+module Flight = Gridbw_obs.Flight
+
+let flight_span i =
+  Span.make ~id:i ~conn:(i mod 4) ~req:(Some (1000 + i)) ~time:(float_of_int i)
+    ~total_ns:(float_of_int (i * 100)) ~probes:2
+    ~durs:[| 1.; 2.; 3.; 4.; 5.; 6. |]
+
+let span_ids spans = List.map Span.id spans
+
+let flight_wraps_and_keeps_newest () =
+  with_tmpdir (fun dir ->
+      let path = Filename.concat dir "flight.bin" in
+      (* A file this small holds only a handful of frames, so 100
+         appends wrap it many times over. *)
+      let frame_len =
+        String.length (Gridbw_wire.Codec.to_string (module Span.Binary) (flight_span 0))
+      in
+      let f = Flight.create ~size:(4 * frame_len) path in
+      for i = 0 to 99 do
+        Flight.append f (flight_span i)
+      done;
+      Flight.close f;
+      match Flight.scan path with
+      | Error e -> Alcotest.fail e
+      | Ok spans ->
+          let n = List.length spans in
+          Alcotest.(check bool) "a wrapped ring keeps a recent window" true
+            (n >= 2 && n <= 4);
+          let expect = List.init n (fun j -> 100 - n + j) in
+          Alcotest.(check (list int)) "newest spans, oldest first" expect (span_ids spans);
+          Alcotest.(check (list int)) "last trims to the newest two" [ 98; 99 ]
+            (span_ids (Flight.last 2 spans)))
+
+let flight_tolerates_torn_tail () =
+  with_tmpdir (fun dir ->
+      let path = Filename.concat dir "flight.bin" in
+      let f = Flight.create ~size:(1 lsl 14) path in
+      for i = 0 to 9 do
+        Flight.append f (flight_span i)
+      done;
+      Flight.close f;
+      let read_all () =
+        let ic = open_in_bin path in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+      in
+      let bytes = Bytes.of_string (read_all ()) in
+      (* Sever the last frame mid-record: flip a byte inside it.  The
+         CRC kills that frame; every other span still comes back. *)
+      let frame_len =
+        String.length (Gridbw_wire.Codec.to_string (module Span.Binary) (flight_span 9))
+      in
+      let torn_at = (10 * frame_len) - (frame_len / 2) in
+      Bytes.set bytes torn_at (Char.chr (Char.code (Bytes.get bytes torn_at) lxor 0xff));
+      Alcotest.(check (list int)) "corrupted frame dropped, rest recovered"
+        [ 0; 1; 2; 3; 4; 5; 6; 7; 8 ]
+        (span_ids (Flight.scan_string (Bytes.to_string bytes)));
+      (* Truncation (crash mid-write of the trailing frame) behaves the
+         same: the partial record is dropped, not fatal. *)
+      let truncated = Bytes.sub_string bytes 0 ((10 * frame_len) - 3) in
+      Alcotest.(check (list int)) "truncated tail dropped"
+        [ 0; 1; 2; 3; 4; 5; 6; 7; 8 ]
+        (span_ids (Flight.scan_string truncated)))
+
 let daemon_survives_malformed_clients () =
   with_tmpdir (fun dir ->
       let sock = Filename.concat dir "d.sock" in
@@ -553,6 +621,11 @@ let suites =
         case "query and cancel lifecycle" admission_query_and_cancel;
         case "journal, recover, bit-identical decisions" admission_recovery_round_trip;
         case "engine-driven journals refused" of_recovered_refuses_engine_journals;
+      ] );
+    ( "serve.flight",
+      [
+        case "ring file wraps, keeps the newest spans" flight_wraps_and_keeps_newest;
+        case "torn tail drops the damaged frame only" flight_tolerates_torn_tail;
       ] );
     ( "serve.daemon",
       [

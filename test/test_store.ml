@@ -136,7 +136,7 @@ let journal_run ?batch ?segment_bytes ?snapshot_bytes ?codec ~dir requests =
     Store.create ~config:(store_config ?batch ?segment_bytes ?snapshot_bytes ?codec ())
       ~time:t0 ~dir (fabric2 ())
   in
-  let result = Flexible.greedy ~store (fabric2 ()) policy requests in
+  let result = Flexible.greedy ~ctx:(Gridbw_core.Runtime.make ~store ()) (fabric2 ()) policy requests in
   Store.close store;
   result
 
@@ -145,7 +145,9 @@ let resume_and_check ~label ~expected ~dir requests =
   | Error msg -> Alcotest.failf "%s: recovery failed: %s" label msg
   | Ok r ->
       let result =
-        Flexible.greedy_resume ~store:r.Store.store r.Store.initial_fabric policy
+        Flexible.greedy_resume
+          ~ctx:(Gridbw_core.Runtime.make ~store:r.Store.store ())
+          r.Store.initial_fabric policy
           ~restored:r.Store.accepted ~decided:r.Store.decided ~arrived:r.Store.arrived requests
       in
       Store.close r.Store.store;
@@ -275,7 +277,7 @@ let test_store_metrics () =
       let store =
         Store.create ~config:(store_config ~batch:4 ()) ~obs ~time:t0 ~dir (fabric2 ())
       in
-      ignore (Flexible.greedy ~store (fabric2 ()) policy requests);
+      ignore (Flexible.greedy ~ctx:(Gridbw_core.Runtime.make ~store ()) (fabric2 ()) policy requests);
       Store.close store;
       let m = Obs.metrics obs in
       Alcotest.(check int) "wal_records_total counts every record" (Store.records store)
@@ -335,7 +337,9 @@ let prop_random_offset_recovers =
               kept < n_prefix
           | Ok r ->
               let result =
-                Flexible.greedy_resume ~store:r.Store.store r.Store.initial_fabric policy
+                Flexible.greedy_resume
+          ~ctx:(Gridbw_core.Runtime.make ~store:r.Store.store ())
+          r.Store.initial_fabric policy
                   ~restored:r.Store.accepted ~decided:r.Store.decided ~arrived:r.Store.arrived
                   requests
               in
@@ -403,7 +407,7 @@ let test_ctx_journal_matches_legacy () =
         ( List.length result.Types.accepted,
           List.map (fun (r : Wal.record) -> r.Wal.payload) s.Wal.records ))
   in
-  let legacy = journal (fun store -> Flexible.greedy ~store (fabric2 ()) policy requests) in
+  let legacy = journal (fun store -> Flexible.greedy ~ctx:(Gridbw_core.Runtime.make ~store ()) (fabric2 ()) policy requests) in
   let ctxed =
     journal (fun store ->
         Flexible.greedy
@@ -413,11 +417,15 @@ let test_ctx_journal_matches_legacy () =
   Alcotest.(check int) "same accept count" (fst legacy) (fst ctxed);
   Alcotest.(check bool) "identical journal payloads" true (snd legacy = snd ctxed)
 
-let test_resolve_refuses_mixing () =
+let test_observed_tees_store () =
   let module Runtime = Gridbw_core.Runtime in
-  match Runtime.resolve ~obs:Obs.disabled ~ctx:Runtime.default () with
-  | _ -> Alcotest.fail "mixing ?ctx with ?obs must raise"
-  | exception Invalid_argument _ -> ()
+  Alcotest.(check bool) "default ctx stays disabled" false
+    (Runtime.observed Runtime.default).Obs.enabled;
+  with_tmpdir (fun dir ->
+      let store = Store.create ~config:(store_config ()) ~time:0.0 ~dir (fabric2 ()) in
+      let obs = Runtime.observed (Runtime.make ~store ()) in
+      Alcotest.(check bool) "store-only ctx journals" true obs.Obs.enabled;
+      Store.close store)
 
 let suites =
   [
@@ -437,7 +445,7 @@ let suites =
         case "crash: double crash, recover twice" test_double_crash;
         case "metrics: store counters land in the registry" test_store_metrics;
         case "ctx: Runtime.ctx journals identically to ?store" test_ctx_journal_matches_legacy;
-        case "ctx: resolve refuses ?ctx mixed with ?obs" test_resolve_refuses_mixing;
+        case "ctx: observed tees the store sink" test_observed_tees_store;
         prop_random_offset_recovers;
       ] );
   ]
