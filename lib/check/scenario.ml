@@ -3,7 +3,13 @@ module Fabric = Gridbw_topology.Fabric
 module Request = Gridbw_request.Request
 module Fault = Gridbw_fault.Fault
 
-type family = Hotspot_skew | Deadline_tight | Near_rigid | Revision_storm | Mixed
+type family =
+  | Hotspot_skew
+  | Deadline_tight
+  | Near_rigid
+  | Revision_storm
+  | Cross_shard_storm
+  | Mixed
 
 type t = {
   family : family;
@@ -14,13 +20,15 @@ type t = {
   faults : Fault.event list;
 }
 
-let families = [ Hotspot_skew; Deadline_tight; Near_rigid; Revision_storm; Mixed ]
+let families =
+  [ Hotspot_skew; Deadline_tight; Near_rigid; Revision_storm; Cross_shard_storm; Mixed ]
 
 let family_name = function
   | Hotspot_skew -> "hotspot-skew"
   | Deadline_tight -> "deadline-tight"
   | Near_rigid -> "near-rigid"
   | Revision_storm -> "revision-storm"
+  | Cross_shard_storm -> "cross-shard-storm"
   | Mixed -> "mixed"
 
 let family_of_name n = List.find_opt (fun f -> family_name f = n) families
@@ -42,6 +50,43 @@ let random_request rng fabric ?(hot = 0.0) ?(slack_hi = 4.0) ~id () =
   let slack = Rng.float_in rng 1.0 slack_hi in
   Request.make ~id ~ingress ~egress ~volume:(min_rate *. dur) ~ts ~tf:(ts +. dur)
     ~max_rate:(min_rate *. slack)
+
+(* Cross-shard pressure: with probability [straddle] the pair is forced
+   onto ports 0 and 1, whose indices have distinct residues under every
+   modulus >= 2 — so the admission spans two shards for any shard count
+   the engine under test is partitioned into. *)
+let straddling_request rng fabric ~id =
+  let ingress, egress =
+    if Rng.float rng 1.0 < 0.65 then (if Rng.float rng 1.0 < 0.5 then (0, 1) else (1, 0))
+    else (Rng.int rng (Fabric.ingress_count fabric), Rng.int rng (Fabric.egress_count fabric))
+  in
+  let cap =
+    Float.min (Fabric.ingress_capacity fabric ingress) (Fabric.egress_capacity fabric egress)
+  in
+  let ts = Rng.float_in rng 0. 50. in
+  let dur = Rng.float_in rng 1. 50. in
+  let min_rate = Rng.float_in rng (0.05 *. cap) (0.9 *. cap) in
+  let slack = Rng.float_in rng 1.0 3.0 in
+  Request.make ~id ~ingress ~egress ~volume:(min_rate *. dur) ~ts ~tf:(ts +. dur)
+    ~max_rate:(min_rate *. slack)
+
+(* Every shard count from 2 up splits this fabric's first two ports
+   across owners; at least two ports per side keeps the pair drawable. *)
+let cross_fabric rng =
+  let caps n = Array.init n (fun _ -> Rng.float_in rng 60. 140.) in
+  Fabric.make ~ingress:(caps (2 + Rng.int rng 3)) ~egress:(caps (2 + Rng.int rng 3))
+
+(* Cancel-heavy: roughly a third of the transfers get pulled mid-window,
+   exercising the release path on both owning shards. *)
+let cancel_script rng requests =
+  Fault.sort
+    (List.filter_map
+       (fun (r : Request.t) ->
+         if Rng.float rng 1.0 < 0.35 then
+           Some (Fault.Preempt { request_id = r.Request.id;
+                                 at = Rng.float_in rng r.Request.ts r.Request.tf })
+         else None)
+       requests)
 
 let random_fabric rng =
   match Rng.int rng 4 with
@@ -78,7 +123,9 @@ let storm_script rng fabric requests =
 
 let generate ~family ~seed ~size =
   let rng = Rng.create ~seed () in
-  let fabric = random_fabric rng in
+  let fabric =
+    match family with Cross_shard_storm -> cross_fabric rng | _ -> random_fabric rng
+  in
   let base ~hot ~slack_hi ~rigid_share =
     requests_of rng fabric ~size ~hot ~slack_hi ~rigid_share
   in
@@ -90,6 +137,9 @@ let generate ~family ~seed ~size =
     | Revision_storm ->
         let reqs = base ~hot:0.4 ~slack_hi:3.0 ~rigid_share:0.2 in
         (reqs, storm_script rng fabric reqs)
+    | Cross_shard_storm ->
+        let reqs = List.init size (fun id -> straddling_request rng fabric ~id) in
+        (reqs, cancel_script rng reqs)
     | Mixed -> (base ~hot:0.35 ~slack_hi:4.0 ~rigid_share:0.25, [])
   in
   { family; seed; size; fabric; requests; faults }

@@ -18,6 +18,11 @@ type family =
   | Deadline_tight  (** window slack uniform in [1, 1.05] *)
   | Near_rigid  (** [MaxRate] within 1 + 1e-9 of [MinRate] *)
   | Revision_storm  (** mixed workload under an aggressive fault script *)
+  | Cross_shard_storm
+      (** hotspot pairs pinned to ports 0/1 — distinct shard owners under
+          every partitioning — plus a cancel-heavy preempt script; feeds
+          {!Harness.check_sharded}'s differential against the sharded
+          engine *)
   | Mixed  (** a blend of the above draws on a uniform fabric *)
 
 type t = {
@@ -26,7 +31,9 @@ type t = {
   size : int;
   fabric : Gridbw_topology.Fabric.t;
   requests : Gridbw_request.Request.t list;
-  faults : Gridbw_fault.Fault.event list;  (** empty except for [Revision_storm] *)
+  faults : Gridbw_fault.Fault.event list;
+      (** empty except for [Revision_storm] (degrades, aborts, preempts)
+          and [Cross_shard_storm] (preempts only) *)
 }
 
 val families : family list

@@ -40,7 +40,7 @@ let emit_arrivals obs seqs batch =
 (* Counters plus the Accept/Reject trace record for one decision.
    [blocked] is the saturated port and its headroom at decision time,
    when the caller identified one. *)
-let emit_decision obs ~time ?blocked (r : Request.t) d =
+let emit_decision obs ~time ?blocked ?shard (r : Request.t) d =
   if obs.Obs.enabled then begin
     Obs.count obs "admit_requests_total";
     match d with
@@ -59,6 +59,7 @@ let emit_decision obs ~time ?blocked (r : Request.t) d =
                 max_rate = r.max_rate;
                 bw = a.Allocation.bw;
                 sigma = a.Allocation.sigma;
+                shard;
               })
     | Types.Rejected reason ->
         Obs.count obs "admit_rejected_total";
@@ -68,7 +69,7 @@ let emit_decision obs ~time ?blocked (r : Request.t) d =
               | Some (p, h) -> (Some p, Some h)
               | None -> (None, None)
             in
-            Event.Reject { time; id = r.id; reason = reason_name reason; port; headroom })
+            Event.Reject { time; id = r.id; reason = reason_name reason; port; headroom; shard })
   end
 
 (* The tighter port over the allocation's own transmission interval —

@@ -87,13 +87,14 @@ let try_admit ?(ctx = Runtime.default) t policy (r : Request.t) ~at =
     let t0 = match span with Some _ -> Span.now_ns () | None -> 0. in
     let p0 = match span with Some _ -> Live.probe_count t.live | None -> 0 in
     let decision = Obs.span obs "admit" decide in
+    let shard = ctx.Runtime.shard in
     (match span with
-    | None -> Emit.emit_decision obs ~time:at ?blocked:!blocked r decision
+    | None -> Emit.emit_decision obs ~time:at ?blocked:!blocked ?shard r decision
     | Some sp ->
         Span.record sp Span.Admit_search (Span.now_ns () -. t0);
         Span.add_probes sp (Live.probe_count t.live - p0);
         Span.timed span Span.Wal_append (fun () ->
-            Emit.emit_decision obs ~time:at ?blocked:!blocked r decision));
+            Emit.emit_decision obs ~time:at ?blocked:!blocked ?shard r decision));
     decision
   end
 
@@ -135,7 +136,12 @@ let preempt ?(ctx = Runtime.default) t (a : Allocation.t) =
       Obs.count obs "preempted_total";
       Obs.event obs (fun () ->
           Event.Preempt
-            { time = t.clock; id = a.Allocation.request.Request.id; bw = a.Allocation.bw })
+            {
+              time = t.clock;
+              id = a.Allocation.request.Request.id;
+              bw = a.Allocation.bw;
+              shard = ctx.Runtime.shard;
+            })
     end;
     true
   end

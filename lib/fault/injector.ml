@@ -516,7 +516,8 @@ let run_window ?(obs = Obs.disabled) fabric cfg ~step events requests =
     (if obs.Obs.enabled then begin
        Obs.count obs "preempted_total";
        Obs.event obs (fun () ->
-           Event.Preempt { time = now; id = a.Allocation.request.Request.id; bw = a.Allocation.bw })
+           Event.Preempt
+             { time = now; id = a.Allocation.request.Request.id; bw = a.Allocation.bw; shard = None })
      end);
     let served = Float.max 0. (Float.min now a.Allocation.tau -. a.Allocation.sigma) in
     if served > 0. then begin

@@ -23,6 +23,7 @@ type t =
       max_rate : float;
       bw : float;
       sigma : float;
+      shard : int option;
     }
   | Reject of {
       time : float;
@@ -30,8 +31,9 @@ type t =
       reason : string;
       port : (side * int) option;
       headroom : float option;
+      shard : int option;
     }
-  | Preempt of { time : float; id : int; bw : float }
+  | Preempt of { time : float; id : int; bw : float; shard : int option }
   | Shed of { time : float; side : side; port : int; excess : float; victims : int }
   | Capacity of { time : float; side : side; port : int; capacity : float }
   | Dispatch of { time : float; pending : int }
@@ -72,21 +74,24 @@ let to_json ev =
           ("in", int ingress); ("out", int egress); ("vol", num volume);
           ("ts", num ts); ("tf", num tf); ("max", num max_rate);
         ]
-    | Accept { time; id; ingress; egress; volume; ts; tf; max_rate; bw; sigma } ->
+    | Accept { time; id; ingress; egress; volume; ts; tf; max_rate; bw; sigma; shard } ->
         [
           ("ev", Str "accept"); ("t", num time); ("id", int id);
           ("in", int ingress); ("out", int egress); ("vol", num volume);
           ("ts", num ts); ("tf", num tf); ("max", num max_rate);
           ("bw", num bw); ("sigma", num sigma);
         ]
-    | Reject { time; id; reason; port; headroom } ->
+        @ (match shard with Some s -> [ ("shard", int s) ] | None -> [])
+    | Reject { time; id; reason; port; headroom; shard } ->
         [ ("ev", Str "reject"); ("t", num time); ("id", int id); ("reason", Str reason) ]
         @ (match port with
           | Some (side, p) -> [ ("side", Str (side_name side)); ("port", int p) ]
           | None -> [])
         @ (match headroom with Some h -> [ ("headroom", num h) ] | None -> [])
-    | Preempt { time; id; bw } ->
+        @ (match shard with Some s -> [ ("shard", int s) ] | None -> [])
+    | Preempt { time; id; bw; shard } ->
         [ ("ev", Str "preempt"); ("t", num time); ("id", int id); ("bw", num bw) ]
+        @ (match shard with Some s -> [ ("shard", int s) ] | None -> [])
     | Shed { time; side; port; excess; victims } ->
         [
           ("ev", Str "shed"); ("t", num time); ("side", Str (side_name side));
@@ -142,7 +147,8 @@ let of_json json =
       let* max_rate = field "max" Json.to_float json in
       let* bw = field "bw" Json.to_float json in
       let* sigma = field "sigma" Json.to_float json in
-      Ok (Accept { time; id; ingress; egress; volume; ts; tf; max_rate; bw; sigma })
+      let* shard = opt_field "shard" Json.to_int json in
+      Ok (Accept { time; id; ingress; egress; volume; ts; tf; max_rate; bw; sigma; shard })
   | "reject" ->
       let* id = field "id" Json.to_int json in
       let* reason = field "reason" Json.to_str json in
@@ -157,11 +163,13 @@ let of_json json =
         | None, None -> Ok None
         | _ -> Error "reject: side and port must appear together"
       in
-      Ok (Reject { time; id; reason; port; headroom })
+      let* shard = opt_field "shard" Json.to_int json in
+      Ok (Reject { time; id; reason; port; headroom; shard })
   | "preempt" ->
       let* id = field "id" Json.to_int json in
       let* bw = field "bw" Json.to_float json in
-      Ok (Preempt { time; id; bw })
+      let* shard = opt_field "shard" Json.to_int json in
+      Ok (Preempt { time; id; bw; shard })
   | "shed" ->
       let* side = field "side" Json.to_str json in
       let* side = side_of_name side in
@@ -191,7 +199,7 @@ let pp ppf ev =
         ingress egress volume ts tf max_rate
   | Accept { time; id; bw; sigma; _ } ->
       Format.fprintf ppf "%12.3f accept   r%d @ %.2fMB/s from %.3f" time id bw sigma
-  | Reject { time; id; reason; port; headroom } ->
+  | Reject { time; id; reason; port; headroom; _ } ->
       Format.fprintf ppf "%12.3f reject   r%d (%s)%a" time id reason
         (fun ppf -> function
           | Some (side, p), Some h ->
@@ -199,7 +207,7 @@ let pp ppf ev =
           | Some (side, p), None -> Format.fprintf ppf " at %s %d" (side_name side) p
           | _ -> ())
         (port, headroom)
-  | Preempt { time; id; bw } ->
+  | Preempt { time; id; bw; _ } ->
       Format.fprintf ppf "%12.3f preempt  r%d (held %.2fMB/s)" time id bw
   | Shed { time; side; port; excess; victims } ->
       Format.fprintf ppf "%12.3f shed     %s %d excess=%.2fMB/s victims=%d" time (side_name side)

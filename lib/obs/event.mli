@@ -38,6 +38,7 @@ type t =
       max_rate : float;
       bw : float;  (** granted constant rate *)
       sigma : float;  (** transmission start *)
+      shard : int option;  (** deciding shard in a sharded run, [None] otherwise *)
     }
   | Reject of {
       time : float;
@@ -45,8 +46,9 @@ type t =
       reason : string;  (** Types.pp_reason rendering, e.g. "port-saturated" *)
       port : (side * int) option;  (** the rejecting port, when one exists *)
       headroom : float option;  (** that port's spare bandwidth at decision time *)
+      shard : int option;  (** deciding shard in a sharded run, [None] otherwise *)
     }
-  | Preempt of { time : float; id : int; bw : float }
+  | Preempt of { time : float; id : int; bw : float; shard : int option }
   | Shed of {
       time : float;
       side : side;

@@ -38,6 +38,16 @@ module Binary = struct
 
   let add_side b side = Binio.add_u8 b (match side with Event.Ingress -> 0 | Event.Egress -> 1)
 
+  (* Optional shard-id trailer on decision events.  [None] writes no
+     bytes at all, so unsharded records stay byte-identical to the
+     pre-shard layout; readers treat end-of-body as [None] and accept
+     both old and new records. *)
+  let add_shard b = function
+    | None -> ()
+    | Some s ->
+        Binio.add_u8 b 1;
+        Binio.add_i64 b s
+
   let encode_body b (ev : Event.t) =
     match ev with
     | Arrival { time; seq; id; ingress; egress; volume; ts; tf; max_rate } ->
@@ -51,7 +61,7 @@ module Binary = struct
         Binio.add_f64 b ts;
         Binio.add_f64 b tf;
         Binio.add_f64 b max_rate
-    | Accept { time; id; ingress; egress; volume; ts; tf; max_rate; bw; sigma } ->
+    | Accept { time; id; ingress; egress; volume; ts; tf; max_rate; bw; sigma; shard } ->
         Binio.add_u8 b 2;
         Binio.add_f64 b time;
         Binio.add_i64 b id;
@@ -62,8 +72,9 @@ module Binary = struct
         Binio.add_f64 b tf;
         Binio.add_f64 b max_rate;
         Binio.add_f64 b bw;
-        Binio.add_f64 b sigma
-    | Reject { time; id; reason; port; headroom } ->
+        Binio.add_f64 b sigma;
+        add_shard b shard
+    | Reject { time; id; reason; port; headroom; shard } ->
         Binio.add_u8 b 3;
         Binio.add_f64 b time;
         Binio.add_i64 b id;
@@ -78,12 +89,14 @@ module Binary = struct
         | None -> Binio.add_u8 b 0
         | Some h ->
             Binio.add_u8 b 1;
-            Binio.add_f64 b h)
-    | Preempt { time; id; bw } ->
+            Binio.add_f64 b h);
+        add_shard b shard
+    | Preempt { time; id; bw; shard } ->
         Binio.add_u8 b 4;
         Binio.add_f64 b time;
         Binio.add_i64 b id;
-        Binio.add_f64 b bw
+        Binio.add_f64 b bw;
+        add_shard b shard
     | Shed { time; side; port; excess; victims } ->
         Binio.add_u8 b 5;
         Binio.add_f64 b time;
@@ -144,6 +157,14 @@ module Binary = struct
       | 1 -> Event.Egress
       | n -> failwith (Printf.sprintf "unknown side code %d" n)
     in
+    (* End-of-body means the record predates shard ids. *)
+    let shard () =
+      if !pos = len then None
+      else
+        match u8 () with
+        | 1 -> Some (i64 ())
+        | n -> failwith (Printf.sprintf "unknown shard tag %d" n)
+    in
     try
       let ev =
         match u8 () with
@@ -169,7 +190,8 @@ module Binary = struct
             let max_rate = f64 () in
             let bw = f64 () in
             let sigma = f64 () in
-            Event.Accept { time; id; ingress; egress; volume; ts; tf; max_rate; bw; sigma }
+            let shard = shard () in
+            Event.Accept { time; id; ingress; egress; volume; ts; tf; max_rate; bw; sigma; shard }
         | 3 ->
             let time = f64 () in
             let id = i64 () in
@@ -183,12 +205,14 @@ module Binary = struct
                   Some (s, p)
             in
             let headroom = match u8 () with 0 -> None | _ -> Some (f64 ()) in
-            Event.Reject { time; id; reason; port; headroom }
+            let shard = shard () in
+            Event.Reject { time; id; reason; port; headroom; shard }
         | 4 ->
             let time = f64 () in
             let id = i64 () in
             let bw = f64 () in
-            Event.Preempt { time; id; bw }
+            let shard = shard () in
+            Event.Preempt { time; id; bw; shard }
         | 5 ->
             let time = f64 () in
             let side = side () in

@@ -88,12 +88,22 @@ let bound i = Float.ldexp 1.0 i  (* 2^i *)
    value range.  The error is therefore bounded by the bucket width: the
    estimate always lies in the same power-of-two bucket as the exact
    sample (the qcheck oracle in test_obs checks precisely this). *)
+(* Nearest rank k = ⌈q·n⌉, computed robustly: the float product q·n can
+   land an ulp above the exact integer (0.3 · 10 = 3.0000000000000004),
+   and ceil would then overshoot by a whole rank — for large merged
+   histograms that crosses bucket boundaries.  Shaving a relative
+   epsilon before the ceil keeps exact-integer products exact. *)
+let rank_of ~total q =
+  let kf = q *. float_of_int total in
+  let k = int_of_float (Float.ceil (kf -. (1e-9 *. Float.max kf 1.0))) in
+  Int.max 1 (Int.min total k)
+
 let percentile h q =
   if h.total = 0 then Float.nan
   else begin
     if not (Float.is_finite q) || q < 0. || q > 1. then
       invalid_arg "Metrics.percentile: q must be in [0,1]";
-    let k = Int.max 1 (int_of_float (Float.ceil (q *. float_of_int h.total))) in
+    let k = rank_of ~total:h.total q in
     let i = ref 0 and below = ref 0 in
     while !below + h.buckets.(!i) < k && !i < nbuckets - 1 do
       below := !below + h.buckets.(!i);
@@ -112,6 +122,29 @@ let hist_buckets h =
     if h.buckets.(i) > 0 then acc := (bound i, h.buckets.(i)) :: !acc
   done;
   !acc
+
+(* --- merging (per-domain registries -> one exposition) --- *)
+
+let merge_hist_into dst src =
+  Array.iteri (fun i n -> if n > 0 then dst.buckets.(i) <- dst.buckets.(i) + n) src.buckets;
+  dst.total <- dst.total + src.total;
+  dst.sum <- dst.sum +. src.sum
+
+let merge_into ~into src =
+  Hashtbl.iter
+    (fun name inst ->
+      match inst with
+      | Counter c -> add (counter into name) c.count
+      | Gauge g ->
+          let dst = gauge into name in
+          dst.level <- dst.level +. g.level
+      | Histogram h -> merge_hist_into (histogram into name) h)
+    src.instruments
+
+let merged ts =
+  let into = create () in
+  List.iter (fun t -> merge_into ~into t) ts;
+  into
 
 let sorted t =
   Hashtbl.fold (fun name inst acc -> (name, inst) :: acc) t.instruments []

@@ -1,0 +1,250 @@
+module Request = Gridbw_request.Request
+module Allocation = Gridbw_alloc.Allocation
+module Fabric = Gridbw_topology.Fabric
+module Live = Gridbw_alloc.Live
+module Event_queue = Gridbw_sim.Event_queue
+
+type rel_side = Ing | Egr
+
+type reply =
+  | Frozen of { op : int }
+  | Probed of { op : int; ing : (bool * float) option; egr : (bool * float) option }
+  | Cancel_probed of { op : int; active : bool }
+  | Done of { op : int }
+
+type msg =
+  | Freeze of { op : int; k : reply -> unit }
+  | Probe of { op : int; at : float; r : Request.t; bw : float option; k : reply -> unit }
+  | Commit of { op : int; a : Allocation.t; k : reply -> unit }
+  | Abort of { op : int; k : reply -> unit }
+  | Cancel_probe of { op : int; at : float; id : int; k : reply -> unit }
+  | Cancel_commit of { op : int; id : int; k : reply -> unit }
+
+(* One live booking, per owned side.  A cross-shard allocation has one
+   record on each shard, each with only its own side flagged; both sides
+   of a same-shard allocation live in one record.  Flags drop as the
+   release queue drains (or a cancel releases early); the record is
+   removed when no owned side remains live. *)
+type booking = {
+  a : Allocation.t;
+  mutable ing_live : bool;
+  mutable egr_live : bool;
+}
+
+type t = {
+  shard : int;
+  part : Partition.t;
+  live : Live.t;
+  releases : (Allocation.t * rel_side) Event_queue.t;
+  booked : (int, booking) Hashtbl.t;
+  mutable clock : float;
+  mutable frozen : int option;
+  parked : msg Queue.t;
+  resolved : (int, unit) Hashtbl.t option;  (* duplicate tolerance (explorer mode) *)
+}
+
+let create ?(track_duplicates = false) ~shard ~partition fabric =
+  {
+    shard;
+    part = partition;
+    live = Live.create fabric;
+    releases = Event_queue.create ();
+    booked = Hashtbl.create 64;
+    clock = neg_infinity;
+    frozen = None;
+    parked = Queue.create ();
+    resolved = (if track_duplicates then Some (Hashtbl.create 64) else None);
+  }
+
+let shard t = t.shard
+let clock t = t.clock
+let frozen t = t.frozen
+let parked_count t = Queue.length t.parked
+let booked_ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.booked [] |> List.sort Int.compare
+let ingress_used t i = Live.ingress_used t.live i
+let egress_used t e = Live.egress_used t.live e
+let probe_count t = Live.probe_count t.live
+
+let active_ingress_count t =
+  Hashtbl.fold
+    (fun _ b acc ->
+      if Partition.of_ingress t.part b.a.Allocation.request.Request.ingress = t.shard then acc + 1
+      else acc)
+    t.booked 0
+
+let owns_ingress t i = Partition.of_ingress t.part i = t.shard
+let owns_egress t e = Partition.of_egress t.part e = t.shard
+
+let resolved t op = match t.resolved with Some h -> Hashtbl.mem h op | None -> false
+let mark_resolved t op = match t.resolved with Some h -> Hashtbl.replace h op () | None -> ()
+
+let release_side t (b : booking) side =
+  let r = b.a.Allocation.request in
+  (match side with
+  | Ing ->
+      if b.ing_live then begin
+        Live.release_ingress t.live ~ingress:r.Request.ingress ~bw:b.a.Allocation.bw;
+        b.ing_live <- false
+      end
+  | Egr ->
+      if b.egr_live then begin
+        Live.release_egress t.live ~egress:r.Request.egress ~bw:b.a.Allocation.bw;
+        b.egr_live <- false
+      end);
+  if not (b.ing_live || b.egr_live) then Hashtbl.remove t.booked r.Request.id
+
+(* Monotone clamp, never a raise: per-shard event times are monotone in
+   live runs (ticket order), and a re-partitioned recovery replay may
+   legitimately present an older timestamp for a port this shard just
+   acquired. *)
+let advance_to t time =
+  if time > t.clock then t.clock <- time;
+  let rec drain () =
+    match Event_queue.peek t.releases with
+    | Some (tau, (a, side)) when tau <= t.clock ->
+        ignore (Event_queue.pop t.releases);
+        (match Hashtbl.find_opt t.booked a.Allocation.request.Request.id with
+        | Some b when b.a == a -> release_side t b side
+        | _ -> () (* cancelled earlier: stale queue entry *));
+        drain ()
+    | _ -> ()
+  in
+  drain ()
+
+let require_frozen t op what =
+  match t.frozen with
+  | Some o when o = op -> ()
+  | _ -> invalid_arg (Printf.sprintf "Shard.Core: %s for op %d without freeze" what op)
+
+let rec handle t msg =
+  match msg with
+  | Freeze { op; k } -> (
+      match t.frozen with
+      | None ->
+          if resolved t op then k (Done { op })  (* late duplicate of a finished op *)
+          else begin
+            t.frozen <- Some op;
+            k (Frozen { op })
+          end
+      | Some o when o = op -> k (Frozen { op })  (* duplicate delivery *)
+      | Some _ -> Queue.push msg t.parked)
+  | Probe { op; at; r; bw; k } ->
+      if resolved t op then k (Done { op })
+      else begin
+        require_frozen t op "probe";
+        advance_to t at;
+        let probe_side fits used cap =
+          match bw with
+          | None -> (true, cap -. used)
+          | Some bw -> (fits bw, cap -. used)
+        in
+        let ing =
+          if owns_ingress t r.Request.ingress then
+            Some
+              (probe_side
+                 (fun bw -> Live.fits_ingress t.live ~ingress:r.Request.ingress ~bw)
+                 (Live.ingress_used t.live r.Request.ingress)
+                 (Fabric.ingress_capacity (Live.fabric t.live) r.Request.ingress))
+          else None
+        in
+        let egr =
+          if owns_egress t r.Request.egress then
+            Some
+              (probe_side
+                 (fun bw -> Live.fits_egress t.live ~egress:r.Request.egress ~bw)
+                 (Live.egress_used t.live r.Request.egress)
+                 (Fabric.egress_capacity (Live.fabric t.live) r.Request.egress))
+          else None
+        in
+        k (Probed { op; ing; egr })
+      end
+  | Commit { op; a; k } ->
+      if resolved t op then k (Done { op })
+      else begin
+        require_frozen t op "commit";
+        let r = a.Allocation.request in
+        let b = { a; ing_live = false; egr_live = false } in
+        if owns_ingress t r.Request.ingress then begin
+          Live.grab_ingress t.live ~ingress:r.Request.ingress ~bw:a.Allocation.bw;
+          b.ing_live <- true;
+          Event_queue.push t.releases ~time:a.Allocation.tau (a, Ing)
+        end;
+        if owns_egress t r.Request.egress then begin
+          Live.grab_egress t.live ~egress:r.Request.egress ~bw:a.Allocation.bw;
+          b.egr_live <- true;
+          Event_queue.push t.releases ~time:a.Allocation.tau (a, Egr)
+        end;
+        if b.ing_live || b.egr_live then Hashtbl.replace t.booked r.Request.id b;
+        resolve t op k
+      end
+  | Abort { op; k } ->
+      if resolved t op then k (Done { op }) else begin
+        require_frozen t op "abort";
+        resolve t op k
+      end
+  | Cancel_probe { op; at; id; k } ->
+      if resolved t op then k (Done { op })
+      else begin
+        require_frozen t op "cancel-probe";
+        advance_to t at;
+        k (Cancel_probed { op; active = Hashtbl.mem t.booked id })
+      end
+  | Cancel_commit { op; id; k } ->
+      if resolved t op then k (Done { op })
+      else begin
+        require_frozen t op "cancel-commit";
+        (match Hashtbl.find_opt t.booked id with
+        | Some b ->
+            release_side t b Ing;
+            release_side t b Egr
+        | None -> ());
+        resolve t op k
+      end
+
+and resolve t op k =
+  mark_resolved t op;
+  t.frozen <- None;
+  k (Done { op });
+  pump t
+
+(* Parked messages are always [Freeze]s (probe/commit of the freeze
+   holder arrive only while it already holds the freeze).  Handling one
+   may re-freeze the shard, which stops the pump until the next
+   resolution. *)
+and pump t =
+  if t.frozen = None then
+    match Queue.take_opt t.parked with
+    | Some m ->
+        handle t m;
+        pump t
+    | None -> ()
+
+(* --- recovery rebuild --- *)
+
+let restore_clock t time = if time > t.clock then t.clock <- time
+
+let restore_grab t side (a : Allocation.t) =
+  let r = a.Allocation.request in
+  let b =
+    match Hashtbl.find_opt t.booked r.Request.id with
+    | Some b -> b
+    | None ->
+        let b = { a; ing_live = false; egr_live = false } in
+        Hashtbl.replace t.booked r.Request.id b;
+        b
+  in
+  match side with
+  | Ing ->
+      Live.grab_ingress t.live ~ingress:r.Request.ingress ~bw:a.Allocation.bw;
+      b.ing_live <- true
+  | Egr ->
+      Live.grab_egress t.live ~egress:r.Request.egress ~bw:a.Allocation.bw;
+      b.egr_live <- true
+
+let restore_release t side id =
+  match Hashtbl.find_opt t.booked id with
+  | Some b -> release_side t b side
+  | None -> ()
+
+let restore_queue t entries =
+  List.iter (fun ((a : Allocation.t), side) -> Event_queue.push t.releases ~time:a.Allocation.tau (a, side)) entries

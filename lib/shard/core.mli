@@ -1,0 +1,91 @@
+(** The per-shard state machine of the two-phase reserve/commit protocol.
+
+    A shard owns a subset of the fabric's ports ({!Partition}) and holds
+    the live usage counters, the release queue, and the active-booking
+    table for exactly those ports.  It processes one message at a time
+    (its owning domain drains a {!Mailbox}), so all state here is
+    single-threaded by construction.
+
+    The protocol ("reserve" is a freeze, not a tentative mutation):
+
+    - [Freeze op] — the shard parks every other operation until [op]
+      resolves.  This is the reserve phase: holding the freeze on every
+      involved shard gives the coordinator an atomic window in which to
+      read usage, decide, journal, and commit.  Nothing is mutated at
+      reserve time, so an abort releases nothing and committed float
+      accumulators are only ever touched by committed decisions — the
+      key to bit-identical replays.
+    - [Probe op] — advance the shard clock to the operation's sequenced
+      time [at] (draining due releases) and report, for each owned side
+      of the route, whether the request fits and the port's headroom.
+    - [Commit op] / [Abort op] — apply the booking to the owned sides
+      (or nothing), unfreeze, and process parked messages.  Duplicate
+      deliveries of a resolved operation are acknowledged without
+      re-applying when the core tracks resolutions
+      ([~track_duplicates:true], the interleaving explorer's mode).
+    - [Cancel_probe op] / [Cancel_commit op] — the same shape for
+      cancellation: activeness is the global criterion [tau > at], which
+      every involved shard evaluates identically.
+
+    Deadlock freedom: coordinators freeze shards in ascending shard id,
+    so the wait-for graph follows a fixed resource order and has no
+    cycles. *)
+
+module Request = Gridbw_request.Request
+module Allocation = Gridbw_alloc.Allocation
+module Fabric = Gridbw_topology.Fabric
+
+(** Which end of a route a queue entry releases. *)
+type rel_side = Ing | Egr
+
+type reply =
+  | Frozen of { op : int }
+  | Probed of {
+      op : int;
+      ing : (bool * float) option;  (** owned ingress side: (fits, headroom) *)
+      egr : (bool * float) option;  (** owned egress side: (fits, headroom) *)
+    }
+  | Cancel_probed of { op : int; active : bool }
+  | Done of { op : int }
+
+type msg =
+  | Freeze of { op : int; k : reply -> unit }
+  | Probe of { op : int; at : float; r : Request.t; bw : float option; k : reply -> unit }
+  | Commit of { op : int; a : Allocation.t; k : reply -> unit }
+  | Abort of { op : int; k : reply -> unit }
+  | Cancel_probe of { op : int; at : float; id : int; k : reply -> unit }
+  | Cancel_commit of { op : int; id : int; k : reply -> unit }
+
+type t
+
+val create : ?track_duplicates:bool -> shard:int -> partition:Partition.t -> Fabric.t -> t
+val shard : t -> int
+val handle : t -> msg -> unit
+(** Process one message.  Raises [Invalid_argument] on protocol
+    violations (probe or commit without holding the freeze) unless the
+    operation is a tracked duplicate. *)
+
+(** {2 Introspection (tests, recovery, stats)} *)
+
+val clock : t -> float
+val frozen : t -> int option
+val parked_count : t -> int
+val booked_ids : t -> int list
+val ingress_used : t -> int -> float
+val egress_used : t -> int -> float
+val probe_count : t -> int
+val active_ingress_count : t -> int
+(** Bookings whose ingress side this shard owns — each live allocation
+    is counted by exactly one shard. *)
+
+(** {2 Recovery rebuild}
+
+    Direct state surgery used by [Engine.of_events]' per-port replay;
+    never called on a running shard. *)
+
+val restore_grab : t -> rel_side -> Allocation.t -> unit
+val restore_release : t -> rel_side -> int -> unit
+val restore_clock : t -> float -> unit
+val restore_queue : t -> (Allocation.t * rel_side) list -> unit
+(** Entries are pushed in list order (= original ticket order), keyed by
+    their [tau], so FIFO tie-breaking matches the live run. *)

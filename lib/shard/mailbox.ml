@@ -1,0 +1,52 @@
+type 'a t = {
+  m : Mutex.t;
+  nonempty : Condition.t;
+  q : 'a Queue.t;
+  mutable closed : bool;
+}
+
+let create () =
+  { m = Mutex.create (); nonempty = Condition.create (); q = Queue.create (); closed = false }
+
+let send t v =
+  Mutex.lock t.m;
+  if t.closed then begin
+    Mutex.unlock t.m;
+    invalid_arg "Mailbox.send: closed"
+  end
+  else begin
+    Queue.push v t.q;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.m
+  end
+
+let recv t =
+  Mutex.lock t.m;
+  let rec wait () =
+    match Queue.take_opt t.q with
+    | Some v ->
+        Mutex.unlock t.m;
+        Some v
+    | None ->
+        if t.closed then begin
+          Mutex.unlock t.m;
+          None
+        end
+        else begin
+          Condition.wait t.nonempty t.m;
+          wait ()
+        end
+  in
+  wait ()
+
+let close t =
+  Mutex.lock t.m;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.m
+
+let length t =
+  Mutex.lock t.m;
+  let n = Queue.length t.q in
+  Mutex.unlock t.m;
+  n

@@ -1,0 +1,22 @@
+(** Unbounded FIFO mailbox between domains (mutex + condition).
+
+    Each shard domain drains exactly one mailbox; coordinators on any
+    thread may send.  FIFO order per mailbox is part of the two-phase
+    protocol's correctness argument: a [Commit] enqueued before a later
+    [Freeze] is applied before it. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val send : 'a t -> 'a -> unit
+(** Raises [Invalid_argument] on a closed mailbox. *)
+
+val recv : 'a t -> 'a option
+(** Blocks until a message is available; [None] once the mailbox is
+    closed and drained. *)
+
+val close : 'a t -> unit
+(** Wakes every blocked receiver; pending messages are still drained. *)
+
+val length : 'a t -> int

@@ -1,0 +1,15 @@
+type t = { shards : int }
+
+let make ~shards =
+  if shards < 1 then invalid_arg "Partition.make: shards must be >= 1";
+  { shards }
+
+let shards t = t.shards
+let of_ingress t i = i mod t.shards
+let of_egress t e = e mod t.shards
+
+let involved t ~ingress ~egress =
+  let si = of_ingress t ingress and se = of_egress t egress in
+  if si = se then (si, None)
+  else if si < se then (si, Some se)
+  else (se, Some si)

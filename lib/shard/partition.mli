@@ -1,0 +1,28 @@
+(** Port-to-shard assignment.
+
+    Ports are the coupling constraints of the paper's constraint set (1)
+    — a request consumes capacity on exactly one ingress and one egress
+    port — so the fabric is partitioned {e by port}: every port belongs
+    to exactly one shard, and an admission touches at most two shards
+    (one when both its ports land together).  The map is a plain
+    round-robin over port indices: deterministic, fabric-independent,
+    and stable across restarts with the same shard count, so a recovered
+    journal re-partitions without any stored metadata. *)
+
+type t
+
+val make : shards:int -> t
+(** Raises [Invalid_argument] when [shards < 1]. *)
+
+val shards : t -> int
+
+val of_ingress : t -> int -> int
+(** Owning shard of ingress port [i] ([i mod shards]). *)
+
+val of_egress : t -> int -> int
+(** Owning shard of egress port [e] ([e mod shards]). *)
+
+val involved : t -> ingress:int -> egress:int -> int * int option
+(** The owning shards of a route in ascending order: [(s, None)] when
+    both ports share a shard, [(lo, Some hi)] otherwise.  Ascending
+    order is the deterministic lock order of the two-phase protocol. *)

@@ -1,0 +1,23 @@
+type t = { m : Mutex.t; mutable clock : float; mutable ticket : int }
+
+let create () = { m = Mutex.create (); clock = neg_infinity; ticket = 0 }
+
+let next t ~ts =
+  Mutex.lock t.m;
+  if ts > t.clock then t.clock <- ts;
+  let n = t.ticket in
+  t.ticket <- n + 1;
+  let at = t.clock in
+  Mutex.unlock t.m;
+  (n, at)
+
+let now t =
+  Mutex.lock t.m;
+  let c = t.clock in
+  Mutex.unlock t.m;
+  c
+
+let restore_clock t c =
+  Mutex.lock t.m;
+  if c > t.clock then t.clock <- c;
+  Mutex.unlock t.m

@@ -1,0 +1,24 @@
+(** Global admission sequencer: the linearization witness.
+
+    Every operation draws a [(ticket, at)] pair {e while holding the
+    freeze on every shard it touches}, so for any one shard the ticket
+    order of the operations it applies equals its application order, and
+    [at] is monotone in ticket ([at = max (clock, ts)] with the clock
+    ratcheting forward exactly like [Online]'s).  Replaying a concurrent
+    history in ticket order on the single-shard ledger is therefore a
+    legal sequential execution — the linearizability gate in
+    [test_shard] and the fuzz harness replays exactly that. *)
+
+type t
+
+val create : unit -> t
+(** Clock starts at [neg_infinity], matching [Online.create]. *)
+
+val next : t -> ts:float -> int * float
+(** Draw the next ticket; [at = max (clock, ts)] and the clock advances
+    to [at].  Pass [ts = neg_infinity] to read the current clock (a
+    cancel linearizes at "now"). *)
+
+val now : t -> float
+val restore_clock : t -> float -> unit
+(** Recovery: restart the clock at the recovered journal's horizon. *)

@@ -71,7 +71,7 @@ let apply ?(ledger_effects = true) t ev =
   match ev with
   | Event.Arrival { id; _ } -> Hashtbl.replace t.arrived_tbl id ()
   | Event.Reject { id; _ } -> Hashtbl.replace t.decided_tbl id ()
-  | Event.Accept { time; id; ingress; egress; volume; ts; tf; max_rate; bw; sigma } ->
+  | Event.Accept { time; id; ingress; egress; volume; ts; tf; max_rate; bw; sigma; _ } ->
       let request = request_of ~id ~ingress ~egress ~volume ~ts ~tf ~max_rate in
       let a = Allocation.make ~request ~bw ~sigma in
       Hashtbl.replace t.decided_tbl id ();

@@ -110,12 +110,17 @@ let sample_events =
         tf = 90.0; max_rate = 33.3 };
     Event.Accept
       { time = 2.0; id = 7; ingress = 1; egress = 2; volume = 100.5; ts = 1.25; tf = 90.0;
-        max_rate = 33.3; bw = 12.5; sigma = 2.0 };
+        max_rate = 33.3; bw = 12.5; sigma = 2.0; shard = None };
+    Event.Accept
+      { time = 2.5; id = 10; ingress = 1; egress = 2; volume = 10.0; ts = 1.25; tf = 90.0;
+        max_rate = 33.3; bw = 2.5; sigma = 2.5; shard = Some 3 };
     Event.Reject
       { time = 3.0; id = 8; reason = "port-saturated"; port = Some (Event.Ingress, 4);
-        headroom = Some 0.125 };
-    Event.Reject { time = 3.5; id = 9; reason = "deadline-unreachable"; port = None; headroom = None };
-    Event.Preempt { time = 4.0; id = 7; bw = 12.5 };
+        headroom = Some 0.125; shard = Some 0 };
+    Event.Reject
+      { time = 3.5; id = 9; reason = "deadline-unreachable"; port = None; headroom = None;
+        shard = None };
+    Event.Preempt { time = 4.0; id = 7; bw = 12.5; shard = Some 1 };
     Event.Shed { time = 5.0; side = Event.Egress; port = 2; excess = 7.5; victims = 3 };
     Event.Capacity { time = 6.0; side = Event.Ingress; port = 0; capacity = 50.0 };
     Event.Dispatch { time = 7.0; pending = 4 };
@@ -140,7 +145,7 @@ let float_fields_round_trip =
       let e =
         Event.Accept
           { time = ts; id = 0; ingress = 0; egress = 0; volume; ts; tf = ts +. 1.0;
-            max_rate = bw; bw; sigma = ts }
+            max_rate = bw; bw; sigma = ts; shard = None }
       in
       Event.of_line (Event.to_json e) = Ok e)
 
@@ -244,6 +249,26 @@ let rigid_replay seed () =
    [2^(i-1), 2^i) for i >= 1), re-derived independently of metrics.ml. *)
 let sample_bucket v = if v <= 1.0 then 0 else snd (Float.frexp v)
 
+(* Exact nearest rank ⌈q·n⌉, in integer arithmetic: q = mi·2^(e-53)
+   with a 53-bit integer mantissa, so ⌈q·n⌉ = ⌈mi·n / 2^(53-e)⌉ — no
+   float product, hence immune to the ulp-high rounding the
+   implementation has to compensate for. *)
+let exact_rank q n =
+  if q <= 0. || n = 0 then 1
+  else begin
+    let m, e = Float.frexp q in
+    let mi = int_of_float (Float.ldexp m 53) in
+    let shift = 53 - e in
+    (* shift >= 62 means q < 2^-8: q·n < 1 for the n <= 300 used here *)
+    if shift >= 62 then 1
+    else begin
+      let d = 1 lsl shift in
+      let a = mi * n in
+      let k = (a / d) + if a mod d = 0 then 0 else 1 in
+      Int.max 1 (Int.min n k)
+    end
+  end
+
 let percentile_edges () =
   let m = Metrics.create () in
   let h = Metrics.histogram m "p" in
@@ -284,13 +309,95 @@ let prop_percentile_oracle =
       List.iter (Metrics.observe h) samples;
       let sorted = List.sort Float.compare samples in
       let n = List.length samples in
-      let k = Int.max 1 (int_of_float (Float.ceil (q *. float_of_int n))) in
+      let k = exact_rank q n in
       let exact = List.nth sorted (k - 1) in
       let est = Metrics.percentile h q in
       let i = sample_bucket exact in
       let lo = if i = 0 then 0.0 else Float.ldexp 1.0 (i - 1) in
       let hi = Float.ldexp 1.0 i in
       lo <= est && est <= hi)
+
+(* --- merged multi-shard histograms --- *)
+
+(* One registry per "domain", as a sharded daemon keeps them, each
+   observing its own serve_stage_* samples; the exposition path merges
+   them.  The per-domain split of the samples must be invisible: the
+   merge must behave exactly like one registry that saw every sample. *)
+let observe_all m name samples =
+  let h = Metrics.histogram m name in
+  List.iter (Metrics.observe h) samples;
+  m
+
+let merged_equals_unsharded =
+  qcase ~count:200 "metrics: merged per-domain histograms == single registry"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 4)
+           (list_size (int_range 0 60) (float_range 0. 1e7)))
+        (float_range 0. 1.))
+    (fun (per_domain, q) ->
+      let shards =
+        List.map (fun s -> observe_all (Metrics.create ()) "serve_stage_admit_search_ns" s)
+          per_domain
+      in
+      let merged = Metrics.merged shards in
+      let union = observe_all (Metrics.create ()) "serve_stage_admit_search_ns"
+          (List.concat per_domain)
+      in
+      let hm = Metrics.histogram merged "serve_stage_admit_search_ns" in
+      let hu = Metrics.histogram union "serve_stage_admit_search_ns" in
+      Metrics.hist_count hm = Metrics.hist_count hu
+      && Metrics.hist_buckets hm = Metrics.hist_buckets hu
+      && (Metrics.hist_count hm = 0
+          || Metrics.percentile hm q = Metrics.percentile hu q))
+
+(* The rank bug the merged path exposed: q·n computed in floats rounds
+   an ulp high (0.95 · 20 = 19.000000000000004), so ceil overshot by a
+   whole rank.  20 merged samples put rank 19 and rank 20 in different
+   power-of-two buckets; the estimate must land in rank 19's bucket. *)
+let merged_percentile_rank () =
+  let mk samples = observe_all (Metrics.create ()) "serve_stage_admit_search_ns" samples in
+  let shards =
+    [ mk [ 100.; 100.; 100.; 100.; 100. ];
+      mk [ 100.; 100.; 100.; 100.; 100. ];
+      mk [ 100.; 100.; 100.; 100.; 100. ];
+      mk [ 100.; 100.; 100.; 300.; 600. ] ]
+  in
+  let merged = Metrics.merged shards in
+  let h = Metrics.histogram merged "serve_stage_admit_search_ns" in
+  Alcotest.(check int) "20 samples merged" 20 (Metrics.hist_count h);
+  (* exact rank of p95 over n=20 is 19 -> the 300 sample, bucket (256,512] *)
+  let p95 = Metrics.percentile h 0.95 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p95 lands in rank 19's bucket (got %g)" p95)
+    true
+    (256. <= p95 && p95 <= 512.);
+  (* same shape on a single registry: q=0.3, n=10 has exact rank 3 *)
+  let m = mk [ 3.; 5.; 12.; 24.; 48.; 96.; 192.; 384.; 768.; 1536. ] in
+  let h = Metrics.histogram m "serve_stage_admit_search_ns" in
+  let p30 = Metrics.percentile h 0.3 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p30 lands in rank 3's bucket (got %g)" p30)
+    true
+    (8. <= p30 && p30 <= 16.)
+
+let merged_counters_and_gauges () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.add (Metrics.counter a "reqs") 3;
+  Metrics.add (Metrics.counter b "reqs") 4;
+  Metrics.set (Metrics.gauge a "conns") 2.;
+  Metrics.set (Metrics.gauge b "conns") 5.;
+  Metrics.add (Metrics.counter b "only_b") 1;
+  let m = Metrics.merged [ a; b ] in
+  Alcotest.(check int) "counters add" 7 (Metrics.value (Metrics.counter m "reqs"));
+  Alcotest.(check int) "one-sided counter kept" 1 (Metrics.value (Metrics.counter m "only_b"));
+  Alcotest.(check (float 0.)) "gauges sum" 7. (Metrics.gauge_value (Metrics.gauge m "conns"));
+  Alcotest.check_raises "kind mismatch across registries raises"
+    (Invalid_argument "Metrics: \"reqs\" already registered as a counter")
+    (fun () ->
+      let c = Metrics.create () in
+      Metrics.set (Metrics.gauge c "reqs") 1.;
+      Metrics.merge_into ~into:m c)
 
 (* --- json string escaping --- *)
 
@@ -405,6 +512,9 @@ let suites =
         case "prometheus dump" prometheus_dump;
         case "percentile edges and monotonicity" percentile_edges;
         prop_percentile_oracle;
+        merged_equals_unsharded;
+        case "merged multi-shard percentile rank" merged_percentile_rank;
+        case "merged counters and gauges" merged_counters_and_gauges;
       ] );
     ( "obs.sink",
       [

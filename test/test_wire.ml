@@ -53,15 +53,18 @@ let gen_event =
       let* ingress = gen_id and* egress = gen_id in
       let* volume = gen_float and* ts = gen_float and* tf = gen_float in
       let* max_rate = gen_float and* bw = gen_float and* sigma = gen_float in
-      return (Event.Accept { time; id; ingress; egress; volume; ts; tf; max_rate; bw; sigma })
+      let* shard = option gen_id in
+      return (Event.Accept { time; id; ingress; egress; volume; ts; tf; max_rate; bw; sigma; shard })
   | 3 ->
       let* time = gen_float and* id = gen_id and* reason = gen_reason in
       let* port = option (pair gen_side gen_id) in
       let* headroom = option gen_float in
-      return (Event.Reject { time; id; reason; port; headroom })
+      let* shard = option gen_id in
+      return (Event.Reject { time; id; reason; port; headroom; shard })
   | 4 ->
       let* time = gen_float and* id = gen_id and* bw = gen_float in
-      return (Event.Preempt { time; id; bw })
+      let* shard = option gen_id in
+      return (Event.Preempt { time; id; bw; shard })
   | 5 ->
       let* time = gen_float and* side = gen_side and* port = gen_id in
       let* excess = gen_float and* victims = gen_id in
@@ -83,12 +86,16 @@ let exemplars =
         ts = 0.; tf = 10.; max_rate = 12.5 };
     Event.Accept
       { time = 2.; id = 7; ingress = 1; egress = 2; volume = 100.; ts = 0.;
-        tf = 10.; max_rate = 12.5; bw = 10.; sigma = 2. };
+        tf = 10.; max_rate = 12.5; bw = 10.; sigma = 2.; shard = None };
+    Event.Accept
+      { time = 2.5; id = 11; ingress = 1; egress = 2; volume = 10.; ts = 0.;
+        tf = 10.; max_rate = 12.5; bw = 2.; sigma = 2.5; shard = Some 2 };
     Event.Reject
       { time = 3.; id = 8; reason = "spike"; port = Some (Event.Egress, 4);
-        headroom = Some 0.25 };
-    Event.Reject { time = 3.5; id = 9; reason = "deadline"; port = None; headroom = None };
-    Event.Preempt { time = 4.; id = 7; bw = 10. };
+        headroom = Some 0.25; shard = Some 0 };
+    Event.Reject
+      { time = 3.5; id = 9; reason = "deadline"; port = None; headroom = None; shard = None };
+    Event.Preempt { time = 4.; id = 7; bw = 10.; shard = Some 1 };
     Event.Shed { time = 5.; side = Event.Ingress; port = 0; excess = 12.; victims = 2 };
     Event.Capacity { time = 0.; side = Event.Egress; port = 3; capacity = 100. };
     Event.Dispatch { time = 6.; pending = 11 };
