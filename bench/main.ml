@@ -45,6 +45,7 @@ module Flight = Gridbw_obs.Flight
 module Runtime = Gridbw_core.Runtime
 module Store = Gridbw_store.Store
 module Wal = Gridbw_store.Wal
+module Malleable = Gridbw_malleable.Malleable
 
 (* --- part 1: regenerate every figure and table --- *)
 
@@ -339,6 +340,36 @@ let store_tests =
            | Error msg -> failwith msg));
   ]
 
+(* --- malleable engine benchmarks ---
+
+   The step-profile water-fill admission kernel: the pure solve at 10x
+   the fig5 request count (reshape disabled — isolates the water-fill
+   from the EDF re-solve), and the reshape and booking modes on a
+   dedicated overloaded 100-request workload.  Every failed admit
+   re-solves the whole not-yet-started pending set on a scratch ledger,
+   so the reshape kernels are quadratic-ish in the workload — they get a
+   small fixed input rather than the x10 one.  BENCH_malleable.json
+   records these; scripts/bench_delta.py gates the solve kernel against
+   the GREEDY x100 reference so the quotient is machine-normalized. *)
+
+let malleable_workload =
+  Gen.generate (Rng.create ~seed:22L ())
+    (Runner.flexible_spec (Runner.with_params ~count:100 params) ~mean_interarrival:0.4)
+
+let malleable_tests =
+  [
+    Test.make ~name:"malleable:no-reshape-x10"
+      (Staged.stage (fun () ->
+           Malleable.run { Malleable.default with Malleable.reshape = false } fabric
+             admission_x10));
+    Test.make ~name:"malleable:reshape-100"
+      (Staged.stage (fun () -> Malleable.run Malleable.default fabric malleable_workload));
+    Test.make ~name:"malleable:bookahead-100"
+      (Staged.stage (fun () ->
+           Malleable.run { Malleable.default with Malleable.book_ahead = 30. } fabric
+             malleable_workload));
+  ]
+
 let admission_tests =
   [
     Test.make ~name:"admission:window-x10"
@@ -442,7 +473,9 @@ let base_tests =
     ]
 
 let tests =
-  let all = base_tests @ admission_tests @ obs_tests @ span_tests @ store_tests in
+  let all =
+    base_tests @ admission_tests @ malleable_tests @ obs_tests @ span_tests @ store_tests
+  in
   let selected =
     match only_filter with
     | None -> all

@@ -29,6 +29,7 @@ module Wal = Gridbw_store.Wal
 module Json = Gridbw_obs.Json
 module Daemon = Gridbw_serve.Daemon
 module Loadgen = Gridbw_serve.Loadgen
+module Malleable = Gridbw_malleable.Malleable
 
 (* --- shared options --- *)
 
@@ -121,7 +122,7 @@ let figure_cmd =
 
 let table_names =
   [ "tuning"; "optgap"; "baseline"; "coalloc"; "npc"; "ablation"; "longlived"; "distributed";
-    "bookahead"; "transport"; "corestress"; "faults" ]
+    "bookahead"; "transport"; "corestress"; "faults"; "malleable" ]
 
 let run_table params csv_dir name =
   let stamp = Provenance.line ~cmd:("table " ^ name) (params_fields params) in
@@ -172,13 +173,19 @@ let run_table params csv_dir name =
       emit_table csv_dir "faults-victims"
         (Gridbw_experiments.Fault_exp.ablation_table
            (Gridbw_experiments.Fault_exp.run_ablation params))
+  | "malleable" ->
+      emit_table csv_dir "malleable"
+        (Gridbw_experiments.Malleable_exp.to_table (Gridbw_experiments.Malleable_exp.run params));
+      emit_table csv_dir "malleable-optgap"
+        (Gridbw_experiments.Malleable_exp.gap_table
+           (Gridbw_experiments.Malleable_exp.gap ~seed:params.Runner.seed ()))
   | other ->
       Printf.eprintf "unknown table %s (%s)\n" other (String.concat "|" table_names)
 
 let table_cmd =
   let name_t =
     Arg.(required & pos 0 (some string) None
-         & info [] ~docv:"NAME" ~doc:"tuning, optgap, baseline, coalloc, npc, ablation, longlived, distributed, bookahead, transport, corestress or faults.")
+         & info [] ~docv:"NAME" ~doc:"tuning, optgap, baseline, coalloc, npc, ablation, longlived, distributed, bookahead, transport, corestress, faults or malleable.")
   in
   let run name quick count reps seed csv_dir =
     run_table (params_of quick count reps seed) csv_dir name
@@ -248,6 +255,7 @@ let pp_heuristic ppf = function
   | `Greedy -> Format.pp_print_string ppf "greedy"
   | `Window -> Format.pp_print_string ppf "window"
   | `Window_deferred -> Format.pp_print_string ppf "window-deferred"
+  | `Malleable -> Format.pp_print_string ppf "malleable"
 
 let heuristic_conv =
   let parse = function
@@ -259,6 +267,7 @@ let heuristic_conv =
     | "greedy" -> Ok `Greedy
     | "window" -> Ok `Window
     | "window-deferred" -> Ok `Window_deferred
+    | "malleable" -> Ok `Malleable
     | s -> Error (`Msg ("unknown heuristic " ^ s))
   in
   Arg.conv (parse, pp_heuristic)
@@ -266,11 +275,18 @@ let heuristic_conv =
 (* The stamp of a trace-replay command: everything that determines the
    decision stream, and nothing about output destinations — a traced run
    and a plain run must print byte-identical stdout (CI checks this). *)
-let replay_fields trace heuristic policy step =
+let replay_fields ?(book_ahead = 0.) ?(reshape = true) trace heuristic policy step =
   [ ("trace", trace);
     ("heuristic", Format.asprintf "%a" pp_heuristic heuristic);
     ("policy", Format.asprintf "%a" Policy.pp policy);
     Provenance.float "step" step ]
+  @
+  (* only the malleable engine reads these two, so only its stamp
+     carries them — other heuristics' stdout is unchanged *)
+  match heuristic with
+  | `Malleable ->
+      [ Provenance.float "book_ahead" book_ahead; ("reshape", string_of_bool reshape) ]
+  | _ -> []
 
 let policy_conv =
   let parse s =
@@ -284,12 +300,13 @@ let policy_conv =
 
 (* Both trace-replay commands dispatch through the first-class scheduler
    interface rather than matching on heuristic constructors. *)
-let scheduler_of heuristic policy ~step =
+let scheduler_of ?(book_ahead = 0.) ?(reshape = true) heuristic policy ~step =
   match heuristic with
   | (`Fcfs | `Fifo_blocking | `Slots _) as kind -> Scheduler.of_rigid kind
   | `Greedy -> Scheduler.of_flexible `Greedy policy
   | `Window -> Scheduler.of_flexible (`Window step) policy
   | `Window_deferred -> Scheduler.of_flexible (`Window_deferred step) policy
+  | `Malleable -> Malleable.scheduler { Malleable.default with Malleable.book_ahead; reshape }
 
 let run_cmd =
   let trace_t =
@@ -297,7 +314,8 @@ let run_cmd =
   in
   let heuristic_t =
     Arg.(value & opt heuristic_conv `Greedy
-         & info [ "heuristic" ] ~docv:"H" ~doc:"fifo|fcfs|cumulated|minbw|minvol|greedy|window|window-deferred.")
+         & info [ "heuristic" ] ~docv:"H"
+             ~doc:"fifo|fcfs|cumulated|minbw|minvol|greedy|window|window-deferred|malleable.")
   in
   let policy_t =
     Arg.(value & opt policy_conv Policy.Min_rate
@@ -305,6 +323,18 @@ let run_cmd =
   in
   let step_t =
     Arg.(value & opt float 400. & info [ "step" ] ~docv:"S" ~doc:"WINDOW interval length (s).")
+  in
+  let book_ahead_t =
+    Arg.(value & opt float 0.
+         & info [ "book-ahead" ] ~docv:"S"
+             ~doc:"MALLEABLE: decide each request $(docv) seconds before its start time \
+                   (in-advance booking; announce order).")
+  in
+  let no_reshape_t =
+    Arg.(value & flag
+         & info [ "no-reshape" ]
+             ~doc:"MALLEABLE: reject on first fit failure instead of re-solving the \
+                   pending (admitted, not yet started) profiles.")
   in
   let trace_out_t =
     Arg.(value & opt (some string) None
@@ -342,12 +372,13 @@ let run_cmd =
              ~doc:"Crash drill: SIGKILL the process mid-append of WAL record $(docv), leaving a \
                    torn record on disk (testing aid).")
   in
-  let run trace heuristic policy step trace_out trace_format metrics_out store_dir store_batch
-      store_kill =
+  let run trace heuristic policy step book_ahead no_reshape trace_out trace_format metrics_out
+      store_dir store_batch store_kill =
+    let reshape = not no_reshape in
     let requests = Trace.of_file trace in
     let fabric = Gridbw_topology.Fabric.paper_default () in
-    let sched = scheduler_of heuristic policy ~step in
-    Provenance.print ~cmd:"run" (replay_fields trace heuristic policy step);
+    let sched = scheduler_of ~book_ahead ~reshape heuristic policy ~step in
+    Provenance.print ~cmd:"run" (replay_fields ~book_ahead ~reshape trace heuristic policy step);
     let trace_oc = Option.map open_out_bin trace_out in
     let trace_sink = match trace_format with `Binary -> Sink.binary | `Jsonl -> Sink.jsonl in
     let obs =
@@ -435,8 +466,9 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run one heuristic on a workload trace and print its summary.")
     Term.(
-      const run $ trace_t $ heuristic_t $ policy_t $ step_t $ trace_out_t $ trace_format_t
-      $ metrics_out_t $ store_dir_t $ store_batch_t $ store_kill_t)
+      const run $ trace_t $ heuristic_t $ policy_t $ step_t $ book_ahead_t $ no_reshape_t
+      $ trace_out_t $ trace_format_t $ metrics_out_t $ store_dir_t $ store_batch_t
+      $ store_kill_t)
 
 (* --- replay-trace command --- *)
 
@@ -744,7 +776,8 @@ let fuzz_cmd =
     Arg.(value & opt_all string []
          & info [ "family" ] ~docv:"F"
              ~doc:"Scenario families to rotate through (repeatable): hotspot-skew, \
-                   deadline-tight, near-rigid, revision-storm, cross-shard-storm or mixed.")
+                   deadline-tight, near-rigid, revision-storm, cross-shard-storm, \
+                   reshape-storm or mixed.")
   in
   let out_t =
     Arg.(value & opt (some string) None
@@ -766,7 +799,7 @@ let fuzz_cmd =
       match engine_names with
       | [] -> None
       | names ->
-          let pool = Scheduler.shipped ~step:Harness.default_step () in
+          let pool = Scheduler.shipped ~step:Harness.default_step () @ Malleable.engines () in
           Some
             (List.map
                (fun n ->

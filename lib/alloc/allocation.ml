@@ -1,12 +1,24 @@
 module Request = Gridbw_request.Request
 
-type t = { request : Request.t; bw : float; sigma : float; tau : float }
+type t = {
+  request : Request.t;
+  bw : float;
+  sigma : float;
+  tau : float;
+  profile : Rate_profile.t option;
+}
 
 let make ~request ~bw ~sigma =
   if bw <= 0. || not (Float.is_finite bw) then
     invalid_arg "Allocation.make: bandwidth must be positive and finite";
   if sigma < request.Request.ts then invalid_arg "Allocation.make: start before requested ts";
-  { request; bw; sigma; tau = sigma +. (request.Request.volume /. bw) }
+  { request; bw; sigma; tau = sigma +. (request.Request.volume /. bw); profile = None }
+
+let of_profile ~request profile =
+  let start = Rate_profile.start profile and finish = Rate_profile.finish profile in
+  if not (finish > start) then invalid_arg "Allocation.of_profile: empty span";
+  let bw = request.Request.volume /. (finish -. start) in
+  { (make ~request ~bw ~sigma:start) with profile = Some profile }
 
 let meets_deadline t = t.tau <= t.request.Request.tf *. (1. +. 1e-9) +. 1e-9
 let within_rate_bounds t = t.bw <= t.request.Request.max_rate *. (1. +. 1e-9)
@@ -14,4 +26,8 @@ let duration t = t.tau -. t.sigma
 let compare a b = Request.compare a.request b.request
 
 let pp ppf t =
-  Format.fprintf ppf "%a @@ %.2fMB/s on [%.2f,%.2f]" Request.pp t.request t.bw t.sigma t.tau
+  match t.profile with
+  | None ->
+      Format.fprintf ppf "%a @@ %.2fMB/s on [%.2f,%.2f]" Request.pp t.request t.bw t.sigma
+        t.tau
+  | Some p -> Format.fprintf ppf "%a @@ profile %a" Request.pp t.request Rate_profile.pp p

@@ -72,7 +72,26 @@ let replay_hint name =
       Some (String.sub p 2 (String.length p - 2))
     else None
   in
+  (* "malleable(ba=7,no-reshape)" → the flag spelling of each option;
+     "malleable-constant" is a parity fixture with no CLI spelling. *)
+  let malleable_args inner =
+    List.fold_left
+      (fun acc opt ->
+        match acc with
+        | None -> None
+        | Some flags ->
+            if opt = "no-reshape" then Some (flags ^ " --no-reshape")
+            else if String.starts_with ~prefix:"ba=" opt then
+              Some (flags ^ " --book-ahead " ^ String.sub opt 3 (String.length opt - 3))
+            else None)
+      (Some "") (String.split_on_char ',' inner)
+  in
   match String.split_on_char '/' name with
+  | [ "malleable" ] -> Some (base "malleable")
+  | [ head ] when String.starts_with ~prefix:"malleable(" head -> (
+      match inner_of ~prefix:"malleable(" head with
+      | None -> None
+      | Some inner -> Option.map (fun flags -> base "malleable" ^ flags) (malleable_args inner))
   | [ "fcfs" ] -> Some (base "fcfs")
   | [ "fifo-blocking" ] -> Some (base "fifo")
   | [ "cumulated-slots" ] -> Some (base "cumulated")

@@ -13,6 +13,7 @@ module Fault = Gridbw_fault.Fault
 module Online = Gridbw_core.Online
 module Port = Gridbw_alloc.Port
 module Shard_engine = Gridbw_shard.Engine
+module Malleable = Gridbw_malleable.Malleable
 
 type finding = { engine : string; check : string; detail : string }
 
@@ -315,8 +316,24 @@ let check_long_lived ~seed ~size =
     fail "longlived-greedy-feasible-nonuniform" "greedy returned an infeasible set";
   List.rev !findings
 
+(* MALLEABLE parity gate: with reshaping off and one constant step per
+   request, the engine must collapse to GREEDY decision for decision —
+   the PR-1 style anchor tying the profiled code path to the constant
+   one. *)
+let check_malleable_parity (sc : Scenario.t) =
+  let constant = Malleable.scheduler { Malleable.default with Malleable.constant_step = true } in
+  let twin = Scheduler.of_flexible `Greedy Policy.Min_rate in
+  let a = run_on constant sc.Scenario.fabric sc.Scenario.requests in
+  let b = run_on twin sc.Scenario.fabric sc.Scenario.requests in
+  if signature a <> signature b then
+    [ { engine = Scheduler.name constant;
+        check = "constant-step-parity";
+        detail = "decision stream differs from " ^ Scheduler.name twin } ]
+  else []
+
 let engines_for (sc : Scenario.t) =
   Scheduler.shipped ~step:default_step ()
+  @ Malleable.engines ()
   @
   if sc.Scenario.faults = [] then []
   else
@@ -328,5 +345,5 @@ let check ?engines (sc : Scenario.t) =
   | Some es -> List.concat_map (check_scheduler sc) es
   | None ->
       List.concat_map (check_scheduler sc) (engines_for sc)
-      @ check_faulted sc @ check_parity sc @ check_sharded sc
+      @ check_faulted sc @ check_parity sc @ check_malleable_parity sc @ check_sharded sc
       @ check_long_lived ~seed:sc.Scenario.seed ~size:(min sc.Scenario.size 16)

@@ -6,6 +6,7 @@ module Validate = Gridbw_metrics.Validate
 module Hotspot = Gridbw_metrics.Hotspot
 module Fault = Gridbw_fault.Fault
 module Injector = Gridbw_fault.Injector
+module Rate_profile = Gridbw_alloc.Rate_profile
 
 type side = Hotspot.side
 
@@ -17,6 +18,7 @@ type violation =
   | Deadline_miss of { id : int; tau : float; tf : float }
   | Duplicate of { id : int }
   | Port_overload of { side : side; port : int; at : float; usage : float; capacity : float }
+  | Volume_mismatch of { id : int; integral : float; volume : float }
 
 (* Deliberately naive interval arithmetic: usage at an instant is a plain
    sum over every allocation covering it, and the sweep probes every
@@ -57,6 +59,17 @@ let audit_allocations ?(slack = 1e-9) fabric allocations =
         add (Early_start { id; sigma = a.Allocation.sigma; ts = r.Request.ts });
       if a.Allocation.bw > r.Request.max_rate *. (1. +. slack) then
         add (Rate_above_cap { id; bw = a.Allocation.bw; max_rate = r.Request.max_rate });
+      (* profiled (malleable) allocations: the step peak obeys the host
+         cap and the Kahan integral is the volume, bit for bit *)
+      (match a.Allocation.profile with
+      | None -> ()
+      | Some p ->
+          let peak = Rate_profile.peak p in
+          if peak > r.Request.max_rate *. (1. +. slack) then
+            add (Rate_above_cap { id; bw = peak; max_rate = r.Request.max_rate });
+          let integral = Rate_profile.integral p in
+          if integral <> r.Request.volume then
+            add (Volume_mismatch { id; integral; volume = r.Request.volume }));
       if a.Allocation.tau > (r.Request.tf *. (1. +. slack)) +. slack then
         add (Deadline_miss { id; tau = a.Allocation.tau; tf = r.Request.tf }))
     allocations;
@@ -67,14 +80,21 @@ let audit_allocations ?(slack = 1e-9) fabric allocations =
         Fabric.valid_ingress fabric r.Request.ingress && Fabric.valid_egress fabric r.Request.egress)
       allocations
   in
+  let commitments (a : Allocation.t) =
+    match a.Allocation.profile with
+    | Some p ->
+        List.map
+          (fun (s : Rate_profile.seg) ->
+            (s.Rate_profile.from_, s.Rate_profile.until, s.Rate_profile.rate))
+          (Rate_profile.segments p)
+    | None -> [ (a.Allocation.sigma, a.Allocation.tau, a.Allocation.bw) ]
+  in
   let sweep side count capacity_of port_of =
     for port = 0 to count - 1 do
       let intervals =
-        List.filter_map
+        List.concat_map
           (fun (a : Allocation.t) ->
-            if port_of a.Allocation.request = port then
-              Some (a.Allocation.sigma, a.Allocation.tau, a.Allocation.bw)
-            else None)
+            if port_of a.Allocation.request = port then commitments a else [])
           routed
       in
       match port_overloads ~slack ~capacity:(capacity_of port) intervals with
@@ -171,6 +191,7 @@ let same_constraint (v : Validate.violation) (w : violation) =
   | Validate.Start_before_request { request_id; _ }, Early_start { id; _ } -> request_id = id
   | Validate.Bad_route { request_id; _ }, Bad_route { id; _ } -> request_id = id
   | Validate.Duplicate_request { request_id }, Duplicate { id } -> request_id = id
+  | Validate.Volume_mismatch { request_id; _ }, Volume_mismatch { id; _ } -> request_id = id
   | _ -> false
 
 let agrees vs ws =
@@ -193,5 +214,8 @@ let pp_violation ppf = function
       Format.fprintf ppf "%s port %d overloaded at t=%.3f: %.3f > %.3f MB/s"
         (match side with Hotspot.Ingress -> "ingress" | Hotspot.Egress -> "egress")
         port at usage capacity
+  | Volume_mismatch { id; integral; volume } ->
+      Format.fprintf ppf "request %d profile integrates to %.17g, volume is %.17g" id integral
+        volume
 
 let describe v = Format.asprintf "%a" pp_violation v

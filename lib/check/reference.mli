@@ -34,6 +34,9 @@ type violation =
       usage : float;
       capacity : float;
     }
+  | Volume_mismatch of { id : int; integral : float; volume : float }
+      (** a profiled (malleable) allocation whose Kahan integral differs
+          from the request volume — checked bit-for-bit *)
 
 val audit_allocations :
   ?slack:float ->

@@ -9,6 +9,7 @@ type family =
   | Near_rigid
   | Revision_storm
   | Cross_shard_storm
+  | Reshape_storm
   | Mixed
 
 type t = {
@@ -21,7 +22,8 @@ type t = {
 }
 
 let families =
-  [ Hotspot_skew; Deadline_tight; Near_rigid; Revision_storm; Cross_shard_storm; Mixed ]
+  [ Hotspot_skew; Deadline_tight; Near_rigid; Revision_storm; Cross_shard_storm;
+    Reshape_storm; Mixed ]
 
 let family_name = function
   | Hotspot_skew -> "hotspot-skew"
@@ -29,6 +31,7 @@ let family_name = function
   | Near_rigid -> "near-rigid"
   | Revision_storm -> "revision-storm"
   | Cross_shard_storm -> "cross-shard-storm"
+  | Reshape_storm -> "reshape-storm"
   | Mixed -> "mixed"
 
 let family_of_name n = List.find_opt (fun f -> family_name f = n) families
@@ -88,6 +91,31 @@ let cancel_script rng requests =
          else None)
        requests)
 
+(* Reshape pressure: arrivals land in a handful of bursts whose transfer
+   windows open a little after the burst itself, so a booking engine holds
+   several admitted-but-not-yet-started profiles exactly when the burst's
+   later members are decided — the pending set admission-time reshaping
+   re-solves.  Slack in [1.3, 1.5] is wide enough that step profiles have
+   room to bend yet tight enough that constant rates jam first. *)
+let reshape_request rng fabric ~centre ~id =
+  let ingress = draw_port rng ~hot:0.5 (Fabric.ingress_count fabric) in
+  let egress = draw_port rng ~hot:0.5 (Fabric.egress_count fabric) in
+  let cap =
+    Float.min (Fabric.ingress_capacity fabric ingress) (Fabric.egress_capacity fabric egress)
+  in
+  let ts = Float.max 0. (centre +. Rng.float_in rng (-3.) 3.) in
+  let dur = Rng.float_in rng 2. 20. in
+  let min_rate = Rng.float_in rng (0.05 *. cap) (0.8 *. cap) in
+  let slack = Rng.float_in rng 1.3 1.5 in
+  Request.make ~id ~ingress ~egress ~volume:(min_rate *. dur) ~ts ~tf:(ts +. dur)
+    ~max_rate:(min_rate *. slack)
+
+let reshape_requests rng fabric ~size =
+  let clusters = max 1 (size / 8) in
+  let centres = Array.init clusters (fun _ -> Rng.float_in rng 10. 60.) in
+  List.init size (fun id ->
+      reshape_request rng fabric ~centre:centres.(Rng.int rng clusters) ~id)
+
 let random_fabric rng =
   match Rng.int rng 4 with
   | 0 -> Fabric.uniform ~ingress_count:2 ~egress_count:2 ~capacity:100.0
@@ -140,6 +168,7 @@ let generate ~family ~seed ~size =
     | Cross_shard_storm ->
         let reqs = List.init size (fun id -> straddling_request rng fabric ~id) in
         (reqs, cancel_script rng reqs)
+    | Reshape_storm -> (reshape_requests rng fabric ~size, [])
     | Mixed -> (base ~hot:0.35 ~slack_hi:4.0 ~rigid_share:0.25, [])
   in
   { family; seed; size; fabric; requests; faults }

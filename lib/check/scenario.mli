@@ -23,6 +23,12 @@ type family =
           every partitioning — plus a cancel-heavy preempt script; feeds
           {!Harness.check_sharded}'s differential against the sharded
           engine *)
+  | Reshape_storm
+      (** arrivals in bursts whose transfer windows overlap, slack in
+          [1.3, 1.5], ~50 % hotspot routing, no faults — a booking engine
+          holds several admitted-but-not-yet-started profiles exactly when
+          a burst's later members are decided, so the MALLEABLE engine's
+          admission-time reshaping fires constantly *)
   | Mixed  (** a blend of the above draws on a uniform fabric *)
 
 type t = {

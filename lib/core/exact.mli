@@ -42,3 +42,26 @@ val max_requests_flexible :
     keeps [sigma = ts] and assigns rates from the same grid (GREEDY and
     WINDOW under the corresponding policies).  Exponential with branching
     factor [1 + |levels|]; small instances only. *)
+
+val max_requests_malleable :
+  ?node_budget:int ->
+  Gridbw_topology.Fabric.t ->
+  Gridbw_request.Request.t list ->
+  solution
+(** Offline optimum count for {e malleable} (step-profile) reservations:
+    a subset is feasible when every request can ship its full volume
+    within [\[ts, tf\]] at time-varying rates in [\[0, MaxRate\]] under
+    the port capacities.  Feasibility of a subset is decided per port by
+    the classic preemptive-deadline max-flow reduction (source → request
+    volume, request → alive elementary segment at [MaxRate × length],
+    segment → sink at [capacity × length]); branch and bound over
+    subsets in arrival order with the same count bound as
+    {!max_requests}.
+
+    On a 1×1 fabric the per-port check is exact, so the returned count
+    is the malleable optimum.  On wider fabrics charging both endpoint
+    ports at once is a fractional packing the flow relaxes, so the count
+    is an {e upper bound} on the optimum — still a sound yardstick,
+    since every heuristic's accepted set passes the per-port check.
+    [node_budget] (default [100_000]) caps explored nodes; each node
+    costs a handful of max-flow solves. *)

@@ -1,6 +1,7 @@
 module Event = Gridbw_obs.Event
 module Request = Gridbw_request.Request
 module Allocation = Gridbw_alloc.Allocation
+module Rate_profile = Gridbw_alloc.Rate_profile
 
 type t = {
   events : Event.t list;
@@ -34,17 +35,40 @@ let of_events events =
       |> List.stable_sort (fun (a, _) (b, _) -> compare (a : int) b)
       |> List.map snd
     in
-    (* [accepted] in decision order: Accept events are emitted as decisions
-       are taken, and embed the full request, so the allocation (tau
-       included) is rebuilt from the trace alone. *)
+    (* [accepted] in decision order: Accept/Reshape events are emitted as
+       decisions are taken, and embed the full request, so the allocation
+       (tau included) is rebuilt from the trace alone.  A Reshape both
+       admits its own request and revises the profiles of still-pending
+       earlier admits, so the final list carries each transfer's last
+       schedule, exactly like the live engine's result. *)
     let accepted =
-      List.filter_map
+      let tbl = Hashtbl.create 64 in
+      let rev_order = ref [] in
+      let admit id a =
+        if not (Hashtbl.mem tbl id) then rev_order := id :: !rev_order;
+        Hashtbl.replace tbl id a
+      in
+      List.iter
         (function
           | Event.Accept { id; ingress; egress; volume; ts; tf; max_rate; bw; sigma; _ } ->
               let request = request_of ~id ~ingress ~egress ~volume ~ts ~tf ~max_rate in
-              Some (Allocation.make ~request ~bw ~sigma)
-          | _ -> None)
-        events
+              admit id (Allocation.make ~request ~bw ~sigma)
+          | Event.Reshape { id; ingress; egress; volume; ts; tf; max_rate; profile; revised; _ }
+            ->
+              Array.iter
+                (fun (rid, segs) ->
+                  match Hashtbl.find_opt tbl rid with
+                  | None -> ()
+                  | Some (old : Allocation.t) ->
+                      Hashtbl.replace tbl rid
+                        (Allocation.of_profile ~request:old.Allocation.request
+                           (Rate_profile.of_triples segs)))
+                revised;
+              let request = request_of ~id ~ingress ~egress ~volume ~ts ~tf ~max_rate in
+              admit id (Allocation.of_profile ~request (Rate_profile.of_triples profile))
+          | _ -> ())
+        events;
+      List.rev_map (fun id -> Hashtbl.find tbl id) !rev_order
     in
     Ok { events; requests; accepted }
   with Invalid_argument msg -> Error ("invalid event fields: " ^ msg)

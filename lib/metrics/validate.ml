@@ -2,6 +2,7 @@ module Fabric = Gridbw_topology.Fabric
 module Request = Gridbw_request.Request
 module Allocation = Gridbw_alloc.Allocation
 module Profile = Gridbw_alloc.Profile
+module Rate_profile = Gridbw_alloc.Rate_profile
 
 type violation =
   | Port_overload of {
@@ -16,6 +17,7 @@ type violation =
   | Start_before_request of { request_id : int; sigma : float; ts : float }
   | Bad_route of { request_id : int; ingress : int; egress : int }
   | Duplicate_request of { request_id : int }
+  | Volume_mismatch of { request_id : int; integral : float; volume : float }
 
 let le_cap used cap = used <= cap *. (1. +. 1e-9)
 
@@ -48,18 +50,41 @@ let check fabric allocations =
         add (Bad_route { request_id = r.Request.id; ingress = r.Request.ingress;
                          egress = r.Request.egress })
       else begin
-        in_profiles.(r.Request.ingress) <-
-          Profile.add in_profiles.(r.Request.ingress) ~from_:a.Allocation.sigma
-            ~until:a.Allocation.tau a.Allocation.bw;
-        out_profiles.(r.Request.egress) <-
-          Profile.add out_profiles.(r.Request.egress) ~from_:a.Allocation.sigma
-            ~until:a.Allocation.tau a.Allocation.bw
+        (* A profiled (malleable) allocation loads its ports step by step;
+           a constant one loads them at [bw] over [\[sigma, tau)]. *)
+        let segments =
+          match a.Allocation.profile with
+          | Some p ->
+              List.map
+                (fun (s : Rate_profile.seg) -> (s.Rate_profile.from_, s.Rate_profile.until, s.Rate_profile.rate))
+                (Rate_profile.segments p)
+          | None -> [ (a.Allocation.sigma, a.Allocation.tau, a.Allocation.bw) ]
+        in
+        List.iter
+          (fun (from_, until, rate) ->
+            in_profiles.(r.Request.ingress) <-
+              Profile.add in_profiles.(r.Request.ingress) ~from_ ~until rate;
+            out_profiles.(r.Request.egress) <-
+              Profile.add out_profiles.(r.Request.egress) ~from_ ~until rate)
+          segments
       end;
       if not (Allocation.meets_deadline a) then
         add (Deadline_miss { request_id = r.Request.id; tau = a.Allocation.tau; tf = r.Request.tf });
       if not (Allocation.within_rate_bounds a) then
         add (Rate_above_max
                { request_id = r.Request.id; bw = a.Allocation.bw; max_rate = r.Request.max_rate });
+      (match a.Allocation.profile with
+      | None -> ()
+      | Some p ->
+          (* The malleable contract is exact: peak within the host cap
+             (with the ledger's slack) and the Kahan integral equal to
+             the request volume bit-for-bit. *)
+          let peak = Rate_profile.peak p in
+          if not (le_cap peak r.Request.max_rate) then
+            add (Rate_above_max { request_id = r.Request.id; bw = peak; max_rate = r.Request.max_rate });
+          let integral = Rate_profile.integral p in
+          if integral <> r.Request.volume then
+            add (Volume_mismatch { request_id = r.Request.id; integral; volume = r.Request.volume }));
       if a.Allocation.sigma < r.Request.ts -. 1e-12 then
         add (Start_before_request
                { request_id = r.Request.id; sigma = a.Allocation.sigma; ts = r.Request.ts }))
@@ -101,6 +126,9 @@ let pp_violation ppf = function
       Format.fprintf ppf "request %d routed on unknown ports (%d -> %d)" request_id ingress egress
   | Duplicate_request { request_id } ->
       Format.fprintf ppf "request %d allocated more than once" request_id
+  | Volume_mismatch { request_id; integral; volume } ->
+      Format.fprintf ppf "request %d profile integrates to %.17g, volume is %.17g" request_id
+        integral volume
 
 let report fabric allocations =
   match check fabric allocations with

@@ -18,6 +18,11 @@ type violation =
   | Start_before_request of { request_id : int; sigma : float; ts : float }
   | Bad_route of { request_id : int; ingress : int; egress : int }
   | Duplicate_request of { request_id : int }
+  | Volume_mismatch of { request_id : int; integral : float; volume : float }
+      (** A profiled (malleable) allocation whose Kahan integral is not
+          bit-identical to the request volume — the MALLEABLE engine's
+          exactness contract.  Constant allocations are exempt (their
+          volume is definitionally [bw * (tau - sigma)]). *)
 
 val check :
   Gridbw_topology.Fabric.t -> Gridbw_alloc.Allocation.t list -> violation list

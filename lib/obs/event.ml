@@ -34,6 +34,19 @@ type t =
       shard : int option;
     }
   | Preempt of { time : float; id : int; bw : float; shard : int option }
+  | Reshape of {
+      time : float;
+      id : int;
+      ingress : int;
+      egress : int;
+      volume : float;
+      ts : float;
+      tf : float;
+      max_rate : float;
+      profile : (float * float * float) array;
+      revised : (int * (float * float * float) array) array;
+      shard : int option;
+    }
   | Shed of { time : float; side : side; port : int; excess : float; victims : int }
   | Capacity of { time : float; side : side; port : int; capacity : float }
   | Dispatch of { time : float; pending : int }
@@ -43,6 +56,7 @@ let time = function
   | Accept { time; _ }
   | Reject { time; _ }
   | Preempt { time; _ }
+  | Reshape { time; _ }
   | Shed { time; _ }
   | Capacity { time; _ }
   | Dispatch { time; _ } -> time
@@ -52,6 +66,7 @@ let kind = function
   | Accept _ -> "accept"
   | Reject _ -> "reject"
   | Preempt _ -> "preempt"
+  | Reshape _ -> "reshape"
   | Shed _ -> "shed"
   | Capacity _ -> "capacity"
   | Dispatch _ -> "dispatch"
@@ -62,6 +77,12 @@ let side_of_name = function
   | "ingress" -> Ok Ingress
   | "egress" -> Ok Egress
   | s -> Error ("unknown side " ^ s)
+
+let profile_to_json segs =
+  Json.List
+    (Array.to_list segs
+    |> List.map (fun (from_, until, rate) ->
+           Json.List [ Json.Num from_; Json.Num until; Json.Num rate ]))
 
 let to_json ev =
   let open Json in
@@ -91,6 +112,20 @@ let to_json ev =
         @ (match shard with Some s -> [ ("shard", int s) ] | None -> [])
     | Preempt { time; id; bw; shard } ->
         [ ("ev", Str "preempt"); ("t", num time); ("id", int id); ("bw", num bw) ]
+        @ (match shard with Some s -> [ ("shard", int s) ] | None -> [])
+    | Reshape { time; id; ingress; egress; volume; ts; tf; max_rate; profile; revised; shard }
+      ->
+        [
+          ("ev", Str "reshape"); ("t", num time); ("id", int id);
+          ("in", int ingress); ("out", int egress); ("vol", num volume);
+          ("ts", num ts); ("tf", num tf); ("max", num max_rate);
+          ("profile", profile_to_json profile);
+          ( "revised",
+            List
+              (Array.to_list revised
+              |> List.map (fun (rid, segs) ->
+                     Obj [ ("id", int rid); ("profile", profile_to_json segs) ])) );
+        ]
         @ (match shard with Some s -> [ ("shard", int s) ] | None -> [])
     | Shed { time; side; port; excess; victims } ->
         [
@@ -122,6 +157,28 @@ let opt_field name conv json =
       match conv v with
       | Some v -> Ok (Some v)
       | None -> Error (Printf.sprintf "malformed field %S" name))
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: tl ->
+      let* y = f x in
+      let* rest = map_result f tl in
+      Ok (y :: rest)
+
+let profile_of_json = function
+  | Json.List items ->
+      let* segs =
+        map_result
+          (function
+            | Json.List [ a; b; c ] -> (
+                match (Json.to_float a, Json.to_float b, Json.to_float c) with
+                | Some from_, Some until, Some rate -> Ok (from_, until, rate)
+                | _ -> Error "malformed profile segment")
+            | _ -> Error "malformed profile segment")
+          items
+      in
+      Ok (Array.of_list segs)
+  | _ -> Error "malformed profile"
 
 let of_json json =
   let* ev = field "ev" Json.to_str json in
@@ -170,6 +227,34 @@ let of_json json =
       let* bw = field "bw" Json.to_float json in
       let* shard = opt_field "shard" Json.to_int json in
       Ok (Preempt { time; id; bw; shard })
+  | "reshape" ->
+      let* id = field "id" Json.to_int json in
+      let* ingress = field "in" Json.to_int json in
+      let* egress = field "out" Json.to_int json in
+      let* volume = field "vol" Json.to_float json in
+      let* ts = field "ts" Json.to_float json in
+      let* tf = field "tf" Json.to_float json in
+      let* max_rate = field "max" Json.to_float json in
+      let* profile = field "profile" (fun j -> Some j) json in
+      let* profile = profile_of_json profile in
+      let* revised = field "revised" (fun j -> Some j) json in
+      let* revised =
+        match revised with
+        | Json.List items ->
+            let* pairs =
+              map_result
+                (fun item ->
+                  let* rid = field "id" Json.to_int item in
+                  let* segs = field "profile" (fun j -> Some j) item in
+                  let* segs = profile_of_json segs in
+                  Ok (rid, segs))
+                items
+            in
+            Ok (Array.of_list pairs)
+        | _ -> Error "malformed field \"revised\""
+      in
+      let* shard = opt_field "shard" Json.to_int json in
+      Ok (Reshape { time; id; ingress; egress; volume; ts; tf; max_rate; profile; revised; shard })
   | "shed" ->
       let* side = field "side" Json.to_str json in
       let* side = side_of_name side in
@@ -209,6 +294,9 @@ let pp ppf ev =
         (port, headroom)
   | Preempt { time; id; bw; _ } ->
       Format.fprintf ppf "%12.3f preempt  r%d (held %.2fMB/s)" time id bw
+  | Reshape { time; id; profile; revised; _ } ->
+      Format.fprintf ppf "%12.3f reshape  r%d accepted (%d steps, %d pending revised)" time id
+        (Array.length profile) (Array.length revised)
   | Shed { time; side; port; excess; victims } ->
       Format.fprintf ppf "%12.3f shed     %s %d excess=%.2fMB/s victims=%d" time (side_name side)
         port excess victims

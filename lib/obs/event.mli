@@ -49,6 +49,28 @@ type t =
       shard : int option;  (** deciding shard in a sharded run, [None] otherwise *)
     }
   | Preempt of { time : float; id : int; bw : float; shard : int option }
+  | Reshape of {
+      time : float;
+      id : int;
+      ingress : int;
+      egress : int;
+      volume : float;
+      ts : float;
+      tf : float;
+      max_rate : float;
+      profile : (float * float * float) array;
+          (** the admitted step schedule, [(from_, until, rate)] per step *)
+      revised : (int * (float * float * float) array) array;
+          (** new profiles for already-admitted, not-yet-started transfers
+              reshaped to open capacity for this admit, in commit (EDF)
+              order.  The whole record applies atomically: the revisions
+              and the admit are one journal entry. *)
+      shard : int option;
+    }
+      (** a MALLEABLE acceptance: like [Accept] but carrying the full
+          step-function profile, plus any pending-transfer reshaping the
+          admission performed.  Emitted {e instead of} [Accept] by the
+          malleable engine's profiled path. *)
   | Shed of {
       time : float;
       side : side;
@@ -62,7 +84,8 @@ type t =
 
 val time : t -> float
 val kind : t -> string
-(** "arrival", "accept", "reject", "preempt", "shed", "capacity", "dispatch". *)
+(** "arrival", "accept", "reject", "preempt", "reshape", "shed",
+    "capacity", "dispatch". *)
 
 val side_name : side -> string
 

@@ -97,6 +97,37 @@ module Binary = struct
         Binio.add_i64 b id;
         Binio.add_f64 b bw;
         add_shard b shard
+    | Reshape { time; id; ingress; egress; volume; ts; tf; max_rate; profile; revised; shard }
+      ->
+        Binio.add_u8 b 8;
+        Binio.add_f64 b time;
+        Binio.add_i64 b id;
+        Binio.add_i64 b ingress;
+        Binio.add_i64 b egress;
+        Binio.add_f64 b volume;
+        Binio.add_f64 b ts;
+        Binio.add_f64 b tf;
+        Binio.add_f64 b max_rate;
+        Binio.add_i64 b (Array.length profile);
+        Array.iter
+          (fun (from_, until, rate) ->
+            Binio.add_f64 b from_;
+            Binio.add_f64 b until;
+            Binio.add_f64 b rate)
+          profile;
+        Binio.add_i64 b (Array.length revised);
+        Array.iter
+          (fun (rid, segs) ->
+            Binio.add_i64 b rid;
+            Binio.add_i64 b (Array.length segs);
+            Array.iter
+              (fun (from_, until, rate) ->
+                Binio.add_f64 b from_;
+                Binio.add_f64 b until;
+                Binio.add_f64 b rate)
+              segs)
+          revised;
+        add_shard b shard
     | Shed { time; side; port; excess; victims } ->
         Binio.add_u8 b 5;
         Binio.add_f64 b time;
@@ -213,6 +244,36 @@ module Binary = struct
             let bw = f64 () in
             let shard = shard () in
             Event.Preempt { time; id; bw; shard }
+        | 8 ->
+            let time = f64 () in
+            let id = i64 () in
+            let ingress = i64 () in
+            let egress = i64 () in
+            let volume = f64 () in
+            let ts = f64 () in
+            let tf = f64 () in
+            let max_rate = f64 () in
+            let triples () =
+              let n = i64 () in
+              if n < 0 then failwith "negative profile length";
+              Array.init n (fun _ ->
+                  let from_ = f64 () in
+                  let until = f64 () in
+                  let rate = f64 () in
+                  (from_, until, rate))
+            in
+            let profile = triples () in
+            let nrev = i64 () in
+            if nrev < 0 then failwith "negative revision count";
+            let revised =
+              Array.init nrev (fun _ ->
+                  let rid = i64 () in
+                  let segs = triples () in
+                  (rid, segs))
+            in
+            let shard = shard () in
+            Event.Reshape
+              { time; id; ingress; egress; volume; ts; tf; max_rate; profile; revised; shard }
         | 5 ->
             let time = f64 () in
             let side = side () in

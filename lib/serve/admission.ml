@@ -219,7 +219,9 @@ let of_recovered ?obs ~policy (r : Store.recovered) =
                       ignore (Online.preempt t.ctl a);
                       Hashtbl.replace t.entries id (Cancelled a)
                   | _ -> ())
-              | Event.Capacity _ | Event.Shed _ | Event.Dispatch _ -> ())
+              (* the serving plane journals constant-rate admissions
+                 only, so a malleable Reshape never appears here *)
+              | Event.Reshape _ | Event.Capacity _ | Event.Shed _ | Event.Dispatch _ -> ())
             r.Store.events;
           Ok t
         end

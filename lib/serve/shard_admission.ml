@@ -278,7 +278,8 @@ let of_recovered ~shards ~policy (r : Store.recovered) =
                     match Hashtbl.find_opt t.entries id with
                     | Some (Booked a) -> Hashtbl.replace t.entries id (Cancelled a)
                     | _ -> ())
-                | Event.Arrival _ | Event.Capacity _ | Event.Shed _ | Event.Dispatch _ -> ())
+                | Event.Arrival _ | Event.Reshape _ | Event.Capacity _ | Event.Shed _
+                | Event.Dispatch _ -> ())
               r.Store.events;
             Ok t
       end

@@ -440,7 +440,9 @@ let of_events ?journal ?(spawn = true) ~shards ~policy ~fabric events =
                 Hashtbl.remove live id
               end
           | None -> ())
-      | Event.Capacity _ | Event.Shed _ | Event.Dispatch _ -> ());
+      (* Reshape is journaled only by the single-process malleable
+         engine; a sharded journal never carries one. *)
+      | Event.Reshape _ | Event.Capacity _ | Event.Shed _ | Event.Dispatch _ -> ());
       let time = Event.time ev in
       if time > !horizon then horizon := time
     in

@@ -5,6 +5,7 @@ module Sink = Gridbw_obs.Sink
 module Fabric = Gridbw_topology.Fabric
 module Request = Gridbw_request.Request
 module Allocation = Gridbw_alloc.Allocation
+module Rate_profile = Gridbw_alloc.Rate_profile
 module Ledger = Gridbw_alloc.Ledger
 
 type config = {
@@ -64,6 +65,34 @@ let ledger t = t.mirror
 let request_of ~id ~ingress ~egress ~volume ~ts ~tf ~max_rate =
   Request.make ~id ~ingress ~egress ~volume ~ts ~tf ~max_rate
 
+(* Mirror bookkeeping for one allocation, profile-aware: constant-rate
+   allocations move [bw] over [sigma, tau), profiled ones move each step
+   separately.  [clip] drops the already-transmitted part on release
+   (preemption at [time] only frees the future). *)
+let release_allocation t ~clip (a : Allocation.t) =
+  let req = a.Allocation.request in
+  let ingress = req.Request.ingress and egress = req.Request.egress in
+  match a.Allocation.profile with
+  | Some p ->
+      List.iter
+        (fun (s : Rate_profile.seg) ->
+          let from_ = Float.max clip s.from_ in
+          if from_ < s.until then
+            Ledger.release_interval t.mirror ~ingress ~egress ~bw:s.rate ~from_ ~until:s.until)
+        (Rate_profile.segments p)
+  | None ->
+      let from_ = Float.max clip a.Allocation.sigma in
+      if from_ < a.Allocation.tau then
+        Ledger.release_interval t.mirror ~ingress ~egress ~bw:a.Allocation.bw ~from_
+          ~until:a.Allocation.tau
+
+let reserve_profile t ~ingress ~egress p =
+  List.iter
+    (fun (s : Rate_profile.seg) ->
+      Ledger.reserve_interval t.mirror ~ingress ~egress ~bw:s.rate ~from_:s.from_
+        ~until:s.until)
+    (Rate_profile.segments p)
+
 (* [ledger_effects:false] replays history whose ledger image came from a
    snapshot: tables and fabric still update, reservations do not. *)
 let apply ?(ledger_effects = true) t ev =
@@ -82,14 +111,41 @@ let apply ?(ledger_effects = true) t ev =
           ~until:a.Allocation.tau
   | Event.Preempt { time; id; _ } -> (
       match Hashtbl.find_opt t.accepted_tbl id with
-      | Some a when ledger_effects ->
-          let from_ = Float.max time a.Allocation.sigma in
-          if from_ < a.Allocation.tau then
-            Ledger.release_interval t.mirror
-              ~ingress:a.Allocation.request.Request.ingress
-              ~egress:a.Allocation.request.Request.egress ~bw:a.Allocation.bw ~from_
-              ~until:a.Allocation.tau
+      | Some a when ledger_effects -> release_allocation t ~clip:time a
       | _ -> ())
+  | Event.Reshape { time; id; ingress; egress; volume; ts; tf; max_rate; profile; revised; _ }
+    ->
+      (* One journal record = one atomic transaction: every pending
+         revision plus the new admit land together or (if the record was
+         torn) not at all. *)
+      Array.iter
+        (fun (rid, segs) ->
+          match Hashtbl.find_opt t.accepted_tbl rid with
+          | None -> ()
+          | Some old ->
+              let p = Rate_profile.of_triples segs in
+              let a = Allocation.of_profile ~request:old.Allocation.request p in
+              if ledger_effects then begin
+                (* Revised transfers have not started yet: free the whole
+                   old schedule, then book the new one. *)
+                release_allocation t ~clip:Float.neg_infinity old;
+                reserve_profile t ~ingress:old.Allocation.request.Request.ingress
+                  ~egress:old.Allocation.request.Request.egress p
+              end;
+              Hashtbl.replace t.accepted_tbl rid a;
+              t.rev_accepted <-
+                List.map
+                  (fun (tm, b) ->
+                    if b.Allocation.request.Request.id = rid then (tm, a) else (tm, b))
+                  t.rev_accepted)
+        revised;
+      let request = request_of ~id ~ingress ~egress ~volume ~ts ~tf ~max_rate in
+      let p = Rate_profile.of_triples profile in
+      let a = Allocation.of_profile ~request p in
+      Hashtbl.replace t.decided_tbl id ();
+      Hashtbl.replace t.accepted_tbl id a;
+      t.rev_accepted <- (time, a) :: t.rev_accepted;
+      if ledger_effects then reserve_profile t ~ingress ~egress p
   | Event.Shed _ -> ()
   | Event.Capacity { side; port; capacity; _ } ->
       let fabric =

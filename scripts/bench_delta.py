@@ -17,6 +17,11 @@ committed one:
              the fresh machine's fsync is too cheap to measure (tmpfs
              runners): with no fsync cost to amortize the quotient
              degenerates to CPU noise.
+  malleable  no-reshape-x10 / greedy-x100 — the water-fill solve against
+             the same reference kernel (both admit the same x10/x100
+             workload family, the quotient tracks only the step-profile
+             solver), plus reshape-100 / greedy-x100 for the EDF
+             re-solve path on its fixed 100-request storm.
   serve      loadgen throughput, normalized by the greedy-x100 speed
              factor between the two machines.
   shard      1 -> N domain scaling of `serve --shards`
@@ -37,12 +42,15 @@ import sys
 
 WINDOW = "gridbw admission:window-x100"
 GREEDY = "gridbw admission:greedy-x100"
+MALLEABLE_SOLVE = "gridbw malleable:no-reshape-x10"
+MALLEABLE_RESHAPE = "gridbw malleable:reshape-100"
 BATCH1 = "gridbw store:greedy-wal-batch1"
 BATCH64 = "gridbw store:greedy-wal-batch64"
 WAL_OFF = "gridbw store:greedy-wal-off"
 
 # Absolute targets for the committed baselines (machine of record).
 WINDOW_X100_TARGET_NS = 50e6  # WINDOW-x100 < 50 ms
+MALLEABLE_SOLVE_TARGET_NS = 150e6  # water-fill solve (no reshape) x10 < 150 ms
 STORE_AMORTIZATION_TARGET = 0.10  # batch=64 overhead < 10% of batch=1's
 
 # Below this overhead1/wal-off multiple, fsync is effectively free on the
@@ -128,6 +136,8 @@ def main():
     ap.add_argument("--fresh-admission", required=True)
     ap.add_argument("--baseline-store", required=True)
     ap.add_argument("--fresh-store", required=True)
+    ap.add_argument("--baseline-malleable")
+    ap.add_argument("--fresh-malleable")
     ap.add_argument("--baseline-serve")
     ap.add_argument("--fresh-serve")
     ap.add_argument("--baseline-shard")
@@ -191,6 +201,33 @@ def main():
             f"fresh {fresh_amort * 100:.1f}% vs committed {base_amort * 100:.1f}% "
             f"(allowed <= {base_amort * (1 + tol) * 100:.1f}%)",
         )
+
+    if args.baseline_malleable and args.fresh_malleable:
+        base_mall = timings(args.baseline_malleable)
+        fresh_mall = timings(args.fresh_malleable)
+        bm_solve = need(base_mall, MALLEABLE_SOLVE, args.baseline_malleable)
+        g.check(
+            bm_solve < MALLEABLE_SOLVE_TARGET_NS,
+            "committed malleable solve",
+            f"{bm_solve / 1e6:.2f} ms (target < {MALLEABLE_SOLVE_TARGET_NS / 1e6:.0f} ms)",
+        )
+        # The reshape kernel runs ~0.5 s per iteration, so Bechamel gets
+        # few samples and the measurement is noisy (~25% swings on one
+        # machine); gate it at double tolerance.
+        for label, key, k_tol in (
+            ("malleable solve/greedy ratio", MALLEABLE_SOLVE, tol),
+            ("malleable reshape/greedy ratio", MALLEABLE_RESHAPE, 2 * tol),
+        ):
+            base_k = need(base_mall, key, args.baseline_malleable)
+            fresh_k = need(fresh_mall, key, args.fresh_malleable)
+            base_r = base_k / base_greedy
+            fresh_r = fresh_k / fresh_greedy
+            g.check(
+                fresh_r <= base_r * (1 + k_tol),
+                label,
+                f"fresh {fresh_r:.2f} vs committed {base_r:.2f} "
+                f"(allowed <= {base_r * (1 + k_tol):.2f})",
+            )
 
     if args.baseline_serve and args.fresh_serve:
         with open(args.baseline_serve) as f:

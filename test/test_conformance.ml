@@ -145,6 +145,15 @@ let test_replay_hints () =
   Alcotest.(check (option string)) "greedy"
     (Some "gridbw run --trace workload.csv --heuristic greedy --policy minrate")
     (Fuzz.replay_hint "greedy/minrate");
+  Alcotest.(check (option string)) "malleable"
+    (Some "gridbw run --trace workload.csv --heuristic malleable")
+    (Fuzz.replay_hint "malleable");
+  Alcotest.(check (option string)) "malleable booked"
+    (Some "gridbw run --trace workload.csv --heuristic malleable --book-ahead 7")
+    (Fuzz.replay_hint "malleable(ba=7)");
+  Alcotest.(check (option string)) "malleable frozen"
+    (Some "gridbw run --trace workload.csv --heuristic malleable --no-reshape")
+    (Fuzz.replay_hint "malleable(no-reshape)");
   check "faulty-greedy[3 events]" None;
   check "mutant-greedy" None
 

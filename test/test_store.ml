@@ -434,6 +434,141 @@ let test_sharded_crash_matrix () =
           end)
         boundaries)
 
+(* --- the malleable crash leg ---
+
+   A journaled MALLEABLE run commits each profiled admission as ONE
+   Reshape record carrying the new step schedule and every
+   pending-profile revision the admission performed.  A SIGKILL between
+   "revisions applied" and "admit recorded" must be unrepresentable on
+   disk: carving the journal in the middle of a Reshape record recovers
+   to a state bit-identical to the boundary before it (neither the admit
+   nor any revision), and the boundary after it holds both.  The broad
+   matrix additionally recovers every boundary and mid-record cut and
+   audits the surviving profiled bookings. *)
+
+module Malleable = Gridbw_malleable.Malleable
+module Rate_profile = Gridbw_alloc.Rate_profile
+
+let malleable_journal_run ~dir requests =
+  let t0 = List.fold_left (fun t (r : Request.t) -> Float.min t r.Request.ts) 0.0 requests in
+  let store = Store.create ~config:(store_config ~batch:4 ()) ~time:t0 ~dir (fabric2 ()) in
+  let result =
+    Malleable.run
+      { Malleable.default with Malleable.book_ahead = 10. }
+      ~ctx:(Gridbw_core.Runtime.make ~store ())
+      (fabric2 ()) requests
+  in
+  Store.close store;
+  result
+
+(* Recover a carve and return its profiled state as [(id, triples)] rows,
+   after auditing it: reference-feasible, ledger within capacity, every
+   profile closing to its volume bitwise. *)
+let malleable_recovered_state ~label ~dir =
+  match Store.recover ~config:(store_config ()) ~dir () with
+  | Error msg -> Alcotest.failf "%s: recovery failed: %s" label msg
+  | Ok r ->
+      Fun.protect ~finally:(fun () -> Store.close r.Store.store) @@ fun () ->
+      let allocs = List.map snd r.Store.accepted in
+      (match Reference.audit_allocations (fabric2 ()) allocs with
+      | [] -> ()
+      | vs -> Alcotest.failf "%s: %d audit violations on recovered state" label (List.length vs));
+      if not (Ledger.within_capacity (Store.ledger r.Store.store)) then
+        Alcotest.failf "%s: recovered mirror ledger exceeds capacity" label;
+      List.map
+        (fun (a : Allocation.t) ->
+          match a.Allocation.profile with
+          | None ->
+              Alcotest.failf "%s: malleable accept %d recovered without a profile" label
+                a.Allocation.request.Request.id
+          | Some p ->
+              if Rate_profile.integral p <> a.Allocation.request.Request.volume then
+                Alcotest.failf "%s: recovered profile of %d does not close bitwise" label
+                  a.Allocation.request.Request.id;
+              (a.Allocation.request.Request.id, Rate_profile.to_triples p))
+        allocs
+      |> List.sort compare
+
+let test_malleable_crash_matrix () =
+  let requests = workload_of_seed ~n:30 5 in
+  with_tmpdir (fun tmp ->
+      let src = Filename.concat tmp "src" in
+      let scratch = Filename.concat tmp "carved" in
+      ignore (malleable_journal_run ~dir:src requests);
+      let events =
+        match Store.recover ~config:(store_config ()) ~dir:src () with
+        | Error msg -> Alcotest.failf "uncarved journal does not recover: %s" msg
+        | Ok r ->
+            Store.close r.Store.store;
+            r.Store.events
+      in
+      let boundaries, total = Torn.record_boundaries ~dir:src in
+      (* one WAL record per event (the capacity prefix is events too):
+         the event index IS the record index the carves are keyed by *)
+      Alcotest.(check int) "records = events" (List.length events) (List.length boundaries);
+      let boundary_of record =
+        match List.nth_opt boundaries record with Some b -> b | None -> total
+      in
+      (* broad matrix: every clean and torn cut recovers to an auditable
+         profiled state (or fails cleanly inside the capacity prefix) *)
+      List.iteri
+        (fun kept boundary ->
+          let label = Printf.sprintf "malleable cut at record %d" kept in
+          let dir = carve ~src ~scratch boundary in
+          if kept < n_prefix then expect_prefix_error ~label ~dir
+          else ignore (malleable_recovered_state ~label ~dir);
+          let next = boundary_of (kept + 1) in
+          if next > boundary + 1 then begin
+            let label = Printf.sprintf "malleable torn inside record %d" kept in
+            let dir = carve ~src ~scratch (boundary + ((next - boundary) / 2)) in
+            if kept < n_prefix then expect_prefix_error ~label ~dir
+            else ignore (malleable_recovered_state ~label ~dir)
+          end)
+        boundaries;
+      (* targeted both-or-neither: for every Reshape that revised pending
+         profiles, a mid-record carve equals the pre state bit for bit
+         and the post state holds the admit AND every revision *)
+      let checked = ref 0 in
+      List.iteri
+        (fun i ev ->
+          match ev with
+          | Event.Reshape { id; profile; revised; _ } when Array.length revised > 0 ->
+              incr checked;
+              let record = i in
+              let before_b = boundary_of record and after_b = boundary_of (record + 1) in
+              let label = Printf.sprintf "reshape record %d (admit %d)" record id in
+              let pre =
+                malleable_recovered_state ~label:(label ^ ", pre")
+                  ~dir:(carve ~src ~scratch before_b)
+              in
+              let mid =
+                malleable_recovered_state ~label:(label ^ ", torn")
+                  ~dir:(carve ~src ~scratch (before_b + ((after_b - before_b) / 2)))
+              in
+              if mid <> pre then
+                Alcotest.failf "%s: torn reshape left a partial state behind" label;
+              let post =
+                malleable_recovered_state ~label:(label ^ ", post")
+                  ~dir:(carve ~src ~scratch after_b)
+              in
+              (match List.assoc_opt id post with
+              | Some got when got = profile -> ()
+              | Some _ -> Alcotest.failf "%s: admitted profile differs from the record" label
+              | None -> Alcotest.failf "%s: admit missing after a committed reshape" label);
+              Array.iter
+                (fun (rid, triples) ->
+                  if not (List.mem_assoc rid pre) then
+                    Alcotest.failf "%s: revision targets %d, which was never admitted" label rid;
+                  match List.assoc_opt rid post with
+                  | Some got when got = triples -> ()
+                  | Some _ ->
+                      Alcotest.failf "%s: revision of %d not applied by the replay" label rid
+                  | None -> Alcotest.failf "%s: revised transfer %d vanished" label rid)
+                revised
+          | _ -> ())
+        events;
+      Alcotest.(check bool) "workload produced revising reshapes" true (!checked > 0))
+
 let test_store_metrics () =
   let requests = workload_of_seed ~n:30 17 in
   with_tmpdir (fun tmp ->
@@ -611,6 +746,8 @@ let suites =
         case "crash: double crash, recover twice" test_double_crash;
         case "crash matrix: sharded journal, cross-shard admissions both-booked-or-neither"
           test_sharded_crash_matrix;
+        case "crash matrix: malleable journal, reshape+admit both-or-neither"
+          test_malleable_crash_matrix;
         case "metrics: store counters land in the registry" test_store_metrics;
         case "ctx: Runtime.ctx journals identically to ?store" test_ctx_journal_matches_legacy;
         case "ctx: observed tees the store sink" test_observed_tees_store;
